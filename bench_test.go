@@ -1,0 +1,164 @@
+package obarch
+
+// One benchmark per figure/table of the paper (DESIGN.md §4). Each bench
+// regenerates its experiment and reports the headline number as a custom
+// metric, so `go test -bench=. -benchmem` reproduces the evaluation.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fith"
+	"repro/internal/workload"
+)
+
+// BenchmarkFig10ITLB regenerates figure 10 (ITLB hit ratio vs size) and
+// reports the paper's headline point: the 512-entry 2-way hit ratio.
+func BenchmarkFig10ITLB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range r.Series {
+			if s.Name == "2-way" {
+				b.ReportMetric(s.YAt(9)*100, "%hit@512x2w")
+			}
+		}
+	}
+}
+
+// BenchmarkFig11ICache regenerates figure 11 (instruction cache hit ratio
+// vs size), reporting the 4096-entry 2-way point.
+func BenchmarkFig11ICache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range r.Series {
+			if s.Name == "2-way" {
+				b.ReportMetric(s.YAt(12)*100, "%hit@4096x2w")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10Assoc regenerates the direct-mapped comparison against the
+// published software-cache band.
+func BenchmarkFig10Assoc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Series[0].YAt(9)*100, "%hit@512x1w")
+	}
+}
+
+// BenchmarkT1CallReturn measures the §3.6 call/return cycle costs.
+func BenchmarkT1CallReturn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.T1CallReturn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT2StackVs3Addr measures the dynamic instruction ratio between
+// the Fith stack machine and the three-address COM.
+func BenchmarkT2StackVs3Addr(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.T2StackVs3Addr(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT3ContextStats measures context allocation/reference shares.
+func BenchmarkT3ContextStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.T3ContextTraffic(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT4ContextCache sweeps context cache sizes.
+func BenchmarkT4ContextCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.T4ContextCache(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT5AddrFormats compares the address formats.
+func BenchmarkT5AddrFormats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.T5AddressFormats(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT6LookupElim measures the ITLB's end-to-end cycle savings.
+func BenchmarkT6LookupElim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.T6LookupElimination(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Raw machine throughput benches: how fast the simulators themselves run.
+
+func BenchmarkCOMInterpreter(b *testing.B) {
+	p := workload.Arith()
+	m, err := workload.NewCOM(p, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		before := m.Stats.Instructions
+		if _, err := workload.RunCOM(m, p); err != nil {
+			b.Fatal(err)
+		}
+		instrs += m.Stats.Instructions - before
+	}
+	b.ReportMetric(float64(instrs)/float64(b.N), "instrs/op")
+}
+
+func BenchmarkFithInterpreter(b *testing.B) {
+	p := workload.Arith()
+	vm, err := workload.NewFith(p, fith.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.RunFith(vm, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSendPath measures a single warm message send on the COM.
+func BenchmarkSendPath(b *testing.B) {
+	sys := NewSystem(Options{})
+	if err := sys.Load(`extend SmallInt [ method double [ ^self + self ] ]`); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.SendInt(1, "double"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.SendInt(int32(i), "double"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

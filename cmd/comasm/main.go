@@ -1,0 +1,67 @@
+// Command comasm assembles and disassembles COM machine code, the 32-bit
+// three-address abstract-instruction format of §3.3.
+//
+//	comasm file.asm          # assemble, print encodings + round-trip listing
+//	echo "add c4, c4, =1" | comasm -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/isa"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: comasm file.asm  (- for stdin)")
+		os.Exit(2)
+	}
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "comasm:", err)
+		os.Exit(1)
+	}
+	asm := isa.NewAssembler()
+	// Unknown mnemonics assemble as dynamic opcodes numbered upward so
+	// stand-alone listings can include message sends.
+	next := isa.FirstDynamic
+	dyn := map[string]isa.Opcode{}
+	names := map[isa.Opcode]string{}
+	asm.Resolve = func(name string) (isa.Opcode, bool) {
+		if op, ok := dyn[name]; ok {
+			return op, true
+		}
+		if next == 0 {
+			return 0, false
+		}
+		op := next
+		next++
+		dyn[name] = op
+		names[op] = name
+		return op, true
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "comasm:", err)
+		os.Exit(1)
+	}
+	for i, enc := range p.Code {
+		fmt.Printf("%4d  %08x\n", i, enc)
+	}
+	fmt.Println("literals:")
+	for i, l := range p.Literals {
+		fmt.Printf("  #%d = %v\n", i, l)
+	}
+	fmt.Println("listing:")
+	fmt.Print(isa.Disassemble(p.Code, names))
+}

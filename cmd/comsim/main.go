@@ -1,0 +1,53 @@
+// Command comsim compiles a source file for the Caltech Object Machine
+// and performs a send, printing the answer and the machine statistics.
+//
+//	comsim -recv 10 -send fact prog.st
+//	comsim -recv 100 -send benchArith -blocks 16 -noitlb prog.st
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	recv := flag.Int("recv", 0, "integer receiver of the entry send")
+	send := flag.String("send", "main", "selector to send")
+	blocks := flag.Int("blocks", 0, "context cache blocks (default 32)")
+	noitlb := flag.Bool("noitlb", false, "disable the ITLB (full lookup per dispatch)")
+	stats := flag.Bool("stats", true, "print machine statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: comsim [flags] file.st")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "comsim:", err)
+		os.Exit(1)
+	}
+	sys := obarch.NewSystem(obarch.Options{CtxBlocks: *blocks, NoITLB: *noitlb})
+	if err := sys.Load(string(src)); err != nil {
+		fmt.Fprintln(os.Stderr, "comsim:", err)
+		os.Exit(1)
+	}
+	res, err := sys.Send(obarch.Int(int32(*recv)), *send)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "comsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d %s → %v\n", *recv, *send, res)
+	if *stats {
+		s := sys.Stats()
+		fmt.Printf("instructions: %d  cycles: %d  CPI: %.2f\n", s.Instructions, s.Cycles, s.CPI())
+		fmt.Printf("sends: %d  primitive ops: %d  returns: %d (LIFO %.1f%%)\n",
+			s.Sends, s.PrimOps, s.Returns, 100*s.LIFOShare())
+		fmt.Printf("context refs: %d  memory refs: %d (to contexts %.1f%%)\n",
+			s.CtxOperandRefs, s.MemRefs, 100*s.RefsToContextShare())
+		fmt.Printf("ITLB hit ratio: %.2f%%  lookup cycles: %d\n",
+			100*sys.ITLBHitRatio(), s.LookupCycles)
+	}
+}

@@ -1,0 +1,38 @@
+// Command experiments regenerates the paper's figures and tables.
+//
+//	experiments            # the full report
+//	experiments fig10 t6   # selected experiments
+//	experiments -list      # available ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(obarch.Experiments(), "\n"))
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		if err := obarch.RunAllExperiments(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, id := range ids {
+		if err := obarch.RunExperiment(id, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Bigobjects: the small object problem of §2.2. One floating point address
+// format serves thousands of tiny objects and a large image buffer at
+// once, and an object that outgrows its exponent is re-aliased with
+// trap-based forwarding — the old pointer keeps working.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	sys := obarch.NewSystem(obarch.Options{})
+
+	// Thousands of small objects: every one is its own segment, named
+	// with a small exponent. No fixed segment-count ceiling applies.
+	var cells []obarch.Value
+	for i := 0; i < 2000; i++ {
+		c, err := sys.NewInstanceOf("Array", 2)
+		if err != nil {
+			log.Fatalf("small object %d: %v", i, err)
+		}
+		sys.AddRoot(c)
+		cells = append(cells, c)
+	}
+	sys.Send(cells[1999], "at:put:", obarch.Int(0), obarch.Int(42))
+
+	// One large object in the same name space: a 64K-word "image".
+	image, err := sys.NewInstanceOf("Array", 65536)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.AddRoot(image)
+	sys.Send(image, "at:put:", obarch.Int(65535), obarch.Int(7))
+	last, _ := sys.Send(image, "at:", obarch.Int(65535))
+	fmt.Printf("2000 small objects and a 65536-word image coexist; image[65535]=%v\n", last)
+
+	// Growth: a buffer that outgrows its exponent is reallocated under a
+	// wider exponent; the old name forwards (§2.2 aliasing).
+	buf, _ := sys.NewInstanceOf("Array", 4)
+	sys.AddRoot(buf)
+	sys.Send(buf, "at:put:", obarch.Int(0), obarch.Int(11))
+	grown, err := sys.Send(buf, "grow:", obarch.Int(1024))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Old pointer, new capacity: index 900 exceeds the old exponent
+	// bound, traps, and is forwarded to the new segment.
+	if _, err := sys.Send(buf, "at:put:", obarch.Int(900), obarch.Int(99)); err != nil {
+		log.Fatal(err)
+	}
+	v0, _ := sys.Send(grown, "at:", obarch.Int(0))
+	v900, _ := sys.Send(grown, "at:", obarch.Int(900))
+	sz, _ := sys.Send(grown, "size")
+	fmt.Printf("grown buffer: size=%v preserved[0]=%v forwarded[900]=%v\n", sz, v0, v900)
+
+	// The collector reclaims whatever the host lets go of.
+	sys.ClearRoots()
+	st := sys.Collect()
+	fmt.Printf("after dropping roots: swept %d objects, %d live segments remain\n",
+		st.SweptObjects, st.Live)
+}

@@ -1,0 +1,246 @@
+// Package cache implements the set-associative, LRU-replaced lookaside
+// structure used throughout the COM: the ITLB (§2.1), the ATLB (§3.1), the
+// instruction cache, and the trace-driven cache simulations of §5 all share
+// this model.
+//
+// A cache is organised as Entries/Assoc sets of Assoc lines each. Keys are
+// opaque 64-bit values; the set index is derived from a mixed hash of the
+// key so that structured keys (opcode×class, segment names, instruction
+// addresses) spread evenly, mirroring the hashed associative memories the
+// paper assumes.
+package cache
+
+import "fmt"
+
+// Config sizes a cache.
+type Config struct {
+	// Entries is the total number of lines. It must be a power of two.
+	Entries int
+	// Assoc is the set associativity. 1 is direct mapped. Values of
+	// Entries or larger (or <= 0) mean fully associative.
+	Assoc int
+	// HashSets selects hashed set indexing. When false, the set index is
+	// taken from the low bits of the key directly — the behaviour of a
+	// conventional direct-mapped hardware cache indexed by address.
+	HashSets bool
+}
+
+func (c Config) normalize() (sets, assoc int, err error) {
+	if c.Entries <= 0 || c.Entries&(c.Entries-1) != 0 {
+		return 0, 0, fmt.Errorf("cache: entries must be a positive power of two, got %d", c.Entries)
+	}
+	assoc = c.Assoc
+	if assoc <= 0 || assoc > c.Entries {
+		assoc = c.Entries
+	}
+	if c.Entries%assoc != 0 {
+		return 0, 0, fmt.Errorf("cache: entries %d not divisible by associativity %d", c.Entries, assoc)
+	}
+	return c.Entries / assoc, assoc, nil
+}
+
+// Stats accumulates the outcome of every access.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Inserts   uint64
+	Flushes   uint64
+}
+
+// Accesses returns the total number of lookups performed.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// HitRatio returns hits over accesses, or 0 when empty.
+func (s Stats) HitRatio() float64 {
+	t := s.Accesses()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+type line[V any] struct {
+	key   uint64
+	value V
+	valid bool
+	stamp uint64
+}
+
+// Cache is a set-associative cache mapping uint64 keys to values of type V.
+// The zero value is not usable; construct with New.
+type Cache[V any] struct {
+	cfg   Config
+	sets  [][]line[V]
+	mask  uint64
+	clock uint64
+	Stats Stats
+}
+
+// New builds a cache from the configuration. It panics on an invalid
+// configuration, which is always a programming error in this codebase.
+func New[V any](cfg Config) *Cache[V] {
+	sets, assoc, err := cfg.normalize()
+	if err != nil {
+		panic(err)
+	}
+	c := &Cache[V]{cfg: cfg, mask: uint64(sets - 1)}
+	c.sets = make([][]line[V], sets)
+	for i := range c.sets {
+		c.sets[i] = make([]line[V], assoc)
+	}
+	return c
+}
+
+// Entries returns the total line count.
+func (c *Cache[V]) Entries() int { return c.cfg.Entries }
+
+// Assoc returns the effective associativity.
+func (c *Cache[V]) Assoc() int { return len(c.sets[0]) }
+
+// Sets returns the number of sets.
+func (c *Cache[V]) Sets() int { return len(c.sets) }
+
+// mix is a 64-bit finalizer (splitmix64) giving structured keys a uniform
+// set distribution.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (c *Cache[V]) setFor(key uint64) []line[V] {
+	idx := key
+	if c.cfg.HashSets {
+		idx = mix(key)
+	}
+	return c.sets[idx&c.mask]
+}
+
+// Lookup probes the cache. On a hit it refreshes the line's recency and
+// returns the value. Statistics are updated either way.
+func (c *Cache[V]) Lookup(key uint64) (V, bool) {
+	set := c.setFor(key)
+	c.clock++
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			set[i].stamp = c.clock
+			c.Stats.Hits++
+			return set[i].value, true
+		}
+	}
+	c.Stats.Misses++
+	var zero V
+	return zero, false
+}
+
+// Peek probes without touching statistics or recency. It exists for
+// diagnostics and tests.
+func (c *Cache[V]) Peek(key uint64) (V, bool) {
+	set := c.setFor(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			return set[i].value, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert places a key/value pair, evicting the LRU line of the set when
+// full. It returns the evicted key and value, if any.
+func (c *Cache[V]) Insert(key uint64, v V) (evictedKey uint64, evictedVal V, evicted bool) {
+	set := c.setFor(key)
+	c.clock++
+	c.Stats.Inserts++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			set[i].value = v
+			set[i].stamp = c.clock
+			return 0, evictedVal, false
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].stamp < set[victim].stamp {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		evictedKey, evictedVal, evicted = set[victim].key, set[victim].value, true
+		c.Stats.Evictions++
+	}
+	set[victim] = line[V]{key: key, value: v, valid: true, stamp: c.clock}
+	return evictedKey, evictedVal, evicted
+}
+
+// Touch performs the standard cache-simulation access: look up the key,
+// and on a miss insert it. It returns whether the access hit. This is the
+// single operation driving the trace simulations of §5.
+func (c *Cache[V]) Touch(key uint64) bool {
+	if _, ok := c.Lookup(key); ok {
+		return true
+	}
+	var zero V
+	c.Insert(key, zero)
+	return false
+}
+
+// Invalidate removes a key if present and reports whether it was found.
+func (c *Cache[V]) Invalidate(key uint64) bool {
+	set := c.setFor(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			set[i] = line[V]{}
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateIf removes every line whose value fails the keep predicate.
+// It is used when segment descriptors are rebound (object growth aliasing).
+func (c *Cache[V]) InvalidateIf(drop func(key uint64, v V) bool) int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && drop(set[i].key, set[i].value) {
+				set[i] = line[V]{}
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Flush empties the cache but keeps statistics.
+func (c *Cache[V]) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line[V]{}
+		}
+	}
+	c.Stats.Flushes++
+}
+
+// ResetStats zeroes the statistics, e.g. after a warmup trace (§5 runs a
+// warmup trace before the measurement trace).
+func (c *Cache[V]) ResetStats() { c.Stats = Stats{} }
+
+// Len returns the number of valid lines currently held.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

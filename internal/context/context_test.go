@@ -1,0 +1,442 @@
+package context
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/word"
+)
+
+func newRig(blocks int) (*memory.Space, *FreeList, *Cache) {
+	space := memory.NewSpace()
+	fl := NewFreeList(space, DefaultWords, 50)
+	cc := NewCache(space, Config{Blocks: blocks, BlockWords: DefaultWords})
+	return space, fl, cc
+}
+
+func TestFreeListSingleReference(t *testing.T) {
+	_, fl, _ := newRig(8)
+	a := fl.Alloc()
+	if fl.MemoryRefs != 1 {
+		t.Fatalf("alloc cost %d refs, want 1", fl.MemoryRefs)
+	}
+	fl.Free(a)
+	if fl.MemoryRefs != 2 {
+		t.Fatalf("free cost %d more refs", fl.MemoryRefs-1)
+	}
+	b := fl.Alloc()
+	if b != a {
+		t.Fatal("free list did not recycle")
+	}
+	if fl.Recycles != 1 {
+		t.Fatalf("recycles = %d", fl.Recycles)
+	}
+}
+
+func TestFreeListFixedSize(t *testing.T) {
+	_, fl, _ := newRig(8)
+	for i := 0; i < 10; i++ {
+		seg := fl.Alloc()
+		if seg.Size() != DefaultWords {
+			t.Fatalf("context size = %d", seg.Size())
+		}
+		if seg.Kind != memory.KindContext {
+			t.Fatalf("kind = %v", seg.Kind)
+		}
+	}
+	if fl.Allocs != 10 {
+		t.Fatalf("allocs = %d", fl.Allocs)
+	}
+}
+
+func TestCacheGeometryValidation(t *testing.T) {
+	space := memory.NewSpace()
+	for _, blocks := range []int{1, 2, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("blocks=%d accepted", blocks)
+				}
+			}()
+			NewCache(space, Config{Blocks: blocks})
+		}()
+	}
+	c := NewCache(space, Config{})
+	if c.Blocks() != DefaultBlocks || c.BlockWords() != DefaultWords {
+		t.Fatalf("defaults = %d×%d", c.Blocks(), c.BlockWords())
+	}
+	if c.FreeBlocks() != DefaultBlocks {
+		t.Fatalf("initial free = %d", c.FreeBlocks())
+	}
+}
+
+func TestAllocNextClearsAndSetsRCP(t *testing.T) {
+	_, fl, cc := newRig(8)
+	seg := fl.Alloc()
+	seg.Data[5] = word.FromInt(99) // dirt that must never be seen
+	rcp := word.FromPointer(0xbeef)
+	cc.AllocNext(seg, rcp)
+	if !cc.HasNext() {
+		t.Fatal("no next after AllocNext")
+	}
+	if got := cc.ReadNext(5); !got.IsUninit() {
+		t.Fatalf("block not cleared: word 5 = %v", got)
+	}
+	if got := cc.ReadNext(SlotRCP); got != rcp {
+		t.Fatalf("RCP = %v", got)
+	}
+	if cc.Stats.Clears != 1 {
+		t.Fatalf("clears = %d", cc.Stats.Clears)
+	}
+	if cc.NextBase() != seg.Base {
+		t.Fatal("directory entry wrong")
+	}
+}
+
+func TestAllocNextTwicePanics(t *testing.T) {
+	_, fl, cc := newRig(8)
+	cc.AllocNext(fl.Alloc(), word.Nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double AllocNext accepted")
+		}
+	}()
+	cc.AllocNext(fl.Alloc(), word.Nil)
+}
+
+func TestCallMovesNextToCurrent(t *testing.T) {
+	_, fl, cc := newRig(8)
+	seg := fl.Alloc()
+	cc.AllocNext(seg, word.Nil)
+	cc.Call()
+	if !cc.HasCurrent() || cc.HasNext() {
+		t.Fatal("vectors wrong after call")
+	}
+	if cc.CurrentBase() != seg.Base {
+		t.Fatal("current is not the former next")
+	}
+	cur, next, _, _ := cc.Vectors()
+	if cur == 0 || next != 0 {
+		t.Fatalf("vectors: cur=%b next=%b", cur, next)
+	}
+}
+
+func TestCurrentNextReadWrite(t *testing.T) {
+	_, fl, cc := newRig(8)
+	cc.AllocNext(fl.Alloc(), word.Nil)
+	cc.Call()
+	cc.AllocNext(fl.Alloc(), word.Nil)
+
+	cc.WriteCur(4, word.FromInt(7))
+	if got := cc.ReadCur(4); got != word.FromInt(7) {
+		t.Fatalf("cur[4] = %v", got)
+	}
+	cc.WriteNext(3, word.FromInt(8))
+	if got := cc.ReadNext(3); got != word.FromInt(8) {
+		t.Fatalf("next[3] = %v", got)
+	}
+	if got := cc.ReadCur(3); got.Same(word.FromInt(8)) {
+		t.Fatal("current and next share a block")
+	}
+	if cc.Stats.Reads != 3 || cc.Stats.Writes != 2 {
+		t.Fatalf("stats = %+v", cc.Stats)
+	}
+}
+
+// callChain performs depth nested calls and returns the stack of segments
+// (bottom first).
+func callChain(fl *FreeList, cc *Cache, depth int) []*memory.Segment {
+	var stack []*memory.Segment
+	root := fl.Alloc()
+	cc.AllocNext(root, word.Nil)
+	cc.Call()
+	stack = append(stack, root)
+	cc.AllocNext(fl.Alloc(), word.FromPointer(uint32(root.Base)))
+	for i := 1; i < depth; i++ {
+		caller := stack[len(stack)-1]
+		callee := cc.NextSegment()
+		cc.Call()
+		stack = append(stack, callee)
+		cc.AllocNext(fl.Alloc(), word.FromPointer(uint32(caller.Base)))
+	}
+	return stack
+}
+
+func TestLIFOCallReturnNeverMisses(t *testing.T) {
+	// §2.3: a 32-block context cache "would almost never miss" at
+	// ordinary nesting depths. Depth 20 fits entirely.
+	_, fl, cc := newRig(32)
+	stack := callChain(fl, cc, 20)
+	for i := len(stack) - 1; i > 0; i-- {
+		staging, hit := cc.ReturnLIFO(stack[i-1].Base)
+		if !hit {
+			t.Fatalf("return at depth %d missed", i)
+		}
+		fl.Free(staging)
+	}
+	if cc.Stats.Faults != 0 {
+		t.Fatalf("faults = %d, want 0", cc.Stats.Faults)
+	}
+}
+
+func TestDeepNestingFaultsAndRecovers(t *testing.T) {
+	// Depth beyond the block count forces copybacks on the way down and
+	// fault-ins on the way up — the copy-back mechanism of §2.3.
+	_, fl, cc := newRig(8)
+	depth := 30
+	stack := callChain(fl, cc, depth)
+	if cc.Stats.Copybacks == 0 {
+		t.Fatal("deep nesting caused no copybacks")
+	}
+	for i := depth - 1; i > 0; i-- {
+		// Write a marker in the current context, return, and check the
+		// caller still sees its own marker.
+		staging, _ := cc.ReturnLIFO(stack[i-1].Base)
+		fl.Free(staging)
+	}
+	if cc.Stats.Faults == 0 {
+		t.Fatal("deep return stream never faulted")
+	}
+}
+
+func TestDeepNestingPreservesContents(t *testing.T) {
+	_, fl, cc := newRig(8)
+	depth := 24
+	var stack []*memory.Segment
+	root := fl.Alloc()
+	cc.AllocNext(root, word.Nil)
+	cc.Call()
+	stack = append(stack, root)
+	cc.WriteCur(10, word.FromInt(0))
+	cc.AllocNext(fl.Alloc(), word.FromPointer(uint32(root.Base)))
+	for i := 1; i < depth; i++ {
+		callee := cc.NextSegment()
+		cc.Call()
+		cc.WriteCur(10, word.FromInt(int32(i)))
+		stack = append(stack, callee)
+		cc.AllocNext(fl.Alloc(), word.FromPointer(uint32(stack[i-1].Base)))
+	}
+	for i := depth - 1; i > 0; i-- {
+		staging, _ := cc.ReturnLIFO(stack[i-1].Base)
+		fl.Free(staging)
+		if got := cc.ReadCur(10); got != word.FromInt(int32(i-1)) {
+			t.Fatalf("depth %d marker = %v, want %d", i-1, got, i-1)
+		}
+	}
+}
+
+func TestReturnReusesReturningContextAsStaging(t *testing.T) {
+	// §3.6: "On return from a method, the current vector is moved back
+	// to the next vector" — the returning context becomes the staging
+	// context, and its RCP already points at the new current context.
+	_, fl, cc := newRig(8)
+	a := fl.Alloc()
+	cc.AllocNext(a, word.Nil)
+	cc.Call()
+	b := fl.Alloc()
+	cc.AllocNext(b, word.FromPointer(uint32(a.Base)))
+	cc.Call() // b is current
+	cc.AllocNext(fl.Alloc(), word.FromPointer(uint32(b.Base)))
+
+	staging, hit := cc.ReturnLIFO(a.Base)
+	if !hit {
+		t.Fatal("caller fell out of an 8-block cache")
+	}
+	fl.Free(staging)
+	if cc.NextBase() != b.Base {
+		t.Fatal("returning context did not become next")
+	}
+	if got := cc.ReadNext(SlotRCP); got != word.FromPointer(uint32(a.Base)) {
+		t.Fatalf("staging RCP = %v, want pointer to a", got)
+	}
+	if cc.CurrentBase() != a.Base {
+		t.Fatal("current is not the caller")
+	}
+}
+
+func TestReturnNonLIFOKeepsContextCached(t *testing.T) {
+	_, fl, cc := newRig(8)
+	a := fl.Alloc()
+	cc.AllocNext(a, word.Nil)
+	cc.Call()
+	b := fl.Alloc()
+	cc.AllocNext(b, word.FromPointer(uint32(a.Base)))
+	cc.Call()
+	cc.WriteCur(9, word.FromInt(77))
+	cc.AllocNext(fl.Alloc(), word.FromPointer(uint32(b.Base)))
+
+	hit := cc.ReturnNonLIFO(a.Base)
+	if !hit {
+		t.Fatal("caller missed")
+	}
+	// b survives as a plain cached block, readable by address.
+	got, dirHit := cc.ReadAbs(b.Base, 9)
+	if !dirHit {
+		t.Fatal("captured context not cached")
+	}
+	if got != word.FromInt(77) {
+		t.Fatalf("captured context word = %v", got)
+	}
+	// The staging block from before the return is still the next
+	// context (non-LIFO return does not consume it).
+	if !cc.HasNext() {
+		t.Fatal("staging lost on non-LIFO return")
+	}
+}
+
+func TestAbsAccessFaultsInFromMemory(t *testing.T) {
+	space, fl, cc := newRig(4)
+	seg := fl.Alloc()
+	for i := range seg.Data {
+		seg.Data[i] = word.FromInt(int32(i))
+	}
+	_ = space
+	got, hit := cc.ReadAbs(seg.Base, 6)
+	if hit {
+		t.Fatal("uncached context hit")
+	}
+	if got != word.FromInt(6) {
+		t.Fatalf("faulted-in word = %v", got)
+	}
+	if cc.Stats.Faults != 1 {
+		t.Fatalf("faults = %d", cc.Stats.Faults)
+	}
+	// Now cached.
+	if _, hit := cc.ReadAbs(seg.Base, 7); !hit {
+		t.Fatal("second access missed")
+	}
+}
+
+func TestWriteAbsMarksDirtyAndWritesBack(t *testing.T) {
+	_, fl, cc := newRig(4)
+	seg := fl.Alloc()
+	cc.WriteAbs(seg.Base, 3, word.FromInt(42))
+	if seg.Data[3] == word.FromInt(42) {
+		t.Fatal("write went straight to memory, cache is write-back")
+	}
+	cc.WritebackAll()
+	if seg.Data[3] != word.FromInt(42) {
+		t.Fatal("writeback lost the word")
+	}
+}
+
+func TestMaintainKeepsTwoFree(t *testing.T) {
+	_, fl, cc := newRig(8)
+	// Fill all 8 blocks with plain cached contexts.
+	segs := make([]*memory.Segment, 8)
+	for i := range segs {
+		segs[i] = fl.Alloc()
+		cc.WriteAbs(segs[i].Base, 0, word.FromInt(int32(i)))
+	}
+	if cc.FreeBlocks() != 0 {
+		t.Fatalf("free = %d", cc.FreeBlocks())
+	}
+	cc.Maintain()
+	if cc.FreeBlocks() < 2 {
+		t.Fatalf("Maintain left %d free, want >= 2", cc.FreeBlocks())
+	}
+	if cc.Stats.Copybacks == 0 {
+		t.Fatal("Maintain did not copy back")
+	}
+	// Evicted contexts are coherent in memory.
+	evicted := 0
+	for i, seg := range segs {
+		if _, hit := cc.ReadAbs(seg.Base, 0); !hit {
+			evicted++
+			if seg.Data[0] != word.FromInt(int32(i)) {
+				t.Fatalf("evicted context %d lost its word", i)
+			}
+		}
+	}
+	if evicted == 0 {
+		t.Fatal("nothing was evicted")
+	}
+}
+
+func TestSwapCurrentNext(t *testing.T) {
+	_, fl, cc := newRig(8)
+	a := fl.Alloc()
+	cc.AllocNext(a, word.Nil)
+	cc.Call()
+	b := fl.Alloc()
+	cc.AllocNext(b, word.Nil)
+	cc.SwapCurrentNext()
+	if cc.CurrentBase() != b.Base || cc.NextBase() != a.Base {
+		t.Fatal("swap did not exchange vectors")
+	}
+	cc.SwapCurrentNext()
+	if cc.CurrentBase() != a.Base {
+		t.Fatal("swap not involutive")
+	}
+}
+
+func TestReleaseFreesBlock(t *testing.T) {
+	_, fl, cc := newRig(4)
+	seg := fl.Alloc()
+	cc.ReadAbs(seg.Base, 0)
+	free := cc.FreeBlocks()
+	cc.Release(seg.Base)
+	if cc.FreeBlocks() != free+1 {
+		t.Fatal("Release did not free the block")
+	}
+	// Releasing an uncached context is a no-op.
+	other := fl.Alloc()
+	cc.Release(other.Base)
+}
+
+func TestReleasePinnedPanics(t *testing.T) {
+	_, fl, cc := newRig(4)
+	seg := fl.Alloc()
+	cc.AllocNext(seg, word.Nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("released the next context")
+		}
+	}()
+	cc.Release(seg.Base)
+}
+
+func TestVectorsAreSingletonsOrEmpty(t *testing.T) {
+	_, fl, cc := newRig(8)
+	check := func(stage string) {
+		cur, next, free, _ := cc.Vectors()
+		if cur&next != 0 {
+			t.Fatalf("%s: current and next overlap", stage)
+		}
+		if (cur|next)&free != 0 {
+			t.Fatalf("%s: pinned blocks marked free", stage)
+		}
+		if cur != 0 && cur&(cur-1) != 0 {
+			t.Fatalf("%s: current not a singleton", stage)
+		}
+		if next != 0 && next&(next-1) != 0 {
+			t.Fatalf("%s: next not a singleton", stage)
+		}
+	}
+	check("init")
+	a := fl.Alloc()
+	cc.AllocNext(a, word.Nil)
+	check("alloc")
+	cc.Call()
+	check("call")
+	cc.AllocNext(fl.Alloc(), word.FromPointer(uint32(a.Base)))
+	check("alloc2")
+	b := cc.NextSegment()
+	cc.Call()
+	check("call2")
+	cc.AllocNext(fl.Alloc(), word.FromPointer(uint32(b.Base)))
+	check("alloc3")
+	staging, _ := cc.ReturnLIFO(a.Base)
+	fl.Free(staging)
+	check("return")
+}
+
+func TestNoCurrentPanics(t *testing.T) {
+	_, _, cc := newRig(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReadCur with no current succeeded")
+		}
+	}()
+	cc.ReadCur(0)
+}

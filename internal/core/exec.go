@@ -1,0 +1,605 @@
+package core
+
+import (
+	"repro/internal/context"
+	"repro/internal/fpa"
+	"repro/internal/isa"
+	"repro/internal/itlb"
+	"repro/internal/memory"
+	"repro/internal/object"
+	"repro/internal/word"
+)
+
+// Send performs a root message send: it builds the initial context pair,
+// stages the receiver and arguments in the next context exactly as a
+// compiled caller would, dispatches, and runs to completion. It returns
+// the value the method returned.
+func (m *Machine) Send(receiver word.Word, selector string, args ...word.Word) (word.Word, error) {
+	sel, ok := m.Image.Atoms.Lookup(selector)
+	if !ok {
+		sel = m.Image.Atoms.Intern(selector)
+	}
+	op, err := m.OpcodeFor(sel)
+	if err != nil {
+		return word.Word{}, err
+	}
+	if 4+1+len(args) > m.Cfg.CtxWords {
+		return word.Word{}, trapf("resources", "%d arguments exceed the context", len(args))
+	}
+
+	// Dispatch exactly as an executed instruction would.
+	bClass, err := m.classOfWord(receiver)
+	if err != nil {
+		return word.Word{}, err
+	}
+	cClass := word.ClassNone
+	if len(args) > 0 {
+		if cClass, err = m.classOfWord(args[0]); err != nil {
+			return word.Word{}, err
+		}
+	}
+	entry, err := m.translate(op, bClass, cClass)
+	if err != nil {
+		return word.Word{}, err
+	}
+	if entry.Primitive {
+		// A root send of a pure primitive needs no contexts at all: run
+		// the function unit on the values directly.
+		return m.primApply(entry.PrimID, op, receiver, args)
+	}
+
+	// Root context: its uninitialised RIP is the halt sentinel.
+	rootSeg, rootAddr := m.allocContext()
+	m.Ctx.AllocNext(rootSeg, word.Nil)
+	m.Ctx.Call()
+	m.CP = rootAddr
+
+	// Staging context, RCP already pointing back at the root (§3.6:
+	// "CP is already stored as RCP in the next context").
+	stagSeg, stagAddr := m.allocContext()
+	m.Ctx.AllocNext(stagSeg, m.pointerWord(rootAddr))
+	m.NCP = stagAddr
+
+	// Stage the call: result into root slot 4, receiver, arguments.
+	resAddr, ok2 := rootAddr.WithOffset(4)
+	if !ok2 {
+		return word.Word{}, trapf("internal", "root result slot out of range")
+	}
+	m.Ctx.WriteNext(context.SlotResult, m.pointerWord(resAddr))
+	m.Ctx.WriteNext(context.SlotReceiver, receiver)
+	for i, a := range args {
+		m.Ctx.WriteNext(context.SlotArg2+i, a)
+	}
+
+	m.halted = false
+	m.IP = CodePtr{}
+	if err := m.enterMethod(entry.Method, 0); err != nil {
+		return word.Word{}, err
+	}
+	if err := m.Run(); err != nil {
+		return word.Word{}, err
+	}
+	return m.result, nil
+}
+
+// Run executes instructions until the root send returns, a trap surfaces,
+// or the step limit is reached.
+func (m *Machine) Run() error {
+	for steps := uint64(0); !m.halted; steps++ {
+		if steps >= m.Cfg.MaxSteps {
+			return trapf("resources", "step limit %d exceeded", m.Cfg.MaxSteps)
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step interprets one instruction: the five-step sequence of §3.6
+// (fetch, operand read, ITLB, op, write), charged at the paper's rate of
+// one instruction per two clocks plus any stall penalties.
+func (m *Machine) Step() error {
+	if !m.IP.Valid() {
+		return trapf("control", "no method to execute")
+	}
+	meth := m.IP.Method
+	if m.IP.PC < 0 || m.IP.PC >= len(meth.Code) {
+		return trapf("control", "PC %d fell off method %v", m.IP.PC, meth)
+	}
+
+	// Step 1: fetch through the instruction cache.
+	iaddr := uint64(meth.CodeBase) + uint64(m.IP.PC)
+	if !m.IC.Touch(iaddr) {
+		m.Stats.Cycles += uint64(m.Cfg.Penalties.ICacheMiss)
+	}
+	in := isa.Decode(meth.Code[m.IP.PC])
+	m.IP.PC++
+	m.Stats.Instructions++
+	m.Stats.Cycles += 2 // base issue rate: one instruction per two clocks
+
+	// Step 2: operand read happens inside the handlers; classes for the
+	// ITLB key are resolved here for dispatch opcodes.
+	if in.Op.Kind() == isa.KindControl {
+		m.Stats.ControlOps++
+		if m.Cfg.OnEvent != nil {
+			m.Cfg.OnEvent(Event{IAddr: iaddr, Op: in.Op})
+		}
+		return m.execControl(in)
+	}
+
+	// Zero-operand format (§3.5): with no B operand, the receiver has
+	// been staged in the next context by earlier instructions.
+	implicit := in.B.IsNone()
+	var b word.Word
+	var err error
+	if implicit {
+		m.Stats.CtxOperandRefs++
+		b = m.Ctx.ReadNext(context.SlotReceiver)
+	} else if b, err = m.readOperand(in.B); err != nil {
+		return err
+	}
+	var c word.Word
+	if !in.C.IsNone() {
+		if c, err = m.readOperand(in.C); err != nil {
+			return err
+		}
+	}
+	bClass, err := m.classOfWord(b)
+	if err != nil {
+		return err
+	}
+	cClass := word.ClassNone
+	if !in.C.IsNone() {
+		if cClass, err = m.classOfWord(c); err != nil {
+			return err
+		}
+	}
+	if m.Cfg.OnEvent != nil {
+		m.Cfg.OnEvent(Event{IAddr: iaddr, Op: in.Op, B: bClass, C: cClass})
+	}
+
+	// Step 3: instruction translation.
+	entry, err := m.translate(in.Op, bClass, cClass)
+	if err != nil {
+		return err
+	}
+
+	// Steps 4–5: primitive op + write, or the method call sequence.
+	if entry.Primitive {
+		m.Stats.PrimOps++
+		var args []word.Word
+		switch {
+		case implicit:
+			// Arguments were staged in the next context.
+			for i := 0; i < entry.Method.NumArgs; i++ {
+				m.Stats.CtxOperandRefs++
+				args = append(args, m.Ctx.ReadNext(context.SlotArg2+i))
+			}
+		case in.Op == isa.AtPut:
+			// at:put: carries value, receiver, index (§3.4): the A
+			// operand is the stored value, not a destination.
+			aVal, err := m.readOperand(in.A)
+			if err != nil {
+				return err
+			}
+			args = []word.Word{c, aVal}
+		case !in.C.IsNone():
+			args = []word.Word{c}
+		}
+		res, err := m.primApply(entry.PrimID, in.Op, b, args)
+		if err != nil {
+			return err
+		}
+		if implicit {
+			// Deliver through the staged result pointer, if any.
+			m.Stats.CtxOperandRefs++
+			if ptr := m.Ctx.ReadNext(context.SlotResult); ptr.Tag == word.TagPointer {
+				return m.storeVirtual(m.addrOf(ptr), res)
+			}
+			return nil
+		}
+		if in.Op == isa.AtPut {
+			return nil // no destination operand
+		}
+		return m.writeOperand(in.A, res)
+	}
+	return m.callMethod(entry.Method, in, b, c, implicit)
+}
+
+// translate resolves (opcode, classes) through the ITLB, or with a full
+// lookup every time under the NoITLB ablation.
+func (m *Machine) translate(op isa.Opcode, bClass, cClass word.Class) (itlb.Entry, error) {
+	miss := func() (itlb.Entry, int, error) {
+		sel, ok := m.opSel[op]
+		if !ok {
+			return itlb.Entry{}, 0, trapf("dispatch", "opcode %v has no selector", op)
+		}
+		cls := m.classFor(bClass)
+		meth, cost, found := object.Lookup(cls, sel)
+		if !found {
+			return itlb.Entry{}, cost.Cycles(), trapf("doesNotUnderstand",
+				"%s does not understand %s", cls.Name, m.Image.Atoms.Name(sel))
+		}
+		if meth.Primitive != PrimNone {
+			return itlb.Entry{Primitive: true, PrimID: meth.Primitive, Method: meth}, cost.Cycles(), nil
+		}
+		return itlb.Entry{Method: meth}, cost.Cycles(), nil
+	}
+	if m.Cfg.NoITLB {
+		e, cycles, err := miss()
+		m.Stats.Cycles += uint64(cycles)
+		m.Stats.LookupCycles += uint64(cycles)
+		return e, err
+	}
+	before := m.ITLB.Stats.LookupCycles
+	e, _, err := m.ITLB.Translate(itlb.Key{Op: op, B: bClass, C: cClass}, miss)
+	spent := m.ITLB.Stats.LookupCycles - before
+	m.Stats.Cycles += spent
+	m.Stats.LookupCycles += spent
+	return e, err
+}
+
+// readOperand fetches an operand value: context words through the context
+// cache, constants from the current method's table (the constant
+// generator, which is free).
+func (m *Machine) readOperand(o isa.Operand) (word.Word, error) {
+	switch {
+	case o.IsNone():
+		return word.Word{}, trapf("decode", "missing operand")
+	case o.IsConst():
+		lits := m.IP.Method.Literals
+		idx := o.ConstIndex()
+		if idx >= len(lits) {
+			return word.Word{}, trapf("decode", "constant %d outside table of %d", idx, len(lits))
+		}
+		return lits[idx], nil
+	default:
+		off := o.CtxOffset()
+		if off >= m.Cfg.CtxWords {
+			return word.Word{}, trapf("decode", "context offset %d outside %d-word context", off, m.Cfg.CtxWords)
+		}
+		m.Stats.CtxOperandRefs++
+		if o.CtxNext() {
+			return m.Ctx.ReadNext(off), nil
+		}
+		return m.Ctx.ReadCur(off), nil
+	}
+}
+
+// writeOperand stores a result; only context operands are writable.
+func (m *Machine) writeOperand(o isa.Operand, w word.Word) error {
+	if o.IsNone() {
+		return nil // results may be discarded
+	}
+	if o.IsConst() {
+		return trapf("decode", "constant operand is not writable")
+	}
+	off := o.CtxOffset()
+	if off >= m.Cfg.CtxWords {
+		return trapf("decode", "context offset %d outside %d-word context", off, m.Cfg.CtxWords)
+	}
+	m.Stats.CtxOperandRefs++
+	if o.CtxNext() {
+		m.Ctx.WriteNext(off, w)
+	} else {
+		m.Ctx.WriteCur(off, w)
+	}
+	return nil
+}
+
+// effAddr computes the virtual address a context operand names — the
+// movea semantics used for result pointers.
+func (m *Machine) effAddr(o isa.Operand) (fpa.Addr, error) {
+	if !o.IsCtx() {
+		return fpa.Addr{}, trapf("decode", "effective address of non-context operand")
+	}
+	base := m.CP
+	if o.CtxNext() {
+		base = m.NCP
+	}
+	a, ok := base.WithOffset(uint64(o.CtxOffset()))
+	if !ok {
+		return fpa.Addr{}, trapf("decode", "context offset escapes context name")
+	}
+	return a, nil
+}
+
+// callMethod performs the method call sequence of §3.6: the total cost is
+// 4 cycles plus one per copied operand — 2 were already charged as the
+// instruction's base, so 2 + operands are added here. Zero-operand sends
+// (implicit) copy nothing: their arguments were staged by earlier
+// instructions, and the call costs exactly 4 cycles.
+func (m *Machine) callMethod(meth *object.Method, in isa.Instr, b, c word.Word, implicit bool) error {
+	m.Stats.Sends++
+	// One cycle "for performing the operations listed below"; the
+	// pipeline-flush cycle is charged by enterMethod.
+	extra := uint64(1)
+
+	// Automatic operand copy into the already-allocated next context.
+	// A's effective address is the result pointer; B is the receiver.
+	// at:put: is the special case whose three operands are value,
+	// receiver, index (§3.4), with no result destination.
+	if implicit {
+		// Nothing to copy.
+	} else if in.Op == isa.AtPut {
+		m.Ctx.WriteNext(context.SlotResult, word.Nil)
+		m.Ctx.WriteNext(context.SlotReceiver, b)
+		m.Ctx.WriteNext(context.SlotArg2, c)
+		if !in.A.IsNone() {
+			a, err := m.readOperand(in.A)
+			if err != nil {
+				return err
+			}
+			m.Ctx.WriteNext(context.SlotArg2+1, a)
+			extra++
+		}
+		extra += 2
+	} else {
+		if !in.A.IsNone() {
+			resAddr, err := m.effAddr(in.A)
+			if err != nil {
+				return err
+			}
+			m.Ctx.WriteNext(context.SlotResult, m.pointerWord(resAddr))
+			extra++
+		} else {
+			m.Ctx.WriteNext(context.SlotResult, word.Nil)
+		}
+		m.Ctx.WriteNext(context.SlotReceiver, b)
+		extra++
+		if !in.C.IsNone() {
+			m.Ctx.WriteNext(context.SlotArg2, c)
+			extra++
+		}
+	}
+	m.Stats.Cycles += extra
+	m.Stats.SendCycles += extra + 2 + 1 // + base instruction + flush
+	return m.enterMethod(meth, 1)       // the pipeline-flush cycle
+}
+
+// enterMethod finishes a call: saves the IP in the current context's RIP,
+// promotes the next context, allocates a fresh staging context, and jumps
+// to the method's first instruction.
+func (m *Machine) enterMethod(meth *object.Method, flushCycles uint64) error {
+	m.Stats.Cycles += flushCycles
+	if m.IP.Valid() {
+		m.Ctx.WriteCur(context.SlotRIP, m.ripWord(m.IP))
+	}
+	m.Ctx.Call()
+	m.CP = m.NCP
+
+	seg, addr := m.allocContext()
+	m.Ctx.AllocNext(seg, m.pointerWord(m.CP))
+	m.NCP = addr
+
+	m.IP = CodePtr{Method: meth, PC: 0}
+	m.Ctx.Maintain()
+	return nil
+}
+
+// execControl interprets the control opcodes, which bypass dispatch.
+func (m *Machine) execControl(in isa.Instr) error {
+	switch in.Op {
+	case isa.Nop:
+		return nil
+
+	case isa.Move:
+		v, err := m.readOperand(in.B)
+		if err != nil {
+			return err
+		}
+		return m.writeOperand(in.A, v)
+
+	case isa.Movea:
+		a, err := m.effAddr(in.B)
+		if err != nil {
+			return err
+		}
+		return m.writeOperand(in.A, m.pointerWord(a))
+
+	case isa.As:
+		if !m.PS.Privileged {
+			return trapf("privilege", "as requires privileged status")
+		}
+		v, err := m.readOperand(in.B)
+		if err != nil {
+			return err
+		}
+		tagw, err := m.readOperand(in.C)
+		if err != nil {
+			return err
+		}
+		tv, ok := tagw.IntOK()
+		if !ok || tv < 0 || tv >= word.NumTags {
+			return trapf("decode", "bad tag value %v", tagw)
+		}
+		return m.writeOperand(in.A, word.Word{Tag: word.Tag(tv), Bits: v.Bits})
+
+	case isa.TagOf:
+		v, err := m.readOperand(in.B)
+		if err != nil {
+			return err
+		}
+		return m.writeOperand(in.A, word.FromInt(int32(v.Tag)))
+
+	case isa.FJmp, isa.RJmp:
+		cond, err := m.readOperand(in.A)
+		if err != nil {
+			return err
+		}
+		dispw, err := m.readOperand(in.B)
+		if err != nil {
+			return err
+		}
+		disp, ok := dispw.IntOK()
+		if !ok {
+			return trapf("decode", "jump displacement %v is not an integer", dispw)
+		}
+		m.Stats.Branches++
+		taken := !cond.Truthy()
+		if in.Op == isa.RJmp {
+			taken = cond.Truthy()
+		}
+		if taken {
+			m.Stats.TakenBranches++
+			m.Stats.Cycles += uint64(m.Cfg.Penalties.Branch)
+			if in.Op == isa.FJmp {
+				m.IP.PC += int(disp)
+			} else {
+				m.IP.PC -= int(disp)
+			}
+			if m.IP.PC < 0 || m.IP.PC > len(m.IP.Method.Code) {
+				return trapf("control", "jump to %d outside method %v", m.IP.PC, m.IP.Method)
+			}
+		}
+		return nil
+
+	case isa.Xfer:
+		return m.execXfer()
+
+	case isa.Ret:
+		return m.execReturn(in)
+	}
+	return trapf("decode", "unimplemented control opcode %v", in.Op)
+}
+
+// execXfer implements the general control transfer of §3.3: the current
+// and next contexts exchange roles, with the IP saved into and restored
+// from the RIP slots. Both contexts escape LIFO discipline.
+func (m *Machine) execXfer() error {
+	curBase := m.Ctx.CurrentBase()
+	nextBase := m.Ctx.NextBase()
+	m.captured[curBase] = true
+	m.captured[nextBase] = true
+	m.Ctx.WriteCur(context.SlotRIP, m.ripWord(m.IP))
+	m.Ctx.SwapCurrentNext()
+	m.CP, m.NCP = m.NCP, m.CP
+	rip := m.Ctx.ReadCur(context.SlotRIP)
+	if rip.IsUninit() {
+		return trapf("control", "xfer into a context with no continuation")
+	}
+	ip, err := m.decodeRIP(rip)
+	if err != nil {
+		return err
+	}
+	m.IP = ip
+	return nil
+}
+
+// execReturn implements the 2-cycle return of §3.6: deliver the result
+// through the caller-supplied result pointer, recycle the context when it
+// is LIFO, reactivate the caller and restore its continuation.
+func (m *Machine) execReturn(in isa.Instr) error {
+	m.Stats.Returns++
+	var result word.Word = word.Nil
+	if !in.A.IsNone() {
+		v, err := m.readOperand(in.A)
+		if err != nil {
+			return err
+		}
+		result = v
+	}
+	resPtr := m.Ctx.ReadCur(context.SlotResult)
+	rcp := m.Ctx.ReadCur(context.SlotRCP)
+	if rcp.Tag != word.TagPointer {
+		return trapf("control", "return with no calling context (RCP=%v)", rcp)
+	}
+	callerAddr := m.addrOf(rcp)
+	callerSeg, _, _, fault := m.Team.Translate(callerAddr, memory.RW)
+	if fault != nil {
+		return trapf("control", "RCP does not translate: %v", fault)
+	}
+
+	curBase := m.Ctx.CurrentBase()
+	if m.captured[curBase] {
+		m.Stats.NonLIFO++
+		m.Ctx.ReturnNonLIFO(callerSeg.Base)
+		// The surviving staging context's RCP must now name the new
+		// current context.
+		m.Ctx.WriteNext(context.SlotRCP, rcp)
+	} else {
+		m.Stats.LIFOReturns++
+		staging, hit := m.Ctx.ReturnLIFO(callerSeg.Base)
+		m.Free.Free(staging)
+		if !hit {
+			m.Stats.Cycles += uint64(m.Cfg.Penalties.CtxFault)
+		}
+		m.NCP = m.ctxAddrs[curBase]
+	}
+	m.CP = m.ctxAddrs[callerSeg.Base]
+
+	// Deliver the result through the result pointer.
+	if resPtr.Tag == word.TagPointer {
+		if err := m.storeVirtual(m.addrOf(resPtr), result); err != nil {
+			return err
+		}
+	}
+
+	// Restore the continuation; an uninitialised RIP is the root
+	// sentinel planted by Send, dissolving the context pair.
+	rip := m.Ctx.ReadCur(context.SlotRIP)
+	if rip.IsUninit() {
+		m.halted = true
+		m.result = result
+		m.IP = CodePtr{}
+		rootBase := m.Ctx.CurrentBase()
+		rootSeg := m.Ctx.CurrentSegment()
+		stagBase := m.Ctx.NextBase()
+		stagSeg := m.Ctx.NextSegment()
+		m.Ctx.Deactivate()
+		m.Ctx.Release(stagBase)
+		m.Ctx.Release(rootBase)
+		m.Free.Free(stagSeg)
+		m.Free.Free(rootSeg)
+		m.CP, m.NCP = fpa.Addr{}, fpa.Addr{}
+		return nil
+	}
+	ip, err := m.decodeRIP(rip)
+	if err != nil {
+		return err
+	}
+	m.IP = ip
+	return nil
+}
+
+// storeVirtual writes a word through a virtual address: context objects go
+// through the context cache (associating on the absolute address), others
+// through the memory hierarchy.
+func (m *Machine) storeVirtual(a fpa.Addr, w word.Word) error {
+	seg, off, _, fault := m.Team.Translate(a, memory.Write)
+	if fault != nil {
+		if resolved, ok := memory.Resolve(fault); ok {
+			return m.storeVirtual(resolved, w)
+		}
+		return trapf("addressing", "store to %v: %v", a, fault)
+	}
+	m.Stats.MemRefs++
+	if seg.Kind == memory.KindContext {
+		m.Stats.MemRefsToCtx++
+		m.Ctx.WriteAbs(seg.Base, int(off), w)
+		return nil
+	}
+	m.Stats.Cycles += uint64(m.Hier.Access(seg.Base + memory.AbsAddr(off)))
+	seg.Data[off] = w
+	return nil
+}
+
+// loadVirtual reads a word through a virtual address, by the same paths.
+func (m *Machine) loadVirtual(a fpa.Addr) (word.Word, error) {
+	seg, off, _, fault := m.Team.Translate(a, memory.Read)
+	if fault != nil {
+		if resolved, ok := memory.Resolve(fault); ok {
+			return m.loadVirtual(resolved)
+		}
+		return word.Word{}, trapf("addressing", "load from %v: %v", a, fault)
+	}
+	m.Stats.MemRefs++
+	if seg.Kind == memory.KindContext {
+		m.Stats.MemRefsToCtx++
+		v, _ := m.Ctx.ReadAbs(seg.Base, int(off))
+		return v, nil
+	}
+	m.Stats.Cycles += uint64(m.Hier.Access(seg.Base + memory.AbsAddr(off)))
+	return seg.Data[off], nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"repro/internal/memory"
+	"repro/internal/word"
+)
+
+// This file implements gc.Heap on Machine: the collector lives in package
+// gc and operates on absolute space (§3.1); the machine supplies roots,
+// pointer resolution and the recycling hooks.
+
+// extraRoots holds host-registered roots (example programs keep object
+// pointers alive across collections with AddRoot).
+
+// AbsSpace returns the machine's absolute space (gc.Heap).
+func (m *Machine) AbsSpace() *memory.Space { return m.Space }
+
+// AddRoot registers a host-held pointer word as a GC root.
+func (m *Machine) AddRoot(w word.Word) { m.extraRoots = append(m.extraRoots, w) }
+
+// ClearRoots drops all host-registered roots.
+func (m *Machine) ClearRoots() { m.extraRoots = nil }
+
+// Roots returns the absolute bases of the root set: the active context
+// pair (the RCP chain is followed by marking through the pointer words in
+// the contexts themselves), every class object, and host-held roots.
+func (m *Machine) Roots() []memory.AbsAddr {
+	var roots []memory.AbsAddr
+	if m.Ctx.HasCurrent() {
+		roots = append(roots, m.Ctx.CurrentBase())
+	}
+	if m.Ctx.HasNext() {
+		roots = append(roots, m.Ctx.NextBase())
+	}
+	for base := range m.classObjs {
+		roots = append(roots, base)
+	}
+	for _, w := range m.extraRoots {
+		if base, ok := m.ResolvePointer(w); ok {
+			roots = append(roots, base)
+		}
+	}
+	return roots
+}
+
+// ResolvePointer maps a pointer word to the base of the segment it names,
+// following §2.2 growth forwarding. Non-pointers and dangling names
+// resolve false.
+func (m *Machine) ResolvePointer(w word.Word) (memory.AbsAddr, bool) {
+	if w.Tag != word.TagPointer {
+		return 0, false
+	}
+	a := m.addrOf(w)
+	seg, _, _, fault := m.Team.Translate(a, 0)
+	if fault != nil {
+		if resolved, ok := memory.Resolve(fault); ok {
+			seg, _, _, fault = m.Team.Translate(resolved, 0)
+		}
+		if fault != nil {
+			return 0, false
+		}
+	}
+	return seg.Base, true
+}
+
+// Writeback flushes the context cache so segment data is coherent.
+func (m *Machine) Writeback() { m.Ctx.WritebackAll() }
+
+// RecycleContext returns a dead (non-LIFO residue) context to the free
+// list and drops its cache block and captured flag.
+func (m *Machine) RecycleContext(seg *memory.Segment) {
+	m.Ctx.Release(seg.Base)
+	delete(m.captured, seg.Base)
+	m.Free.Free(seg)
+}
+
+// ReleaseObject frees a dead object segment and unbinds all its virtual
+// names so stale pointers fault instead of aliasing a reused segment.
+func (m *Machine) ReleaseObject(seg *memory.Segment) {
+	m.Team.UnbindSegment(seg)
+	m.Space.Free(seg)
+}
+
+// IsContextFree reports whether a context segment is pooled on the free
+// list.
+func (m *Machine) IsContextFree(seg *memory.Segment) bool { return m.Free.Contains(seg) }

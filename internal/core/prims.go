@@ -1,0 +1,351 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/fpa"
+	"repro/internal/isa"
+	"repro/internal/memory"
+	"repro/internal/object"
+	"repro/internal/word"
+)
+
+// primApply executes a function unit: the primitive bit of an ITLB entry
+// selected it, the opcode and receiver/argument values drive it. Small
+// integer and floating point arithmetic follow §3.3, including the mixed
+// modes; at:/at:put: are the only operations that reference memory outside
+// the contexts.
+func (m *Machine) primApply(id object.PrimID, op isa.Opcode, recv word.Word, args []word.Word) (word.Word, error) {
+	arg := func(i int) word.Word {
+		if i < len(args) {
+			return args[i]
+		}
+		return word.Uninit
+	}
+	switch id {
+	case PrimArith:
+		return m.primArith(op, recv, arg(0))
+	case PrimBits:
+		return m.primBits(op, recv, arg(0))
+	case PrimCompare:
+		return m.primCompare(op, recv, arg(0))
+	case PrimIdentity:
+		return m.primIdentity(recv, arg(0))
+	case PrimAt:
+		return m.primAt(recv, arg(0))
+	case PrimAtPut:
+		return m.primAtPut(recv, arg(0), arg(1))
+	case PrimNew:
+		return m.primNew(recv, 0)
+	case PrimNewN:
+		n, ok := arg(0).IntOK()
+		if !ok || n < 0 {
+			return word.Word{}, trapf("primitive", "new: needs a non-negative integer, got %v", arg(0))
+		}
+		return m.primNew(recv, int(n))
+	case PrimSize:
+		return m.primSize(recv)
+	case PrimClassOf:
+		cls, err := m.classOfWord(recv)
+		if err != nil {
+			return word.Word{}, err
+		}
+		return m.ClassPointer(m.classFor(cls)), nil
+	case PrimGrow:
+		n, ok := arg(0).IntOK()
+		if !ok || n <= 0 {
+			return word.Word{}, trapf("primitive", "grow: needs a positive integer, got %v", arg(0))
+		}
+		if recv.Tag != word.TagPointer {
+			return word.Word{}, trapf("primitive", "grow: receiver must be an object, got %v", recv)
+		}
+		newAddr, err := m.Team.Grow(m.addrOf(recv), uint64(n))
+		if err != nil {
+			return word.Word{}, trapf("primitive", "grow: %v", err)
+		}
+		return m.pointerWord(newAddr), nil
+	}
+	return word.Word{}, trapf("primitive", "unknown function unit %d for %v", id, op.Name())
+}
+
+// primArith implements +, -, *, /, \\, negated and the multiple precision
+// support ops. Integer pairs stay integral (wrapping two's complement,
+// trapping on division by zero); any float operand widens the operation to
+// float (the paper's mixed-mode primitives).
+func (m *Machine) primArith(op isa.Opcode, b, c word.Word) (word.Word, error) {
+	if op == isa.Neg {
+		if v, ok := b.IntOK(); ok {
+			return word.FromInt(-v), nil
+		}
+		if v, ok := b.FloatOK(); ok {
+			return word.FromFloat(-v), nil
+		}
+		return word.Word{}, trapf("primitive", "negated on %v", b)
+	}
+	if bi, ok := b.IntOK(); ok {
+		if ci, ok := c.IntOK(); ok {
+			return m.intArith(op, bi, ci)
+		}
+	}
+	bf, bok := b.NumberAsFloat()
+	cf, cok := c.NumberAsFloat()
+	if !bok || !cok {
+		return word.Word{}, trapf("primitive", "%s on %v and %v", op.Name(), b, c)
+	}
+	switch op {
+	case isa.Add:
+		return word.FromFloat(bf + cf), nil
+	case isa.Sub:
+		return word.FromFloat(bf - cf), nil
+	case isa.Mul:
+		return word.FromFloat(bf * cf), nil
+	case isa.Div:
+		if cf == 0 {
+			return word.Word{}, trapf("arithmetic", "float division by zero")
+		}
+		return word.FromFloat(bf / cf), nil
+	}
+	return word.Word{}, trapf("primitive", "%s is not defined for floats", op.Name())
+}
+
+func (m *Machine) intArith(op isa.Opcode, b, c int32) (word.Word, error) {
+	switch op {
+	case isa.Add:
+		return word.FromInt(b + c), nil
+	case isa.Sub:
+		return word.FromInt(b - c), nil
+	case isa.Mul:
+		return word.FromInt(b * c), nil
+	case isa.Div:
+		if c == 0 {
+			return word.Word{}, trapf("arithmetic", "division by zero")
+		}
+		return word.FromInt(b / c), nil
+	case isa.Mod:
+		if c == 0 {
+			return word.Word{}, trapf("arithmetic", "modulo by zero")
+		}
+		// Floored modulo, the Smalltalk \\ convention.
+		r := b % c
+		if r != 0 && (r < 0) != (c < 0) {
+			r += c
+		}
+		return word.FromInt(r), nil
+	case isa.Carry:
+		// Carry-out of the unsigned add: multiple precision support
+		// without condition flags (§3.3).
+		s := uint64(uint32(b)) + uint64(uint32(c))
+		return word.FromInt(int32(s >> 32)), nil
+	case isa.Mult1:
+		lo, _ := mul64(b, c)
+		return word.FromInt(lo), nil
+	case isa.Mult2:
+		_, hi := mul64(b, c)
+		return word.FromInt(hi), nil
+	}
+	return word.Word{}, trapf("primitive", "%s is not an integer op", op.Name())
+}
+
+func mul64(b, c int32) (lo, hi int32) {
+	p := int64(b) * int64(c)
+	return int32(uint64(p) & 0xffffffff), int32(p >> 32)
+}
+
+// primBits implements the logical and bit field instructions on small
+// integers treated as 32-bit fields (§3.3).
+func (m *Machine) primBits(op isa.Opcode, b, c word.Word) (word.Word, error) {
+	bi, ok := b.IntOK()
+	if !ok {
+		return word.Word{}, trapf("primitive", "%s on %v", op.Name(), b)
+	}
+	if op == isa.Not {
+		return word.FromInt(^bi), nil
+	}
+	ci, ok := c.IntOK()
+	if !ok {
+		return word.Word{}, trapf("primitive", "%s shift/operand %v is not an integer", op.Name(), c)
+	}
+	ub := uint32(bi)
+	switch op {
+	case isa.Shift: // logical: positive left, negative right
+		if ci >= 0 {
+			return word.FromInt(int32(ub << clampShift(ci))), nil
+		}
+		return word.FromInt(int32(ub >> clampShift(-ci))), nil
+	case isa.AShift: // arithmetic: positive left, negative right
+		if ci >= 0 {
+			return word.FromInt(bi << clampShift(ci)), nil
+		}
+		return word.FromInt(bi >> clampShift(-ci)), nil
+	case isa.Rotate:
+		return word.FromInt(int32(bits.RotateLeft32(ub, int(ci)))), nil
+	case isa.Mask:
+		if ci <= 0 {
+			return word.FromInt(0), nil
+		}
+		if ci >= 32 {
+			return word.FromInt(bi), nil
+		}
+		return word.FromInt(int32(ub & (1<<uint(ci) - 1))), nil
+	case isa.And:
+		return word.FromInt(bi & ci), nil
+	case isa.Or:
+		return word.FromInt(bi | ci), nil
+	case isa.Xor:
+		return word.FromInt(bi ^ ci), nil
+	}
+	return word.Word{}, trapf("primitive", "%s is not a bit op", op.Name())
+}
+
+func clampShift(n int32) uint {
+	if n >= 32 {
+		return 32
+	}
+	return uint(n)
+}
+
+// primCompare implements <, <=, =, isZero for small integers and floats,
+// with mixed modes widening to float. Results are the truth atoms.
+func (m *Machine) primCompare(op isa.Opcode, b, c word.Word) (word.Word, error) {
+	if op == isa.EqZ {
+		if v, ok := b.IntOK(); ok {
+			return word.FromBool(v == 0), nil
+		}
+		if v, ok := b.FloatOK(); ok {
+			return word.FromBool(v == 0), nil
+		}
+		return word.Word{}, trapf("primitive", "isZero on %v", b)
+	}
+	if bi, ok := b.IntOK(); ok {
+		if ci, ok := c.IntOK(); ok {
+			switch op {
+			case isa.Lt:
+				return word.FromBool(bi < ci), nil
+			case isa.Le:
+				return word.FromBool(bi <= ci), nil
+			case isa.Eq:
+				return word.FromBool(bi == ci), nil
+			}
+		}
+	}
+	bf, bok := b.NumberAsFloat()
+	cf, cok := c.NumberAsFloat()
+	if !bok || !cok {
+		return word.Word{}, trapf("primitive", "%s on %v and %v", op.Name(), b, c)
+	}
+	switch op {
+	case isa.Lt:
+		return word.FromBool(bf < cf), nil
+	case isa.Le:
+		return word.FromBool(bf <= cf), nil
+	case isa.Eq:
+		return word.FromBool(bf == cf), nil
+	}
+	return word.Word{}, trapf("primitive", "%s is not a comparison", op.Name())
+}
+
+// primIdentity is == (same object), defined for all types (§3.3). Two
+// pointers are the same object when they resolve to the same segment —
+// aliased names included; primitives compare as values.
+func (m *Machine) primIdentity(b, c word.Word) (word.Word, error) {
+	if b.Tag == word.TagPointer && c.Tag == word.TagPointer {
+		bs, _, _, bf := m.Team.Translate(m.addrOf(b), 0)
+		cs, _, _, cf := m.Team.Translate(m.addrOf(c), 0)
+		if bf != nil || cf != nil {
+			return word.FromBool(false), nil
+		}
+		return word.FromBool(bs == cs), nil
+	}
+	// Atom "=" also routes here: atoms are identical iff equal ids.
+	return word.FromBool(b.Same(c)), nil
+}
+
+// primAt implements at:, the machine's load: word idx of the object.
+// Indices are zero based (machine level, unlike Smalltalk's 1-based at:).
+func (m *Machine) primAt(recv, idx word.Word) (word.Word, error) {
+	a, err := m.indexAddr(recv, idx)
+	if err != nil {
+		return word.Word{}, err
+	}
+	return m.loadVirtual(a)
+}
+
+// primAtPut implements at:put:, the machine's store. It returns the stored
+// value. Storing a context pointer anywhere marks that context captured —
+// the hardware's easy recognition of non-LIFO contexts (§2.3).
+func (m *Machine) primAtPut(recv, idx, val word.Word) (word.Word, error) {
+	a, err := m.indexAddr(recv, idx)
+	if err != nil {
+		return word.Word{}, err
+	}
+	if val.Tag == word.TagPointer {
+		if seg, _, _, fault := m.Team.Translate(m.addrOf(val), 0); fault == nil && seg.Kind == memory.KindContext {
+			m.captured[seg.Base] = true
+		}
+	}
+	if err := m.storeVirtual(a, val); err != nil {
+		return word.Word{}, err
+	}
+	return val, nil
+}
+
+// indexAddr forms the virtual address of word idx of an object, following
+// §2.2 growth forwarding when the index escapes the pointer's exponent.
+func (m *Machine) indexAddr(recv, idx word.Word) (fpa.Addr, error) {
+	if recv.Tag != word.TagPointer {
+		return fpa.Addr{}, trapf("primitive", "indexed access to non-object %v", recv)
+	}
+	i, ok := idx.IntOK()
+	if !ok || i < 0 {
+		return fpa.Addr{}, trapf("primitive", "index %v must be a non-negative integer", idx)
+	}
+	base := m.addrOf(recv)
+	a, inBounds := base.Add(uint64(i))
+	if !inBounds {
+		// The exponent bound trap: consult the descriptor for a
+		// forwarding address (object grown, §2.2).
+		d, found := m.Team.DescriptorFor(base.Key())
+		if found && d.Forward != nil {
+			if fwd, ok := d.Forward.WithOffset(uint64(i)); ok {
+				return fwd, nil
+			}
+		}
+		return fpa.Addr{}, trapf("addressing", "index %d escapes exponent bound of %v", i, base)
+	}
+	return a, nil
+}
+
+// primNew instantiates the class represented by the receiver class object:
+// the named fields plus n indexed words.
+func (m *Machine) primNew(recv word.Word, n int) (word.Word, error) {
+	if recv.Tag != word.TagPointer {
+		return word.Word{}, trapf("primitive", "new on non-class %v", recv)
+	}
+	seg, _, _, fault := m.Team.Translate(m.addrOf(recv), 0)
+	if fault != nil {
+		return word.Word{}, trapf("primitive", "new: %v", fault)
+	}
+	cls, ok := m.classObjs[seg.Base]
+	if !ok {
+		return word.Word{}, trapf("primitive", "new on non-class object")
+	}
+	if n > 0 && !cls.Indexed {
+		return word.Word{}, trapf("primitive", "%s is not indexed; use new", cls.Name)
+	}
+	return m.NewInstance(cls, n)
+}
+
+// primSize returns the total length of the receiver in words.
+func (m *Machine) primSize(recv word.Word) (word.Word, error) {
+	if recv.Tag != word.TagPointer {
+		return word.Word{}, trapf("primitive", "size of non-object %v", recv)
+	}
+	seg, _, _, fault := m.Team.Translate(m.addrOf(recv), 0)
+	if fault != nil {
+		return word.Word{}, trapf("primitive", "size: %v", fault)
+	}
+	// Report the descriptor length of the *current* segment: for grown
+	// objects the receiver's name may be the old alias, but identity is
+	// per object.
+	return word.FromInt(int32(seg.Size())), nil
+}

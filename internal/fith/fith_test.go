@@ -1,0 +1,208 @@
+package fith
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/word"
+)
+
+func TestInstrEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instr{
+		{Op: OpLit, Arg: 5},
+		{Op: OpJmp, Arg: -7},
+		{Op: OpJmpFalse, Arg: 32767},
+		{Op: OpSend, Arg: 300, Arg2: 2},
+		{Op: OpRet},
+	}
+	for _, in := range cases {
+		enc, err := in.Encode()
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		if got := Decode(enc); got != in {
+			t.Errorf("round trip %v → %v", in, got)
+		}
+	}
+}
+
+func TestInstrEncodeRejectsOverflow(t *testing.T) {
+	if _, err := (Instr{Op: OpJmp, Arg: 40000}).Encode(); err == nil {
+		t.Error("16-bit overflow accepted")
+	}
+	if _, err := (Instr{Op: OpSend, Arg: 0, Arg2: 300}).Encode(); err == nil {
+		t.Error("8-bit argc overflow accepted")
+	}
+}
+
+func TestInstrEncodeProperty(t *testing.T) {
+	prop := func(op uint8, arg int16, arg2 uint8) bool {
+		in := Instr{Op: Opcode(op % uint8(numOpcodes)), Arg: int32(arg), Arg2: int32(arg2)}
+		enc, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		return Decode(enc) == in
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpcodeNames(t *testing.T) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		if strings.HasPrefix(op.Name(), "op") {
+			t.Errorf("opcode %d unnamed", op)
+		}
+	}
+	if (Instr{Op: OpSend, Arg: 7, Arg2: 1}).String() != "send #7/1" {
+		t.Error("send rendering")
+	}
+	if (Instr{Op: OpLit, Arg: 3}).String() != "lit 3" {
+		t.Error("lit rendering")
+	}
+	if (Instr{Op: OpRet}).String() != "ret" {
+		t.Error("ret rendering")
+	}
+}
+
+func TestValueClasses(t *testing.T) {
+	vm := NewVM(Config{})
+	if IntVal(3).Class() != word.ClassSmallInt {
+		t.Error("int class")
+	}
+	if FloatVal(1).Class() != word.ClassFloat {
+		t.Error("float class")
+	}
+	if BoolVal(true).Class() != word.ClassAtom {
+		t.Error("bool class")
+	}
+	obj := &Obj{Class: vm.Image.Array, Slots: make([]Value, 1)}
+	if (Value{Obj: obj}).Class() != vm.Image.Array.ID {
+		t.Error("object class")
+	}
+	if !(Value{Obj: obj}).Truthy() || BoolVal(false).Truthy() || NilVal.Truthy() {
+		t.Error("truthiness")
+	}
+}
+
+func TestDirectPrimitiveSend(t *testing.T) {
+	vm := NewVM(Config{})
+	res, err := vm.Send(IntVal(4), "+", IntVal(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.W.IntOK(); v != 9 {
+		t.Fatalf("4+5 = %v", res)
+	}
+	if _, err := vm.Send(IntVal(4), "nonesuch"); err == nil {
+		t.Fatal("missing method answered")
+	}
+	if _, err := vm.Send(IntVal(4), "/", IntVal(0)); err == nil {
+		t.Fatal("division by zero answered")
+	}
+}
+
+func TestInstalledMethodAndITLB(t *testing.T) {
+	vm := NewVM(Config{ITLBEntries: 64, ITLBAssoc: 2})
+	sel := vm.Image.Atoms.Intern("nine")
+	lit, _ := (Instr{Op: OpLit, Arg: 0}).Encode()
+	_ = lit
+	m := &Method{
+		Selector: sel,
+		Lits:     []Value{IntVal(9)},
+		Code:     []Instr{{Op: OpLit, Arg: 0}, {Op: OpRet}},
+	}
+	vm.Install(vm.Image.SmallInt, m)
+	if m.Base == 0 {
+		t.Fatal("no code base assigned")
+	}
+	for i := 0; i < 5; i++ {
+		res, err := vm.Send(IntVal(1), "nine")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := res.W.IntOK(); v != 9 {
+			t.Fatalf("nine = %v", res)
+		}
+	}
+	st := vm.ITLBStats()
+	if st.Hits < 4 {
+		t.Fatalf("ITLB hits = %d", st.Hits)
+	}
+	// Redefinition invalidates stale translations.
+	m2 := &Method{Selector: sel, Lits: []Value{IntVal(10)}, Code: []Instr{{Op: OpLit, Arg: 0}, {Op: OpRet}}}
+	vm.Install(vm.Image.SmallInt, m2)
+	res, _ := vm.Send(IntVal(1), "nine")
+	if v, _ := res.W.IntOK(); v != 10 {
+		t.Fatalf("redefined nine = %v (stale ITLB entry?)", res)
+	}
+	if m2.Base == m.Base {
+		t.Fatal("methods share a code base")
+	}
+}
+
+func TestClassValueIdentity(t *testing.T) {
+	vm := NewVM(Config{})
+	a, err := vm.ClassValue("Array")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := vm.ClassValue("Array")
+	if a.Obj != b.Obj {
+		t.Fatal("class objects not interned")
+	}
+	if _, err := vm.ClassValue("Bogus"); err == nil {
+		t.Fatal("phantom class")
+	}
+	inst, err := vm.Send(a, "new:", IntVal(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Obj == nil || len(inst.Obj.Slots) != 3 {
+		t.Fatalf("new: made %v", inst)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	vm := NewVM(Config{MaxSteps: 50})
+	sel := vm.Image.Atoms.Intern("spin")
+	vm.Install(vm.Image.SmallInt, &Method{
+		Selector: sel,
+		Code:     []Instr{{Op: OpNop}, {Op: OpJmp, Arg: -2}},
+	})
+	if _, err := vm.Send(IntVal(0), "spin"); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("spin: %v", err)
+	}
+}
+
+func TestDefineClassAndInheritance(t *testing.T) {
+	vm := NewVM(Config{})
+	base, err := vm.DefineClass("Base", "Object", []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := vm.Image.Atoms.Intern("answer")
+	vm.Install(base, &Method{Selector: sel, Lits: []Value{IntVal(7)}, Code: []Instr{{Op: OpLit}, {Op: OpRet}}})
+	sub, err := vm.DefineClass("Sub", "Base", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, _ := vm.ClassValue("Sub")
+	inst, err := vm.Send(cv, "new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Send(inst, "answer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.W.IntOK(); v != 7 {
+		t.Fatalf("inherited answer = %v", res)
+	}
+	_ = sub
+	if _, err := vm.DefineClass("X", "Missing", nil); err == nil {
+		t.Fatal("phantom superclass accepted")
+	}
+}

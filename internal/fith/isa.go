@@ -1,0 +1,113 @@
+// Package fith implements the Fith Machine of §5: the stack-based
+// precursor of the COM, combining Forth-like execution with Smalltalk
+// semantics. Its instruction translation mechanism is identical to the
+// COM's — an opcode and the class of the receiver on top of the stack key
+// an ITLB — which is why the paper's cache measurements on Fith traces
+// "should apply to the COM as well".
+//
+// The machine exists here for exactly the paper's purpose: executing
+// programs while emitting instruction traces (address, opcode, receiver
+// class) that drive the ITLB and instruction-cache simulations of figures
+// 10 and 11, and for the stack-vs-three-address instruction count
+// comparison that killed it.
+package fith
+
+import "fmt"
+
+// Opcode is a Fith stack-machine operation.
+type Opcode uint8
+
+const (
+	// Stack housekeeping.
+	OpNop Opcode = iota
+	OpLit         // push literal Arg
+	OpTemp        // push temporary Arg
+	OpSetTemp     // pop into temporary Arg
+	OpSelf        // push the receiver
+	OpDup         // duplicate TOS
+	OpDrop        // discard TOS
+
+	// Control.
+	OpJmp      // relative jump by Arg
+	OpJmpFalse // pop; jump by Arg when falsy
+	OpRet      // pop; return it
+
+	// OpSend pops Arg2 arguments then the receiver, translates
+	// (selector Arg, receiver class) through the ITLB, and either runs a
+	// function unit or activates a method.
+	OpSend
+
+	numOpcodes
+)
+
+// Name returns the mnemonic.
+func (op Opcode) Name() string {
+	switch op {
+	case OpNop:
+		return "nop"
+	case OpLit:
+		return "lit"
+	case OpTemp:
+		return "temp"
+	case OpSetTemp:
+		return "settemp"
+	case OpSelf:
+		return "self"
+	case OpDup:
+		return "dup"
+	case OpDrop:
+		return "drop"
+	case OpJmp:
+		return "jmp"
+	case OpJmpFalse:
+		return "jmpf"
+	case OpRet:
+		return "ret"
+	case OpSend:
+		return "send"
+	}
+	return fmt.Sprintf("op%d", uint8(op))
+}
+
+// Instr is one Fith instruction. Send carries the selector atom in Arg and
+// the argument count in Arg2.
+type Instr struct {
+	Op   Opcode
+	Arg  int32
+	Arg2 int32
+}
+
+// String renders the instruction.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpSend:
+		return fmt.Sprintf("send #%d/%d", in.Arg, in.Arg2)
+	case OpLit, OpTemp, OpSetTemp, OpJmp, OpJmpFalse:
+		return fmt.Sprintf("%s %d", in.Op.Name(), in.Arg)
+	default:
+		return in.Op.Name()
+	}
+}
+
+// Encode packs the instruction into 32 bits: op<8> arg<16> arg2<8>.
+// Jump displacements and literal indexes fit 16 signed bits; selector ids
+// beyond 16 bits would not be encodable, matching a real 32-bit format's
+// constraint.
+func (in Instr) Encode() (uint32, error) {
+	if in.Arg < -32768 || in.Arg > 32767 {
+		return 0, fmt.Errorf("fith: argument %d does not fit 16 bits", in.Arg)
+	}
+	if in.Arg2 < 0 || in.Arg2 > 255 {
+		return 0, fmt.Errorf("fith: argument count %d does not fit 8 bits", in.Arg2)
+	}
+	return uint32(in.Op)<<24 | uint32(uint16(in.Arg))<<8 | uint32(uint8(in.Arg2)), nil
+}
+
+// Decode unpacks a 32-bit Fith instruction.
+func Decode(enc uint32) Instr {
+	return Instr{
+		Op:   Opcode(enc >> 24),
+		Arg:  int32(int16(enc >> 8)),
+		Arg2: int32(enc & 0xff),
+	}
+}

@@ -1,0 +1,162 @@
+package fith
+
+import (
+	"fmt"
+
+	"repro/internal/object"
+	"repro/internal/word"
+)
+
+// hasPrimitive reports whether the selector has a built-in implementation
+// for the receiver — the Fith equivalent of the COM's function units.
+func (vm *VM) hasPrimitive(sel object.Selector, recv Value) bool {
+	name := vm.Image.Atoms.Name(sel)
+	switch name {
+	case "==":
+		return true
+	case "+", "-", "*", "/", "\\\\", "<", "<=", "=", "negated", "isZero":
+		if recv.Obj != nil {
+			return false
+		}
+		switch recv.W.Tag {
+		case word.TagSmallInt, word.TagFloat:
+			return true
+		case word.TagAtom:
+			return name == "="
+		}
+		return false
+	case "at:", "at:put:", "size":
+		return recv.Obj != nil && recv.Obj.Represents == nil
+	case "new", "new:":
+		return recv.Obj != nil && recv.Obj.Represents != nil
+	}
+	return false
+}
+
+// primitive executes a built-in operation.
+func (vm *VM) primitive(sel object.Selector, recv Value, args []Value) (Value, error) {
+	vm.Stats.PrimOps++
+	name := vm.Image.Atoms.Name(sel)
+	arg := func(i int) Value {
+		if i < len(args) {
+			return args[i]
+		}
+		return NilVal
+	}
+	switch name {
+	case "==":
+		a, b := recv, arg(0)
+		if a.Obj != nil || b.Obj != nil {
+			return BoolVal(a.Obj == b.Obj), nil
+		}
+		return BoolVal(a.W.Same(b.W)), nil
+	case "negated":
+		if v, ok := recv.W.IntOK(); ok {
+			return IntVal(-v), nil
+		}
+		if v, ok := recv.W.FloatOK(); ok {
+			return FloatVal(-v), nil
+		}
+	case "isZero":
+		if v, ok := recv.W.IntOK(); ok {
+			return BoolVal(v == 0), nil
+		}
+		if v, ok := recv.W.FloatOK(); ok {
+			return BoolVal(v == 0), nil
+		}
+	case "+", "-", "*", "/", "\\\\", "<", "<=", "=":
+		return vm.arith(name, recv, arg(0))
+	case "at:":
+		idx, ok := arg(0).W.IntOK()
+		if !ok || recv.Obj == nil || idx < 0 || int(idx) >= len(recv.Obj.Slots) {
+			return Value{}, fmt.Errorf("fith: bad at: index %v", arg(0))
+		}
+		return recv.Obj.Slots[idx], nil
+	case "at:put:":
+		idx, ok := arg(0).W.IntOK()
+		if !ok || recv.Obj == nil || idx < 0 || int(idx) >= len(recv.Obj.Slots) {
+			return Value{}, fmt.Errorf("fith: bad at:put: index %v", arg(0))
+		}
+		recv.Obj.Slots[idx] = arg(1)
+		return arg(1), nil
+	case "size":
+		return IntVal(int32(len(recv.Obj.Slots))), nil
+	case "new":
+		cls := recv.Obj.Represents
+		return Value{Obj: &Obj{Class: cls, Slots: make([]Value, maxInt(cls.FixedSize(), 1))}}, nil
+	case "new:":
+		n, ok := arg(0).W.IntOK()
+		if !ok || n < 0 {
+			return Value{}, fmt.Errorf("fith: bad new: size %v", arg(0))
+		}
+		cls := recv.Obj.Represents
+		return Value{Obj: &Obj{Class: cls, Slots: make([]Value, cls.FixedSize()+int(n))}}, nil
+	}
+	return Value{}, fmt.Errorf("fith: primitive %q undefined for %v", name, recv)
+}
+
+func (vm *VM) arith(name string, a, b Value) (Value, error) {
+	if a.Obj != nil || b.Obj != nil {
+		return Value{}, fmt.Errorf("fith: %s on objects", name)
+	}
+	if name == "=" && a.W.Tag == word.TagAtom {
+		return BoolVal(b.W.Tag == word.TagAtom && a.W.Bits == b.W.Bits), nil
+	}
+	if ai, ok := a.W.IntOK(); ok {
+		if bi, ok := b.W.IntOK(); ok {
+			switch name {
+			case "+":
+				return IntVal(ai + bi), nil
+			case "-":
+				return IntVal(ai - bi), nil
+			case "*":
+				return IntVal(ai * bi), nil
+			case "/":
+				if bi == 0 {
+					return Value{}, fmt.Errorf("fith: division by zero")
+				}
+				return IntVal(ai / bi), nil
+			case "\\\\":
+				if bi == 0 {
+					return Value{}, fmt.Errorf("fith: modulo by zero")
+				}
+				r := ai % bi
+				if r != 0 && (r < 0) != (bi < 0) {
+					r += bi
+				}
+				return IntVal(r), nil
+			case "<":
+				return BoolVal(ai < bi), nil
+			case "<=":
+				return BoolVal(ai <= bi), nil
+			case "=":
+				return BoolVal(ai == bi), nil
+			}
+		}
+	}
+	af, aok := a.W.NumberAsFloat()
+	bf, bok := b.W.NumberAsFloat()
+	if !aok || !bok {
+		return Value{}, fmt.Errorf("fith: %s on %v and %v", name, a, b)
+	}
+	switch name {
+	case "+":
+		return FloatVal(af + bf), nil
+	case "-":
+		return FloatVal(af - bf), nil
+	case "*":
+		return FloatVal(af * bf), nil
+	case "/":
+		if bf == 0 {
+			return Value{}, fmt.Errorf("fith: float division by zero")
+		}
+		return FloatVal(af / bf), nil
+	case "<":
+		return BoolVal(af < bf), nil
+	case "<=":
+		return BoolVal(af <= bf), nil
+	case "=":
+		return BoolVal(af == bf), nil
+	}
+	return Value{}, fmt.Errorf("fith: %s undefined for floats", name)
+}

@@ -1,0 +1,356 @@
+package fith
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/object"
+	"repro/internal/word"
+)
+
+// Value is a Fith machine value: immediates reuse the tagged word
+// representation; object references carry the object.
+type Value struct {
+	W   word.Word
+	Obj *Obj
+}
+
+// Obj is a Fith heap object.
+type Obj struct {
+	Class *object.Class
+	Slots []Value
+	// Represents is set on class objects: the class they instantiate.
+	Represents *object.Class
+}
+
+// IntVal builds an integer value.
+func IntVal(v int32) Value { return Value{W: word.FromInt(v)} }
+
+// FloatVal builds a float value.
+func FloatVal(v float32) Value { return Value{W: word.FromFloat(v)} }
+
+// BoolVal builds a truth value.
+func BoolVal(b bool) Value { return Value{W: word.FromBool(b)} }
+
+// NilVal is the nil value.
+var NilVal = Value{W: word.Nil}
+
+// Class returns the value's sixteen-bit class tag: the key half of every
+// instruction translation.
+func (v Value) Class() word.Class {
+	if v.Obj != nil {
+		return v.Obj.Class.ID
+	}
+	return v.W.PrimitiveClass()
+}
+
+// Truthy mirrors the COM's conditional interpretation.
+func (v Value) Truthy() bool {
+	if v.Obj != nil {
+		return true
+	}
+	return v.W.Truthy()
+}
+
+// String renders the value.
+func (v Value) String() string {
+	if v.Obj != nil {
+		if v.Obj.Represents != nil {
+			return "class " + v.Obj.Represents.Name
+		}
+		return fmt.Sprintf("a %s", v.Obj.Class.Name)
+	}
+	return v.W.String()
+}
+
+// Method is a loaded Fith method.
+type Method struct {
+	Class     *object.Class
+	Selector  object.Selector
+	NumArgs   int
+	NumTemps  int
+	Lits      []Value
+	Selectors []object.Selector // send table
+	Code      []Instr
+	Base      uint64 // code base address for traces
+}
+
+// TraceEvent is one interpreted instruction, in the paper's trace format:
+// "the address of the instruction, the opcode, and the type of object on
+// the top of the stack". For sends, Sel carries the selector and Class the
+// receiver's class (the ITLB key); for other opcodes Sel is zero.
+type TraceEvent struct {
+	IAddr uint64
+	Op    Opcode
+	Sel   object.Selector
+	Class word.Class
+}
+
+// Stats counts VM activity.
+type Stats struct {
+	Instructions uint64
+	Sends        uint64
+	PrimOps      uint64
+	MethodCalls  uint64
+	MaxDepth     int
+}
+
+// Config sizes the VM's own translation buffer.
+type Config struct {
+	ITLBEntries int
+	ITLBAssoc   int
+	MaxSteps    uint64
+}
+
+// VM is the Fith machine: a stack interpreter whose instruction
+// translation (selector × receiver class → method) is identical to the
+// COM's.
+type VM struct {
+	Image *object.Image
+	Stats Stats
+
+	methods map[*object.Class]map[object.Selector]*Method
+	classes map[string]*Obj
+
+	itlb     *cache.Cache[entry]
+	maxSteps uint64
+	nextBase uint64
+
+	// Trace, when set, receives every interpreted instruction.
+	Trace func(TraceEvent)
+}
+
+type entry struct {
+	prim bool
+	m    *Method
+}
+
+// NewVM builds a Fith machine over a fresh image.
+func NewVM(cfg Config) *VM {
+	if cfg.ITLBEntries == 0 {
+		cfg.ITLBEntries, cfg.ITLBAssoc = 512, 2
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 50_000_000
+	}
+	return &VM{
+		Image:    object.NewImage(),
+		methods:  make(map[*object.Class]map[object.Selector]*Method),
+		classes:  make(map[string]*Obj),
+		itlb:     cache.New[entry](cache.Config{Entries: cfg.ITLBEntries, Assoc: cfg.ITLBAssoc, HashSets: true}),
+		maxSteps: cfg.MaxSteps,
+		nextBase: 0x1000,
+	}
+}
+
+// ITLBStats exposes the VM's translation buffer counters.
+func (vm *VM) ITLBStats() cache.Stats { return vm.itlb.Stats }
+
+// DefineClass registers a user class.
+func (vm *VM) DefineClass(name, super string, fields []string) (*object.Class, error) {
+	sup, ok := vm.Image.ClassByName(super)
+	if !ok {
+		return nil, fmt.Errorf("fith: unknown superclass %q", super)
+	}
+	return vm.Image.Define(object.NewClass(name, sup, fields...))
+}
+
+// ClassValue returns the class object for a class name.
+func (vm *VM) ClassValue(name string) (Value, error) {
+	if o, ok := vm.classes[name]; ok {
+		return Value{Obj: o}, nil
+	}
+	cls, ok := vm.Image.ClassByName(name)
+	if !ok {
+		return Value{}, fmt.Errorf("fith: unknown class %q", name)
+	}
+	o := &Obj{Class: vm.Image.Cls, Represents: cls}
+	vm.classes[name] = o
+	return Value{Obj: o}, nil
+}
+
+// Install adds a method to a class, assigning its code a base address.
+func (vm *VM) Install(cls *object.Class, m *Method) {
+	m.Class = cls
+	m.Base = vm.nextBase
+	vm.nextBase += uint64(len(m.Code)) + 8 // pad between methods
+	if vm.methods[cls] == nil {
+		vm.methods[cls] = make(map[object.Selector]*Method)
+	}
+	vm.methods[cls][m.Selector] = m
+	// Redefinition: stale translations must go.
+	vm.itlb.InvalidateIf(func(_ uint64, e entry) bool {
+		return e.m != nil && e.m.Selector == m.Selector
+	})
+}
+
+// lookup walks the superclass chain for a user method.
+func (vm *VM) lookup(cls *object.Class, sel object.Selector) (*Method, bool) {
+	for k := cls; k != nil; k = k.Super {
+		if m, ok := vm.methods[k][sel]; ok {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+func itlbKey(sel object.Selector, cls word.Class) uint64 {
+	return uint64(sel)<<16 | uint64(cls)
+}
+
+type frame struct {
+	m     *Method
+	pc    int
+	recv  Value
+	temps []Value
+	base  int // operand stack base
+}
+
+// Send performs a message send from the host and runs to completion.
+func (vm *VM) Send(recv Value, selector string, args ...Value) (Value, error) {
+	sel := vm.Image.Atoms.Intern(selector)
+	return vm.run(recv, sel, args)
+}
+
+func (vm *VM) run(recv Value, sel object.Selector, args []Value) (Value, error) {
+	var stack []Value
+	var frames []*frame
+
+	activate := func(m *Method, recv Value, args []Value) {
+		vm.Stats.MethodCalls++
+		f := &frame{m: m, recv: recv, temps: make([]Value, maxInt(m.NumTemps, m.NumArgs)), base: len(stack)}
+		copy(f.temps, args)
+		frames = append(frames, f)
+		if len(frames) > vm.Stats.MaxDepth {
+			vm.Stats.MaxDepth = len(frames)
+		}
+	}
+
+	// Initial send.
+	e, err := vm.translate(sel, recv)
+	if err != nil {
+		return Value{}, err
+	}
+	if e.prim {
+		return vm.primitive(sel, recv, args)
+	}
+	activate(e.m, recv, args)
+
+	for steps := uint64(0); ; steps++ {
+		if steps >= vm.maxSteps {
+			return Value{}, fmt.Errorf("fith: step limit %d exceeded", vm.maxSteps)
+		}
+		f := frames[len(frames)-1]
+		if f.pc >= len(f.m.Code) {
+			return Value{}, fmt.Errorf("fith: fell off method %v", vm.Image.Atoms.Name(f.m.Selector))
+		}
+		in := f.m.Code[f.pc]
+		iaddr := f.m.Base + uint64(f.pc)
+		f.pc++
+		vm.Stats.Instructions++
+
+		if vm.Trace != nil {
+			ev := TraceEvent{IAddr: iaddr, Op: in.Op}
+			switch in.Op {
+			case OpSend:
+				n := int(in.Arg2)
+				r := stack[len(stack)-1-n]
+				ev.Sel = f.m.Selectors[in.Arg]
+				ev.Class = r.Class()
+			default:
+				if len(stack) > 0 {
+					ev.Class = stack[len(stack)-1].Class()
+				}
+			}
+			vm.Trace(ev)
+		}
+
+		switch in.Op {
+		case OpNop:
+		case OpLit:
+			stack = append(stack, f.m.Lits[in.Arg])
+		case OpTemp:
+			stack = append(stack, f.temps[in.Arg])
+		case OpSetTemp:
+			f.temps[in.Arg] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case OpSelf:
+			stack = append(stack, f.recv)
+		case OpDup:
+			stack = append(stack, stack[len(stack)-1])
+		case OpDrop:
+			stack = stack[:len(stack)-1]
+		case OpJmp:
+			f.pc += int(in.Arg)
+		case OpJmpFalse:
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if !v.Truthy() {
+				f.pc += int(in.Arg)
+			}
+		case OpRet:
+			res := stack[len(stack)-1]
+			stack = stack[:f.base]
+			frames = frames[:len(frames)-1]
+			if len(frames) == 0 {
+				return res, nil
+			}
+			stack = append(stack, res)
+		case OpSend:
+			vm.Stats.Sends++
+			n := int(in.Arg2)
+			args := make([]Value, n)
+			copy(args, stack[len(stack)-n:])
+			recv := stack[len(stack)-n-1]
+			stack = stack[:len(stack)-n-1]
+			sel := f.m.Selectors[in.Arg]
+			e, err := vm.translate(sel, recv)
+			if err != nil {
+				return Value{}, err
+			}
+			if e.prim {
+				res, err := vm.primitive(sel, recv, args)
+				if err != nil {
+					return Value{}, err
+				}
+				stack = append(stack, res)
+			} else {
+				activate(e.m, recv, args)
+			}
+		default:
+			return Value{}, fmt.Errorf("fith: bad opcode %v", in.Op)
+		}
+	}
+}
+
+// translate resolves (selector, receiver class) through the VM's ITLB,
+// falling back to the superclass-chain lookup plus the primitive table —
+// the same mechanism, minus the COM's cycle accounting.
+func (vm *VM) translate(sel object.Selector, recv Value) (entry, error) {
+	key := itlbKey(sel, recv.Class())
+	if e, ok := vm.itlb.Lookup(key); ok {
+		return e, nil
+	}
+	cls, ok := vm.Image.ClassByID(recv.Class())
+	if !ok {
+		cls = vm.Image.Object
+	}
+	if m, found := vm.lookup(cls, sel); found {
+		e := entry{m: m}
+		vm.itlb.Insert(key, e)
+		return e, nil
+	}
+	if vm.hasPrimitive(sel, recv) {
+		e := entry{prim: true}
+		vm.itlb.Insert(key, e)
+		return e, nil
+	}
+	return entry{}, fmt.Errorf("fith: %s does not understand %s", cls.Name, vm.Image.Atoms.Name(sel))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

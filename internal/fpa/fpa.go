@@ -1,0 +1,270 @@
+// Package fpa implements the floating point virtual addresses of §2.2 of
+// Dally & Kajiya's "An Object Oriented Architecture" (ISCA 1985).
+//
+// A floating point address is an e-bit exponent plus an m-bit mantissa. The
+// exponent gives the width of the offset field: the low exp bits of the
+// mantissa are the offset within the segment, and the remaining high bits —
+// the integer part of the "real address" — combined with the exponent name
+// the segment descriptor. The paper's example: the 16-bit address 0x8345
+// (4-bit exponent, 12-bit mantissa) has exponent 8, so its offset is the
+// byte 0x45 and its segment name is 0x83 (exponent 8 ++ integer part 3).
+//
+// One format therefore spans both ends of the small object problem: with
+// exponent 0 every word of the mantissa range is its own segment (billions
+// of one-word objects), while a maximal exponent names a single segment as
+// large as the whole mantissa range.
+package fpa
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Format describes an address format: how many bits of exponent and
+// mantissa an encoded address carries. The paper's headline format is
+// {Exp:5, Man:31} (36 bits, the MULTICS comparison); the COM's pointer
+// words carry 32 payload bits, for which the default is {Exp:5, Man:27}.
+type Format struct {
+	ExpBits uint // width of the exponent field
+	ManBits uint // width of the mantissa field
+}
+
+// COM32 is the format used for pointer payloads in 32-bit COM words.
+var COM32 = Format{ExpBits: 5, ManBits: 27}
+
+// Paper36 is the 36-bit format the paper compares against MULTICS:
+// a 5-bit exponent and 31-bit mantissa, accommodating 8 billion segments
+// and segments up to 2 billion words long.
+var Paper36 = Format{ExpBits: 5, ManBits: 31}
+
+// Paper16 is the 16-bit example format from figure 2 of the paper.
+var Paper16 = Format{ExpBits: 4, ManBits: 12}
+
+// Validate reports whether the format is internally consistent: the
+// exponent must be able to express offsets up to the full mantissa width
+// (e = ceil(log2(m+1)) suffices) and the total must fit in 64 bits.
+func (f Format) Validate() error {
+	if f.ExpBits == 0 || f.ManBits == 0 {
+		return fmt.Errorf("fpa: zero-width field in format %+v", f)
+	}
+	if f.ExpBits+f.ManBits > 64 {
+		return fmt.Errorf("fpa: format %+v exceeds 64 bits", f)
+	}
+	if f.MaxExp() < f.ManBits {
+		return fmt.Errorf("fpa: exponent field of %d bits cannot span %d mantissa bits", f.ExpBits, f.ManBits)
+	}
+	return nil
+}
+
+// Bits returns the total encoded width of the format.
+func (f Format) Bits() uint { return f.ExpBits + f.ManBits }
+
+// MaxExp returns the largest exponent value the format can encode.
+func (f Format) MaxExp() uint { return 1<<f.ExpBits - 1 }
+
+// MaxSegSize returns the largest segment (in words) the format can address:
+// an offset field as wide as the whole mantissa.
+func (f Format) MaxSegSize() uint64 { return 1 << f.ManBits }
+
+// SegmentsAt returns how many distinct segments exist at a given exponent:
+// one per integer-part value, i.e. 2^(m-exp) (1 when exp >= m).
+func (f Format) SegmentsAt(exp uint) uint64 {
+	if exp >= f.ManBits {
+		return 1
+	}
+	return 1 << (f.ManBits - exp)
+}
+
+// TotalNames returns the total number of (exponent, segment) names across
+// all exponents. This is the "8 billion segments" figure of §2.2.
+func (f Format) TotalNames() uint64 {
+	var total uint64
+	for e := uint(0); e <= f.MaxExp() && e <= 63; e++ {
+		total += f.SegmentsAt(e)
+	}
+	return total
+}
+
+// MinExpFor returns the smallest exponent whose offset field can index a
+// segment of the given size in words (size 0 and 1 both fit exponent 0).
+func MinExpFor(size uint64) uint {
+	if size <= 1 {
+		return 0
+	}
+	return uint(bits.Len64(size - 1))
+}
+
+// SegKey names a segment descriptor: the exponent concatenated with the
+// integer part of the mantissa, exactly the index of §3.1's segment
+// descriptor table ("the segment field and exponent field of the virtual
+// address are concatenated to generate an index").
+type SegKey struct {
+	Exp uint8
+	Num uint64 // integer part of the mantissa
+}
+
+// Pack flattens the key into a single uint64 suitable for hashing into the
+// ATLB. Exponent in the high byte, integer part below.
+func (k SegKey) Pack() uint64 { return uint64(k.Exp)<<56 | (k.Num & (1<<56 - 1)) }
+
+// String renders the key as the paper's concatenated hex (e.g. exponent 8,
+// part 3 → "seg[8:0x3]").
+func (k SegKey) String() string { return fmt.Sprintf("seg[%d:%#x]", k.Exp, k.Num) }
+
+// Addr is a decoded floating point address.
+type Addr struct {
+	Exp      uint8  // offset-field width
+	Mantissa uint64 // full mantissa; low Exp bits are the offset
+}
+
+// Offset returns the offset within the segment: the fractional part of the
+// real address.
+func (a Addr) Offset() uint64 {
+	if a.Exp >= 64 {
+		return a.Mantissa
+	}
+	return a.Mantissa & (1<<a.Exp - 1)
+}
+
+// SegNum returns the integer part of the real address.
+func (a Addr) SegNum() uint64 {
+	if a.Exp >= 64 {
+		return 0
+	}
+	return a.Mantissa >> a.Exp
+}
+
+// Key returns the segment descriptor name of the address.
+func (a Addr) Key() SegKey { return SegKey{Exp: a.Exp, Num: a.SegNum()} }
+
+// Bound returns the exclusive upper bound the exponent places on offsets:
+// 2^exp. Accesses at or beyond it through this address trap (§2.2 aliasing).
+func (a Addr) Bound() uint64 {
+	if a.Exp >= 64 {
+		return ^uint64(0)
+	}
+	return 1 << a.Exp
+}
+
+// Add returns the address displaced by delta words within the same segment
+// and reports whether the result stays inside the exponent's bound. A false
+// result is the bounds trap of §2.2.
+func (a Addr) Add(delta uint64) (Addr, bool) {
+	off := a.Offset() + delta
+	if off >= a.Bound() {
+		return Addr{}, false
+	}
+	return Addr{Exp: a.Exp, Mantissa: a.SegNum()<<a.Exp | off}, true
+}
+
+// WithOffset returns the address pointing at the given offset of the same
+// segment, and whether the offset is within the exponent's bound.
+func (a Addr) WithOffset(off uint64) (Addr, bool) {
+	if off >= a.Bound() {
+		return Addr{}, false
+	}
+	return Addr{Exp: a.Exp, Mantissa: a.SegNum()<<a.Exp | off}, true
+}
+
+// String renders the address as segment+offset.
+func (a Addr) String() string {
+	return fmt.Sprintf("%v+%#x", a.Key(), a.Offset())
+}
+
+// Make assembles an address from a segment key and offset, reporting
+// whether the offset fits the key's exponent and the mantissa fits the
+// format.
+func (f Format) Make(key SegKey, off uint64) (Addr, error) {
+	if uint(key.Exp) > f.MaxExp() {
+		return Addr{}, fmt.Errorf("fpa: exponent %d exceeds format maximum %d", key.Exp, f.MaxExp())
+	}
+	a := Addr{Exp: key.Exp, Mantissa: key.Num<<key.Exp | off}
+	if key.Exp < 64 && off >= 1<<key.Exp {
+		return Addr{}, fmt.Errorf("fpa: offset %#x exceeds bound of exponent %d", off, key.Exp)
+	}
+	if f.ManBits < 64 && a.Mantissa >= 1<<f.ManBits {
+		return Addr{}, fmt.Errorf("fpa: mantissa %#x exceeds %d-bit format", a.Mantissa, f.ManBits)
+	}
+	return a, nil
+}
+
+// Encode packs the address into the format's bit layout: exponent in the
+// high bits, mantissa below. It returns an error if any field overflows.
+func (f Format) Encode(a Addr) (uint64, error) {
+	if uint(a.Exp) > f.MaxExp() {
+		return 0, fmt.Errorf("fpa: exponent %d exceeds format maximum %d", a.Exp, f.MaxExp())
+	}
+	if f.ManBits < 64 && a.Mantissa >= 1<<f.ManBits {
+		return 0, fmt.Errorf("fpa: mantissa %#x exceeds %d-bit format", a.Mantissa, f.ManBits)
+	}
+	return uint64(a.Exp)<<f.ManBits | a.Mantissa, nil
+}
+
+// Decode unpacks an encoded address.
+func (f Format) Decode(enc uint64) Addr {
+	man := enc
+	if f.ManBits < 64 {
+		man = enc & (1<<f.ManBits - 1)
+	}
+	return Addr{Exp: uint8(enc >> f.ManBits), Mantissa: man}
+}
+
+// Encode32 packs the address for a 32-bit pointer payload. The format must
+// fit in 32 bits.
+func (f Format) Encode32(a Addr) (uint32, error) {
+	if f.Bits() > 32 {
+		return 0, fmt.Errorf("fpa: format %+v does not fit 32 bits", f)
+	}
+	enc, err := f.Encode(a)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(enc), nil
+}
+
+// Decode32 unpacks a 32-bit pointer payload.
+func (f Format) Decode32(enc uint32) Addr { return f.Decode(uint64(enc)) }
+
+// FixedFormat models a conventional fixed-split segmented address (the
+// MULTICS comparison of §2.2): SegBits of segment number and OffBits of
+// offset.
+type FixedFormat struct {
+	SegBits uint
+	OffBits uint
+}
+
+// Multics is the 36-bit MULTICS virtual address format: 18-bit segment
+// number, 18-bit offset (256K segments of at most 256K words).
+var Multics = FixedFormat{SegBits: 18, OffBits: 18}
+
+// MaxSegments returns the number of segments the fixed format can name.
+func (f FixedFormat) MaxSegments() uint64 { return 1 << f.SegBits }
+
+// MaxSegSize returns the largest segment the fixed format can address.
+func (f FixedFormat) MaxSegSize() uint64 { return 1 << f.OffBits }
+
+// Fits reports whether an object population of count segments, each of the
+// given size, is nameable under the fixed format.
+func (f FixedFormat) Fits(count, size uint64) bool {
+	return count <= f.MaxSegments() && size <= f.MaxSegSize()
+}
+
+// Fits reports whether a floating format can name count segments of the
+// given size simultaneously: the size determines the minimum exponent, and
+// the integer-part width at that exponent bounds the count. Larger
+// exponents also remain available, so the capacity is the sum over all
+// exponents that can hold the size.
+func (f Format) Fits(count, size uint64) bool {
+	minExp := MinExpFor(size)
+	if minExp > f.MaxExp() || size > f.MaxSegSize() {
+		return false
+	}
+	var capacity uint64
+	for e := minExp; e <= f.MaxExp() && e <= 63; e++ {
+		capacity += f.SegmentsAt(e)
+		if capacity >= count {
+			return true
+		}
+	}
+	return capacity >= count
+}

@@ -1,0 +1,250 @@
+package fpa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperExample(t *testing.T) {
+	// §2.2: "the 16-bit floating point address 0x8345 has an exponent of
+	// 8. Thus the offset field is the byte 0x45 and the segment number is
+	// 0x83" — the segment name is exponent 8 with integer part 0x3.
+	a := Paper16.Decode(0x8345)
+	if a.Exp != 8 {
+		t.Fatalf("exponent = %d, want 8", a.Exp)
+	}
+	if got := a.Offset(); got != 0x45 {
+		t.Errorf("offset = %#x, want 0x45", got)
+	}
+	if got := a.SegNum(); got != 0x3 {
+		t.Errorf("segment integer part = %#x, want 0x3", got)
+	}
+	key := a.Key()
+	if key.Exp != 8 || key.Num != 3 {
+		t.Errorf("key = %+v, want {8, 3}", key)
+	}
+}
+
+func TestPaper36Claims(t *testing.T) {
+	// §2.2: a 36-bit address with 5-bit exponent and 31-bit mantissa
+	// "accommodates 8 billion segments and supports segments of up to 2
+	// billion words long".
+	if got := Paper36.MaxSegSize(); got != 1<<31 {
+		t.Errorf("max segment size = %d, want 2^31", got)
+	}
+	names := Paper36.TotalNames()
+	if names < 4_000_000_000 {
+		t.Errorf("total names = %d, want billions", names)
+	}
+	// Sum over exponents of 2^(31-e) for e=0..31 is 2^32 - 1, i.e. the
+	// "8 billion" of the paper within a factor reflecting its rounding.
+	if names != 1<<32-1 {
+		t.Errorf("total names = %d, want 2^32-1", names)
+	}
+}
+
+func TestMulticsLimits(t *testing.T) {
+	if Multics.MaxSegments() != 1<<18 || Multics.MaxSegSize() != 1<<18 {
+		t.Fatalf("MULTICS format = %d segments × %d words", Multics.MaxSegments(), Multics.MaxSegSize())
+	}
+	// A single billion-word object: floating fits, MULTICS does not.
+	if Multics.Fits(1, 1<<30) {
+		t.Error("MULTICS claims to fit a 2^30-word segment")
+	}
+	if !Paper36.Fits(1, 1<<30) {
+		t.Error("floating 36-bit format cannot fit a 2^30-word segment")
+	}
+	// A billion one-word objects: floating fits, MULTICS does not.
+	if Multics.Fits(1<<30, 1) {
+		t.Error("MULTICS claims to fit 2^30 segments")
+	}
+	if !Paper36.Fits(1<<30, 1) {
+		t.Error("floating 36-bit format cannot fit 2^30 tiny segments")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, f := range []Format{COM32, Paper36, Paper16} {
+		if err := f.Validate(); err != nil {
+			t.Errorf("%+v invalid: %v", f, err)
+		}
+	}
+	bad := []Format{
+		{ExpBits: 0, ManBits: 12},
+		{ExpBits: 4, ManBits: 0},
+		{ExpBits: 33, ManBits: 32},
+		{ExpBits: 3, ManBits: 12}, // 3 bits cannot express exponent 12
+	}
+	for _, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("%+v validated but should not", f)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := COM32
+	cases := []Addr{
+		{Exp: 0, Mantissa: 0},
+		{Exp: 0, Mantissa: 12345},
+		{Exp: 5, Mantissa: 0x7ffffff},
+		{Exp: 27, Mantissa: 42},
+	}
+	for _, a := range cases {
+		enc, err := f.Encode(a)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", a, err)
+		}
+		if got := f.Decode(enc); got != a {
+			t.Errorf("Decode(Encode(%+v)) = %+v", a, got)
+		}
+	}
+}
+
+func TestEncodeDecode32Property(t *testing.T) {
+	f := COM32
+	prop := func(exp uint8, man uint32) bool {
+		a := Addr{Exp: exp % 28, Mantissa: uint64(man) & (1<<27 - 1)}
+		enc, err := f.Encode32(a)
+		if err != nil {
+			return false
+		}
+		return f.Decode32(enc) == a
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsOverflow(t *testing.T) {
+	if _, err := COM32.Encode(Addr{Exp: 40, Mantissa: 0}); err == nil {
+		t.Error("oversized exponent encoded")
+	}
+	if _, err := COM32.Encode(Addr{Exp: 1, Mantissa: 1 << 27}); err == nil {
+		t.Error("oversized mantissa encoded")
+	}
+	if _, err := Paper36.Encode32(Addr{}); err == nil {
+		t.Error("36-bit format fit in 32 bits")
+	}
+}
+
+func TestOffsetSegmentDecomposition(t *testing.T) {
+	prop := func(exp8 uint8, man uint32) bool {
+		exp := exp8 % 28
+		a := Addr{Exp: exp, Mantissa: uint64(man) & (1<<27 - 1)}
+		// Recomposing the integer and fractional parts must give back
+		// the mantissa.
+		return a.SegNum()<<a.Exp|a.Offset() == a.Mantissa && a.Offset() < a.Bound()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddWithinBounds(t *testing.T) {
+	a, err := COM32.Make(SegKey{Exp: 8, Num: 3}, 0x45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := a.Add(0x10)
+	if !ok {
+		t.Fatal("in-bounds Add trapped")
+	}
+	if b.Offset() != 0x55 || b.SegNum() != 3 {
+		t.Errorf("Add result %+v", b)
+	}
+	// 0x45 + 0xBB = 0x100 = bound of exponent 8: must trap.
+	if _, ok := a.Add(0xbb); ok {
+		t.Error("Add across the exponent bound did not trap")
+	}
+}
+
+func TestWithOffset(t *testing.T) {
+	a, _ := COM32.Make(SegKey{Exp: 4, Num: 9}, 0)
+	b, ok := a.WithOffset(15)
+	if !ok || b.Offset() != 15 || b.SegNum() != 9 {
+		t.Fatalf("WithOffset(15) = %+v, %v", b, ok)
+	}
+	if _, ok := a.WithOffset(16); ok {
+		t.Error("WithOffset at bound succeeded")
+	}
+}
+
+func TestMakeRejectsBadOffsets(t *testing.T) {
+	if _, err := COM32.Make(SegKey{Exp: 4, Num: 1}, 16); err == nil {
+		t.Error("offset beyond exponent bound accepted")
+	}
+	if _, err := COM32.Make(SegKey{Exp: 40, Num: 0}, 0); err == nil {
+		t.Error("exponent beyond format accepted")
+	}
+	if _, err := COM32.Make(SegKey{Exp: 27, Num: 2}, 0); err == nil {
+		t.Error("mantissa overflow accepted")
+	}
+}
+
+func TestMinExpFor(t *testing.T) {
+	cases := []struct {
+		size uint64
+		want uint
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{32, 5}, {33, 6}, {1 << 20, 20}, {1<<20 + 1, 21},
+	}
+	for _, tc := range cases {
+		if got := MinExpFor(tc.size); got != tc.want {
+			t.Errorf("MinExpFor(%d) = %d, want %d", tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestMinExpForProperty(t *testing.T) {
+	prop := func(size uint32) bool {
+		s := uint64(size)
+		if s == 0 {
+			s = 1
+		}
+		e := MinExpFor(s)
+		fits := s <= 1<<e
+		tight := e == 0 || s > 1<<(e-1)
+		return fits && tight
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentsAt(t *testing.T) {
+	if got := Paper16.SegmentsAt(0); got != 1<<12 {
+		t.Errorf("SegmentsAt(0) = %d", got)
+	}
+	if got := Paper16.SegmentsAt(12); got != 1 {
+		t.Errorf("SegmentsAt(12) = %d", got)
+	}
+	if got := Paper16.SegmentsAt(15); got != 1 {
+		t.Errorf("SegmentsAt(15) = %d", got)
+	}
+}
+
+func TestSegKeyPackUniqueness(t *testing.T) {
+	seen := map[uint64]SegKey{}
+	for exp := uint8(0); exp < 28; exp++ {
+		for num := uint64(0); num < 64; num++ {
+			k := SegKey{Exp: exp, Num: num}
+			p := k.Pack()
+			if prev, dup := seen[p]; dup {
+				t.Fatalf("Pack collision: %v and %v both pack to %#x", prev, k, p)
+			}
+			seen[p] = k
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	a := Paper16.Decode(0x8345)
+	if got := a.Key().String(); got != "seg[8:0x3]" {
+		t.Errorf("key string = %q", got)
+	}
+	if got := a.String(); got != "seg[8:0x3]+0x45" {
+		t.Errorf("addr string = %q", got)
+	}
+}

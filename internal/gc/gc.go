@@ -1,0 +1,114 @@
+// Package gc implements garbage collection over absolute space — the
+// level the paper assigns it to ("All object management, for example
+// garbage collection, is performed in absolute space", §3.1) — plus the
+// context recycling policy of §2.3: LIFO contexts are freed eagerly on
+// return by the machine itself, and the collector reclaims only the
+// non-LIFO residue, which is what keeps the paper's one-third-of-runtime
+// collection cost off the common path.
+package gc
+
+import (
+	"repro/internal/memory"
+	"repro/internal/word"
+)
+
+// Heap is what the collector needs from a machine. core.Machine implements
+// it; tests may substitute smaller fixtures.
+type Heap interface {
+	// AbsSpace is the absolute space being collected.
+	AbsSpace() *memory.Space
+	// Roots returns the absolute base addresses of all root objects:
+	// active contexts, class objects, and anything the host holds.
+	Roots() []memory.AbsAddr
+	// ResolvePointer maps a pointer word to the base of the segment it
+	// names, following growth forwarding. The bool reports success;
+	// dangling pointers resolve to false and are ignored by marking.
+	ResolvePointer(w word.Word) (memory.AbsAddr, bool)
+	// Writeback flushes cached context blocks so segment data is
+	// coherent before the mark phase scans it.
+	Writeback()
+	// RecycleContext returns a dead context segment to the free list.
+	RecycleContext(seg *memory.Segment)
+	// ReleaseObject frees a dead object segment and unbinds its names.
+	ReleaseObject(seg *memory.Segment)
+	// IsContextFree reports whether a context segment is already on the
+	// free list (free contexts are dead by definition but must not be
+	// recycled twice).
+	IsContextFree(seg *memory.Segment) bool
+}
+
+// Stats reports one collection.
+type Stats struct {
+	Marked           int
+	SweptObjects     int
+	RecycledContexts int
+	Live             int
+}
+
+// Collect runs a full mark–sweep collection.
+func Collect(h Heap) Stats {
+	h.Writeback()
+	space := h.AbsSpace()
+
+	// Clear marks.
+	space.Live(func(seg *memory.Segment) { seg.Mark = false })
+
+	// Mark from roots.
+	var stack []memory.AbsAddr
+	for _, r := range h.Roots() {
+		stack = append(stack, r)
+	}
+	marked := 0
+	for len(stack) > 0 {
+		base := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		seg, ok := space.ByBase(base)
+		if !ok || seg.Mark {
+			continue
+		}
+		seg.Mark = true
+		marked++
+		for _, w := range seg.Data {
+			if w.Tag != word.TagPointer {
+				continue
+			}
+			if tgt, ok := h.ResolvePointer(w); ok {
+				stack = append(stack, tgt)
+			}
+		}
+	}
+
+	// Sweep: unmarked objects are freed; unmarked contexts not already
+	// on the free list are recycled to it (the non-LIFO residue).
+	var st Stats
+	st.Marked = marked
+	var deadObjs, deadCtxs []*memory.Segment
+	space.Live(func(seg *memory.Segment) {
+		if seg.Mark {
+			st.Live++
+			return
+		}
+		switch seg.Kind {
+		case memory.KindObject:
+			deadObjs = append(deadObjs, seg)
+		case memory.KindContext:
+			if !h.IsContextFree(seg) {
+				deadCtxs = append(deadCtxs, seg)
+			} else {
+				st.Live++ // pooled, not garbage
+			}
+		default:
+			// Methods and tables are immortal.
+			st.Live++
+		}
+	})
+	for _, seg := range deadObjs {
+		h.ReleaseObject(seg)
+		st.SweptObjects++
+	}
+	for _, seg := range deadCtxs {
+		h.RecycleContext(seg)
+		st.RecycledContexts++
+	}
+	return st
+}

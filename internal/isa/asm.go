@@ -1,0 +1,303 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/word"
+)
+
+// Program is the output of the assembler: encoded instructions plus the
+// constant table they index.
+type Program struct {
+	Code     []uint32
+	Literals []word.Word
+}
+
+// Instrs decodes the whole program for inspection.
+func (p *Program) Instrs() []Instr {
+	out := make([]Instr, len(p.Code))
+	for i, enc := range p.Code {
+		out[i] = Decode(enc)
+	}
+	return out
+}
+
+// Assembler translates the textual form used by tests, examples and
+// cmd/comasm into encoded instructions. The syntax, one instruction per
+// line:
+//
+//	; comment                     — ignored
+//	label:                        — defines a jump target
+//	add  c4, c4, =1               — mnemonic + up to three operands
+//
+// Operands: cN / nN address word N of the current / next context; #N
+// indexes the constant table directly; =5, =2.5, =true, =false, =nil pool a
+// literal and reference it; a bare identifier in a jump's displacement
+// position references a label.
+type Assembler struct {
+	// Resolve maps non-builtin mnemonics to dynamic opcodes. When nil,
+	// unknown mnemonics are errors.
+	Resolve func(name string) (Opcode, bool)
+
+	lits    []word.Word
+	litIdx  map[word.Word]int
+	labels  map[string]int
+	fixups  []fixup
+	instrs  []Instr
+	lineNum int
+}
+
+type fixup struct {
+	instr int
+	label string
+	line  int
+	back  bool // rjmp measures backward displacement
+}
+
+// NewAssembler returns an assembler with an empty literal pool.
+func NewAssembler() *Assembler {
+	return &Assembler{
+		litIdx: make(map[word.Word]int),
+		labels: make(map[string]int),
+	}
+}
+
+// Pool interns a literal word and returns its constant-table operand.
+func (a *Assembler) Pool(w word.Word) Operand {
+	if i, ok := a.litIdx[w]; ok {
+		return Const(i)
+	}
+	i := len(a.lits)
+	a.lits = append(a.lits, w)
+	a.litIdx[w] = i
+	return Const(i)
+}
+
+// Assemble parses the complete source text and returns the program.
+func (a *Assembler) Assemble(src string) (*Program, error) {
+	for _, line := range strings.Split(src, "\n") {
+		a.lineNum++
+		if err := a.line(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", a.lineNum, err)
+		}
+	}
+	if err := a.applyFixups(); err != nil {
+		return nil, err
+	}
+	p := &Program{Literals: a.lits}
+	for _, in := range a.instrs {
+		p.Code = append(p.Code, in.Encode())
+	}
+	return p, nil
+}
+
+func (a *Assembler) line(line string) error {
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(strings.ReplaceAll(line, "\t", " "))
+	if line == "" {
+		return nil
+	}
+	for {
+		i := strings.IndexByte(line, ':')
+		if i < 0 || strings.ContainsAny(line[:i], " \t,") {
+			break
+		}
+		name := line[:i]
+		if _, dup := a.labels[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		a.labels[name] = len(a.instrs)
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	fields := strings.SplitN(line, " ", 2)
+	mnemonic := fields[0]
+	op, ok := FixedByName(mnemonic)
+	if !ok && a.Resolve != nil {
+		op, ok = a.Resolve(mnemonic)
+	}
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	var operands []Operand
+	if len(fields) == 2 {
+		for i, tok := range strings.Split(fields[1], ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				return fmt.Errorf("empty operand")
+			}
+			o, label, err := a.operand(tok)
+			if err != nil {
+				return err
+			}
+			if label != "" {
+				if op != FJmp && op != RJmp {
+					return fmt.Errorf("label operand %q outside jump", label)
+				}
+				a.fixups = append(a.fixups, fixup{
+					instr: len(a.instrs), label: label,
+					line: a.lineNum, back: op == RJmp,
+				})
+				// Displacement is patched later; index recorded as
+				// operand position via i: labels are only legal as
+				// the final (displacement) operand.
+				if i != 1 && i != 0 {
+					return fmt.Errorf("label must be the displacement operand")
+				}
+			}
+			operands = append(operands, o)
+		}
+	}
+	if len(operands) > 3 {
+		return fmt.Errorf("more than three operands")
+	}
+	a.instrs = append(a.instrs, NewInstr(op, operands...))
+	return nil
+}
+
+// operand parses one operand token. A non-empty label return means the
+// operand is a forward reference patched by applyFixups; the placeholder
+// operand returned is ignored.
+func (a *Assembler) operand(tok string) (Operand, string, error) {
+	switch {
+	case tok == "-":
+		return None, "", nil
+	case strings.HasPrefix(tok, "c") && isDigits(tok[1:]):
+		n, _ := strconv.Atoi(tok[1:])
+		if n >= 1<<CtxWordBits {
+			return None, "", fmt.Errorf("context offset %d out of range", n)
+		}
+		return Cur(n), "", nil
+	case strings.HasPrefix(tok, "n") && isDigits(tok[1:]):
+		n, _ := strconv.Atoi(tok[1:])
+		if n >= 1<<CtxWordBits {
+			return None, "", fmt.Errorf("context offset %d out of range", n)
+		}
+		return Next(n), "", nil
+	case strings.HasPrefix(tok, "#"):
+		n, err := strconv.Atoi(tok[1:])
+		if err != nil || n < 0 || n > 126 {
+			return None, "", fmt.Errorf("bad constant index %q", tok)
+		}
+		return Const(n), "", nil
+	case strings.HasPrefix(tok, "="):
+		w, err := parseLiteral(tok[1:])
+		if err != nil {
+			return None, "", err
+		}
+		return a.Pool(w), "", nil
+	case isIdent(tok):
+		return None, tok, nil
+	}
+	return None, "", fmt.Errorf("bad operand %q", tok)
+}
+
+func (a *Assembler) applyFixups() error {
+	for _, f := range a.fixups {
+		target, ok := a.labels[f.label]
+		if !ok {
+			return fmt.Errorf("line %d: undefined label %q", f.line, f.label)
+		}
+		// Displacements are relative to the incremented IP (instr+1).
+		disp := target - (f.instr + 1)
+		if f.back {
+			disp = -disp
+		}
+		if disp < 0 {
+			return fmt.Errorf("line %d: label %q is in the wrong direction for %s",
+				f.line, f.label, map[bool]string{true: "rjmp", false: "fjmp"}[f.back])
+		}
+		in := a.instrs[f.instr]
+		o := a.Pool(word.FromInt(int32(disp)))
+		// Patch the last present operand slot (the displacement).
+		switch {
+		case in.B.IsNone():
+			in.B = o
+		default:
+			in.C = o
+		}
+		// The placeholder None emitted for the label is replaced: find
+		// it. Labels are the final operand, so the first None after a
+		// present operand is it.
+		a.instrs[f.instr] = in
+	}
+	return nil
+}
+
+func parseLiteral(s string) (word.Word, error) {
+	switch s {
+	case "true":
+		return word.True, nil
+	case "false":
+		return word.False, nil
+	case "nil":
+		return word.Nil, nil
+	}
+	if strings.ContainsAny(s, ".eE") {
+		f, err := strconv.ParseFloat(s, 32)
+		if err != nil {
+			return word.Word{}, fmt.Errorf("bad float literal %q", s)
+		}
+		return word.FromFloat(float32(f)), nil
+	}
+	n, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return word.Word{}, fmt.Errorf("bad integer literal %q", s)
+	}
+	return word.FromInt(int32(n)), nil
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || i > 0 && r >= '0' && r <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Disassemble renders encoded instructions one per line. The optional
+// names map supplies mnemonics for dynamic opcodes.
+func Disassemble(code []uint32, names map[Opcode]string) string {
+	var b strings.Builder
+	for pc, enc := range code {
+		in := Decode(enc)
+		mn := in.Op.Name()
+		if names != nil {
+			if n, ok := names[in.Op]; ok {
+				mn = n
+			}
+		}
+		fmt.Fprintf(&b, "%4d  %s", pc, mn)
+		for _, o := range [3]Operand{in.A, in.B, in.C} {
+			if o.IsNone() {
+				break
+			}
+			fmt.Fprintf(&b, " %s", o)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,228 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/word"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	src := `
+		; increment a counter
+		add  c4, c4, =1
+		ret  c4
+	`
+	p, err := NewAssembler().Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := p.Instrs()
+	if len(ins) != 2 {
+		t.Fatalf("instr count = %d", len(ins))
+	}
+	if ins[0].Op != Add || ins[0].A != Cur(4) || ins[0].B != Cur(4) || !ins[0].C.IsConst() {
+		t.Fatalf("add = %+v", ins[0])
+	}
+	if len(p.Literals) != 1 || p.Literals[0] != word.FromInt(1) {
+		t.Fatalf("literals = %v", p.Literals)
+	}
+	if ins[1].Op != Ret || ins[1].A != Cur(4) {
+		t.Fatalf("ret = %+v", ins[1])
+	}
+}
+
+func TestAssembleLiteralPoolDedup(t *testing.T) {
+	src := "add c4, c4, =7\nadd c5, c5, =7\nadd c6, c6, =8"
+	p, err := NewAssembler().Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Literals) != 2 {
+		t.Fatalf("literal pool = %v", p.Literals)
+	}
+	ins := p.Instrs()
+	if ins[0].C != ins[1].C {
+		t.Error("equal literals got different indices")
+	}
+	if ins[0].C == ins[2].C {
+		t.Error("distinct literals share an index")
+	}
+}
+
+func TestAssembleLiteralKinds(t *testing.T) {
+	src := "move c4, =2.5\nmove c5, =true\nmove c6, =false\nmove c7, =nil\nmove c8, =-3"
+	p, err := NewAssembler().Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []word.Word{word.FromFloat(2.5), word.True, word.False, word.Nil, word.FromInt(-3)}
+	if len(p.Literals) != len(want) {
+		t.Fatalf("literals = %v", p.Literals)
+	}
+	for i, w := range want {
+		if p.Literals[i] != w {
+			t.Errorf("literal %d = %v, want %v", i, p.Literals[i], w)
+		}
+	}
+}
+
+func TestAssembleForwardJump(t *testing.T) {
+	src := `
+		lt    c5, c4, =10
+		fjmp  c5, done
+		add   c4, c4, =1
+		done: ret c4
+	`
+	p, err := NewAssembler().Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := p.Instrs()
+	if ins[1].Op != FJmp {
+		t.Fatalf("fjmp = %+v", ins[1])
+	}
+	disp := p.Literals[ins[1].B.ConstIndex()]
+	// fjmp at pc=1; target pc=3; displacement relative to pc+1 = 1.
+	if disp != word.FromInt(1) {
+		t.Fatalf("displacement = %v, want 1", disp)
+	}
+}
+
+func TestAssembleBackwardJump(t *testing.T) {
+	src := `
+		top: add c4, c4, =1
+		lt   c5, c4, =10
+		rjmp c5, top
+	`
+	p, err := NewAssembler().Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := p.Instrs()
+	disp := p.Literals[ins[2].B.ConstIndex()]
+	// rjmp at pc=2; target 0; backward displacement = (2+1) - 0 = 3.
+	if disp != word.FromInt(3) {
+		t.Fatalf("displacement = %v, want 3", disp)
+	}
+}
+
+func TestAssembleJumpDirectionErrors(t *testing.T) {
+	if _, err := NewAssembler().Assemble("fjmp c5, top\ntop: ret c4"); err != nil {
+		t.Fatalf("legal forward jump rejected: %v", err)
+	}
+	if _, err := NewAssembler().Assemble("top: ret c4\nfjmp c5, top"); err == nil {
+		t.Fatal("fjmp backward accepted")
+	}
+	if _, err := NewAssembler().Assemble("rjmp c5, bottom\nnop\nbottom: ret c4"); err == nil {
+		t.Fatal("rjmp forward accepted")
+	}
+	// A reverse jump to the immediately following instruction is a legal
+	// zero displacement.
+	if _, err := NewAssembler().Assemble("rjmp c5, here\nhere: ret c4"); err != nil {
+		t.Fatalf("zero-displacement rjmp rejected: %v", err)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"frobnicate c1",           // unknown mnemonic
+		"add c1, c2, c3, c4",      // too many operands
+		"add c99, c1, c2",         // context offset out of range
+		"add c1, c1, #127",        // reserved constant index
+		"add c1, c1, =1.5.5",      // bad float
+		"fjmp c5, missing",        // undefined label
+		"x: ret c1\nx: ret c1",    // duplicate label
+		"move c1, elsewhere",      // label outside jump
+		"add c1, , c2",            // empty operand
+		"add c1, c1, =99999999999", // integer overflow
+	}
+	for _, src := range cases {
+		if _, err := NewAssembler().Assemble(src); err == nil {
+			t.Errorf("assembled %q without error", src)
+		}
+	}
+}
+
+func TestAssembleLabelOnOwnLine(t *testing.T) {
+	src := "start:\n  ret c2"
+	p, err := NewAssembler().Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 1 {
+		t.Fatalf("code length = %d", len(p.Code))
+	}
+}
+
+func TestAssembleDynamicResolver(t *testing.T) {
+	a := NewAssembler()
+	a.Resolve = func(name string) (Opcode, bool) {
+		if name == "distance" {
+			return Opcode(70), true
+		}
+		return 0, false
+	}
+	p, err := a.Assemble("distance c4, c3, c5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs()[0].Op != Opcode(70) {
+		t.Fatalf("dynamic opcode = %v", p.Instrs()[0].Op)
+	}
+}
+
+func TestAssembleNoneOperand(t *testing.T) {
+	p, err := NewAssembler().Assemble("ret -")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Instrs()[0].A.IsNone() {
+		t.Fatal("dash operand not None")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p, err := NewAssembler().Assemble("add c4, c4, =1\nret c4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Disassemble(p.Code, nil)
+	if !strings.Contains(out, "add c4 c4 #0") || !strings.Contains(out, "ret c4") {
+		t.Fatalf("disassembly:\n%s", out)
+	}
+	named := Disassemble([]uint32{NewInstr(Opcode(70), Cur(1)).Encode()}, map[Opcode]string{70: "distance"})
+	if !strings.Contains(named, "distance c1") {
+		t.Fatalf("named disassembly:\n%s", named)
+	}
+}
+
+func TestAssembleRoundTripThroughDisassembler(t *testing.T) {
+	src := "add c4, c5, =3\nlt c6, c4, =10\nret c6"
+	p, err := NewAssembler().Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := Disassemble(p.Code, nil)
+	// Convert the disassembly back to assembler syntax and re-assemble:
+	// both programs must encode identically.
+	var re strings.Builder
+	for _, line := range strings.Split(strings.TrimSpace(dis), "\n") {
+		fields := strings.Fields(line)
+		re.WriteString(fields[1])
+		for i, f := range fields[2:] {
+			if i > 0 {
+				re.WriteString(",")
+			}
+			re.WriteString(" " + f)
+		}
+		re.WriteByte('\n')
+	}
+	p2, err := NewAssembler().Assemble(strings.ReplaceAll(re.String(), "#0", "=3"))
+	if err != nil {
+		t.Fatalf("reassembly: %v\n%s", err, re.String())
+	}
+	if len(p2.Code) != len(p.Code) {
+		t.Fatalf("reassembled %d instrs, want %d", len(p2.Code), len(p.Code))
+	}
+}

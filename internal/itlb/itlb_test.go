@@ -1,0 +1,159 @@
+package itlb
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/object"
+	"repro/internal/word"
+)
+
+func TestKeyPackDistinct(t *testing.T) {
+	keys := []Key{
+		{Op: isa.Add, B: word.ClassSmallInt, C: word.ClassSmallInt},
+		{Op: isa.Add, B: word.ClassSmallInt, C: word.ClassFloat},
+		{Op: isa.Add, B: word.ClassFloat, C: word.ClassSmallInt},
+		{Op: isa.Sub, B: word.ClassSmallInt, C: word.ClassSmallInt},
+		{Op: isa.Add, B: 100, C: word.ClassNone},
+	}
+	seen := map[uint64]Key{}
+	for _, k := range keys {
+		p := k.Pack()
+		if prev, dup := seen[p]; dup {
+			t.Fatalf("%v and %v collide", prev, k)
+		}
+		seen[p] = k
+	}
+}
+
+func TestTranslateMissThenHit(t *testing.T) {
+	tl := New(Config{Entries: 64, Assoc: 2})
+	key := Key{Op: isa.Add, B: word.ClassSmallInt, C: word.ClassSmallInt}
+	calls := 0
+	miss := func() (Entry, int, error) {
+		calls++
+		return Entry{Primitive: true, PrimID: 1}, 12, nil
+	}
+	e, hit, err := tl.Translate(key, miss)
+	if err != nil || hit {
+		t.Fatalf("first translate: hit=%v err=%v", hit, err)
+	}
+	if !e.Primitive {
+		t.Fatal("entry lost primitive bit")
+	}
+	e, hit, err = tl.Translate(key, miss)
+	if err != nil || !hit {
+		t.Fatalf("second translate: hit=%v err=%v", hit, err)
+	}
+	if calls != 1 {
+		t.Fatalf("miss path ran %d times", calls)
+	}
+	if tl.Stats.LookupCycles != 12 {
+		t.Fatalf("lookup cycles = %d", tl.Stats.LookupCycles)
+	}
+	if tl.HitRatio() != 0.5 {
+		t.Fatalf("hit ratio = %v", tl.HitRatio())
+	}
+	_ = e
+}
+
+func TestTranslateFailureNotCached(t *testing.T) {
+	tl := New(Config{Entries: 8, Assoc: 1})
+	key := Key{Op: isa.Opcode(99), B: 100}
+	fail := func() (Entry, int, error) { return Entry{}, 5, errors.New("doesNotUnderstand") }
+	if _, _, err := tl.Translate(key, fail); err == nil {
+		t.Fatal("failure swallowed")
+	}
+	if tl.Stats.Failures != 1 {
+		t.Fatalf("failures = %d", tl.Stats.Failures)
+	}
+	// The failed key must not now hit.
+	called := false
+	tl.Translate(key, func() (Entry, int, error) {
+		called = true
+		return Entry{Primitive: true}, 0, nil
+	})
+	if !called {
+		t.Fatal("failed lookup was cached")
+	}
+}
+
+func TestPreloadHits(t *testing.T) {
+	tl := New(Config{})
+	key := Key{Op: isa.Mul, B: word.ClassFloat, C: word.ClassFloat}
+	tl.Preload(key, Entry{Primitive: true, PrimID: 3})
+	e, hit, err := tl.Translate(key, func() (Entry, int, error) {
+		t.Fatal("miss path taken after preload")
+		return Entry{}, 0, nil
+	})
+	if err != nil || !hit || e.PrimID != 3 {
+		t.Fatalf("preload lookup = %+v hit=%v err=%v", e, hit, err)
+	}
+}
+
+func TestDefaultConfigIsPaper(t *testing.T) {
+	tl := New(Config{})
+	if got := tl.c.Entries(); got != 512 {
+		t.Fatalf("default entries = %d, want 512", got)
+	}
+	if got := tl.c.Assoc(); got != 2 {
+		t.Fatalf("default associativity = %d, want 2", got)
+	}
+}
+
+func TestInvalidateMethod(t *testing.T) {
+	tl := New(Config{Entries: 64, Assoc: 2})
+	m := &object.Method{Selector: 1}
+	other := &object.Method{Selector: 2}
+	tl.Preload(Key{Op: 70, B: 20}, Entry{Method: m})
+	tl.Preload(Key{Op: 70, B: 21}, Entry{Method: m})
+	tl.Preload(Key{Op: 71, B: 20}, Entry{Method: other})
+	if n := tl.InvalidateMethod(m); n != 2 {
+		t.Fatalf("invalidated %d entries, want 2", n)
+	}
+	if _, hit, _ := tl.Translate(Key{Op: 71, B: 20}, nil); !hit {
+		t.Fatal("unrelated entry lost")
+	}
+	missed := false
+	tl.Translate(Key{Op: 70, B: 20}, func() (Entry, int, error) {
+		missed = true
+		return Entry{Primitive: true}, 0, nil
+	})
+	if !missed {
+		t.Fatal("invalidated entry still hits")
+	}
+}
+
+func TestFlushAndReset(t *testing.T) {
+	tl := New(Config{Entries: 16, Assoc: 2})
+	tl.Preload(Key{Op: isa.Add}, Entry{Primitive: true})
+	tl.Flush()
+	hit := true
+	tl.Translate(Key{Op: isa.Add}, func() (Entry, int, error) {
+		hit = false
+		return Entry{Primitive: true}, 0, nil
+	})
+	if hit {
+		t.Fatal("entry survived flush")
+	}
+	tl.ResetStats()
+	if tl.CacheStats().Accesses() != 0 || tl.Stats.LookupCycles != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	tl := New(Config{Entries: 8, Assoc: 2})
+	for i := 0; i < 100; i++ {
+		k := Key{Op: isa.Opcode(64 + i%64), B: word.Class(i)}
+		tl.Translate(k, func() (Entry, int, error) { return Entry{Primitive: true}, 1, nil })
+	}
+	st := tl.CacheStats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite overflow")
+	}
+	if st.Accesses() != 100 {
+		t.Fatalf("accesses = %d", st.Accesses())
+	}
+}

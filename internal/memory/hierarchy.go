@@ -1,0 +1,115 @@
+package memory
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// Level describes one storage device of physical space. Per §3.1, "each
+// storage device is treated as a cache in which frequently accessed
+// portions of absolute space may be stored", mapped by hashing as in a
+// conventional set associative cache, so the page table size is a function
+// of the device size and places no limit on absolute space.
+type Level struct {
+	Name       string
+	Entries    int // number of blocks
+	Assoc      int
+	BlockWords int // words per block; must be a power of two
+	Penalty    int // cycles charged when this level misses and the next is consulted
+}
+
+// HierarchyStats aggregates access counts per level.
+type HierarchyStats struct {
+	Accesses uint64
+	Cycles   uint64
+}
+
+// Hierarchy is the absolute→physical translation machinery: an ordered
+// list of devices, fastest first, ending in a backing store that always
+// hits. Data itself lives in the Space; the hierarchy accounts residency
+// and cycle costs only, exactly the role physical space plays in the paper.
+type Hierarchy struct {
+	levels []*hlevel
+	Stats  HierarchyStats
+}
+
+type hlevel struct {
+	Level
+	shift uint
+	c     *cache.Cache[struct{}]
+}
+
+// NewHierarchy builds a hierarchy from the given levels. An empty level
+// list yields a flat memory with zero-cost accesses.
+func NewHierarchy(levels ...Level) *Hierarchy {
+	h := &Hierarchy{}
+	for _, lv := range levels {
+		if lv.BlockWords <= 0 || lv.BlockWords&(lv.BlockWords-1) != 0 {
+			panic(fmt.Sprintf("memory: block size %d not a power of two", lv.BlockWords))
+		}
+		shift := uint(0)
+		for 1<<shift < lv.BlockWords {
+			shift++
+		}
+		h.levels = append(h.levels, &hlevel{
+			Level: lv,
+			shift: shift,
+			c:     cache.New[struct{}](cache.Config{Entries: lv.Entries, Assoc: lv.Assoc, HashSets: true}),
+		})
+	}
+	return h
+}
+
+// DefaultHierarchy models the COM block diagram: a fast primary store
+// backed by main memory.
+func DefaultHierarchy() *Hierarchy {
+	return NewHierarchy(
+		Level{Name: "primary", Entries: 1024, Assoc: 2, BlockWords: 4, Penalty: 4},
+		Level{Name: "main", Entries: 65536, Assoc: 4, BlockWords: 16, Penalty: 40},
+	)
+}
+
+// Access charges one reference to the absolute address: each level is
+// offered the address in turn, and every miss adds that level's penalty
+// before the next level is consulted. The returned value is the total
+// cycles beyond the base (hit-in-first-level) cost.
+func (h *Hierarchy) Access(a AbsAddr) int {
+	h.Stats.Accesses++
+	cycles := 0
+	for _, lv := range h.levels {
+		key := uint64(a) >> lv.shift
+		if lv.c.Touch(key) {
+			break
+		}
+		cycles += lv.Penalty
+	}
+	h.Stats.Cycles += uint64(cycles)
+	return cycles
+}
+
+// LevelStats returns the per-level cache statistics, fastest first.
+func (h *Hierarchy) LevelStats() []cache.Stats {
+	out := make([]cache.Stats, len(h.levels))
+	for i, lv := range h.levels {
+		out[i] = lv.c.Stats
+	}
+	return out
+}
+
+// LevelNames returns the configured level names, fastest first.
+func (h *Hierarchy) LevelNames() []string {
+	out := make([]string, len(h.levels))
+	for i, lv := range h.levels {
+		out[i] = lv.Name
+	}
+	return out
+}
+
+// ResetStats clears all counters, e.g. after warmup.
+func (h *Hierarchy) ResetStats() {
+	h.Stats = HierarchyStats{}
+	for _, lv := range h.levels {
+		lv.c.ResetStats()
+	}
+}

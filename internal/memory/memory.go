@@ -1,0 +1,488 @@
+// Package memory implements the COM's three address spaces (§3.1):
+//
+//   - Virtual space — per-team floating point names with capability rights,
+//     translated through segment descriptor tables (and cached by the ATLB).
+//   - Absolute space — the single global name space where every object has a
+//     unique address and where garbage collection operates.
+//   - Physical space — a hierarchy of storage devices, each treated as a
+//     cache of frequently accessed portions of absolute space.
+//
+// The translation from virtual to absolute resolves naming: the segment
+// field and exponent of the virtual address index the team's descriptor
+// table, the offset is bounds-checked against the descriptor length, and —
+// because segments are aligned on multiples of their size — the absolute
+// address is formed by OR-ing base and offset, no add required.
+package memory
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/fpa"
+	"repro/internal/word"
+)
+
+// AbsAddr is an address in absolute space.
+type AbsAddr uint64
+
+// Kind labels what a segment holds, for the allocation statistics of §2.3
+// (85% of allocations are contexts; 91% of references are to contexts).
+type Kind uint8
+
+const (
+	KindObject Kind = iota
+	KindContext
+	KindMethod
+	KindTable
+	NumKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindObject:
+		return "object"
+	case KindContext:
+		return "context"
+	case KindMethod:
+		return "method"
+	case KindTable:
+		return "table"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Segment is an allocated region of absolute space holding one object.
+type Segment struct {
+	Base  AbsAddr
+	Data  []word.Word
+	Class word.Class
+	Kind  Kind
+
+	// Mark is the garbage collector's mark bit.
+	Mark bool
+	// Freed marks segments returned to the allocator; accesses to them
+	// are dangling-reference errors.
+	Freed bool
+}
+
+// Size returns the segment length in words.
+func (s *Segment) Size() uint64 { return uint64(len(s.Data)) }
+
+// End returns the first absolute address beyond the segment.
+func (s *Segment) End() AbsAddr { return s.Base + AbsAddr(len(s.Data)) }
+
+// Contains reports whether the absolute address falls inside the segment.
+func (s *Segment) Contains(a AbsAddr) bool { return a >= s.Base && a < s.End() }
+
+// AllocStats counts allocator activity by segment kind.
+type AllocStats struct {
+	Allocs [NumKinds]uint64
+	Frees  [NumKinds]uint64
+	Words  [NumKinds]uint64
+}
+
+// TotalAllocs sums allocations across kinds.
+func (s AllocStats) TotalAllocs() uint64 {
+	var t uint64
+	for _, n := range s.Allocs {
+		t += n
+	}
+	return t
+}
+
+// ContextShare returns the fraction of all allocations that were contexts —
+// the paper's 85% figure.
+func (s AllocStats) ContextShare() float64 {
+	t := s.TotalAllocs()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Allocs[KindContext]) / float64(t)
+}
+
+// Space is absolute space: an aligned segment allocator plus the global
+// segment index. Segments are aligned on multiples of their (power of two
+// rounded) size, as §3.1 requires, so base|offset == base+offset.
+type Space struct {
+	segs     map[AbsAddr]*Segment // live segments by base
+	order    []*Segment           // allocation order, for scans
+	nextBase AbsAddr
+	reuse    map[uint64][]*Segment // freed segments by rounded size
+	Stats    AllocStats
+}
+
+// NewSpace returns an empty absolute space. Address 0 is never allocated so
+// it can serve as a null of sorts in tables.
+func NewSpace() *Space {
+	return &Space{
+		segs:     make(map[AbsAddr]*Segment),
+		reuse:    make(map[uint64][]*Segment),
+		nextBase: 1, // keep 0 unused; first alloc aligns past it
+	}
+}
+
+func pow2ceil(n uint64) uint64 {
+	if n <= 1 {
+		return 1
+	}
+	p := uint64(1)
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Alloc carves a new aligned segment of the given size (at least 1 word),
+// class and kind. Freed segments of the same rounded size are reused —
+// this is the "single free list" fast path for contexts.
+func (s *Space) Alloc(size uint64, class word.Class, kind Kind) *Segment {
+	if size == 0 {
+		size = 1
+	}
+	rounded := pow2ceil(size)
+	s.Stats.Allocs[kind]++
+	s.Stats.Words[kind] += size
+	if free := s.reuse[rounded]; len(free) > 0 {
+		seg := free[len(free)-1]
+		s.reuse[rounded] = free[:len(free)-1]
+		seg.Freed = false
+		seg.Class = class
+		seg.Kind = kind
+		seg.Mark = false
+		seg.Data = seg.Data[:size]
+		for i := range seg.Data {
+			seg.Data[i] = word.Uninit
+		}
+		s.segs[seg.Base] = seg
+		return seg
+	}
+	base := (s.nextBase + AbsAddr(rounded) - 1) &^ (AbsAddr(rounded) - 1)
+	s.nextBase = base + AbsAddr(rounded)
+	seg := &Segment{
+		Base:  base,
+		Data:  make([]word.Word, size, rounded),
+		Class: class,
+		Kind:  kind,
+	}
+	s.segs[base] = seg
+	s.order = append(s.order, seg)
+	return seg
+}
+
+// Free returns a segment to the allocator for reuse.
+func (s *Space) Free(seg *Segment) {
+	if seg.Freed {
+		return
+	}
+	seg.Freed = true
+	s.Stats.Frees[seg.Kind]++
+	delete(s.segs, seg.Base)
+	rounded := pow2ceil(uint64(cap(seg.Data)))
+	seg.Data = seg.Data[:cap(seg.Data)]
+	s.reuse[rounded] = append(s.reuse[rounded], seg)
+}
+
+// ByBase returns the live segment with the given base address.
+func (s *Space) ByBase(base AbsAddr) (*Segment, bool) {
+	seg, ok := s.segs[base]
+	return seg, ok
+}
+
+// Live calls fn for every live segment.
+func (s *Space) Live(fn func(*Segment)) {
+	for _, seg := range s.order {
+		if !seg.Freed {
+			fn(seg)
+		}
+	}
+}
+
+// LiveCount returns the number of live segments.
+func (s *Space) LiveCount() int { return len(s.segs) }
+
+// Rights are the capability bits of a virtual name (§3.1: "A name within
+// this space is a capability to access an object").
+type Rights uint8
+
+const (
+	Read Rights = 1 << iota
+	Write
+	Execute
+
+	RW  = Read | Write
+	RWX = Read | Write | Execute
+)
+
+// Has reports whether all bits of need are granted.
+func (r Rights) Has(need Rights) bool { return r&need == need }
+
+// Descriptor is a segment descriptor table entry: base address, length and
+// object class (§3.1 figure 3), extended with capability rights and the
+// forwarding address used when an object outgrows its exponent (§2.2).
+type Descriptor struct {
+	Seg    *Segment
+	Length uint64
+	Class  word.Class
+	Rights Rights
+
+	// Forward, when non-nil, holds the wider virtual address allocated
+	// after the object grew. Accesses within the old bound still work;
+	// accesses beyond it trap and the trap handler re-issues through
+	// Forward ("When these bounds are exceeded a system trap routine
+	// replaces the old segment number with the new segment number").
+	Forward *fpa.Addr
+}
+
+// Fault is a translation failure with enough structure for the machine's
+// trap dispatch.
+type Fault struct {
+	Code    FaultCode
+	Addr    fpa.Addr
+	Forward *fpa.Addr // set for FaultGrown
+}
+
+// FaultCode enumerates translation failure causes.
+type FaultCode uint8
+
+const (
+	FaultNoSegment FaultCode = iota // no descriptor for the name
+	FaultBounds                     // offset beyond descriptor length
+	FaultGrown                      // offset beyond old bound of a grown object
+	FaultRights                     // capability check failed
+	FaultDangling                   // descriptor names a freed segment
+)
+
+func (c FaultCode) String() string {
+	switch c {
+	case FaultNoSegment:
+		return "no-segment"
+	case FaultBounds:
+		return "bounds"
+	case FaultGrown:
+		return "grown"
+	case FaultRights:
+		return "rights"
+	case FaultDangling:
+		return "dangling"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(c))
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("memory: %v fault at %v", f.Code, f.Addr)
+}
+
+// TeamStats counts translation activity.
+type TeamStats struct {
+	Translations uint64
+	ATLBHits     uint64
+	Faults       uint64
+}
+
+// Team is a team space: a segment descriptor table mapping floating point
+// virtual names to absolute segments, with an ATLB accelerating the hot
+// translations.
+type Team struct {
+	SN     int // team space number (the SN register's value)
+	Format fpa.Format
+	table  map[fpa.SegKey]*Descriptor
+	atlb   *cache.Cache[*Descriptor]
+	space  *Space
+	Stats  TeamStats
+
+	nextSeg map[uint8]uint64 // next unused integer part per exponent
+	bySeg   map[*Segment][]fpa.SegKey
+}
+
+// ATLBConfig sizes the address translation lookaside buffer.
+type ATLBConfig struct {
+	Entries int
+	Assoc   int
+}
+
+// NewTeam creates a team space over the given absolute space.
+func NewTeam(sn int, format fpa.Format, space *Space, atlb ATLBConfig) *Team {
+	if atlb.Entries == 0 {
+		atlb = ATLBConfig{Entries: 256, Assoc: 2}
+	}
+	return &Team{
+		SN:      sn,
+		Format:  format,
+		table:   make(map[fpa.SegKey]*Descriptor),
+		atlb:    cache.New[*Descriptor](cache.Config{Entries: atlb.Entries, Assoc: atlb.Assoc, HashSets: true}),
+		space:   space,
+		nextSeg: make(map[uint8]uint64),
+		bySeg:   make(map[*Segment][]fpa.SegKey),
+	}
+}
+
+// Space returns the absolute space backing the team.
+func (t *Team) Space() *Space { return t.space }
+
+// ATLBStats exposes the translation buffer's counters.
+func (t *Team) ATLBStats() cache.Stats { return t.atlb.Stats }
+
+// Bind installs a descriptor for a virtual name. Existing bindings are
+// replaced and the ATLB line invalidated.
+func (t *Team) Bind(key fpa.SegKey, d *Descriptor) {
+	if old, ok := t.table[key]; ok && old.Seg != nil {
+		t.dropSegKey(old.Seg, key)
+	}
+	t.table[key] = d
+	if d.Seg != nil {
+		t.bySeg[d.Seg] = append(t.bySeg[d.Seg], key)
+	}
+	t.atlb.Invalidate(key.Pack())
+}
+
+// Unbind removes a virtual name.
+func (t *Team) Unbind(key fpa.SegKey) {
+	if d, ok := t.table[key]; ok && d.Seg != nil {
+		t.dropSegKey(d.Seg, key)
+	}
+	delete(t.table, key)
+	t.atlb.Invalidate(key.Pack())
+}
+
+func (t *Team) dropSegKey(seg *Segment, key fpa.SegKey) {
+	keys := t.bySeg[seg]
+	for i, k := range keys {
+		if k == key {
+			keys[i] = keys[len(keys)-1]
+			t.bySeg[seg] = keys[:len(keys)-1]
+			break
+		}
+	}
+	if len(t.bySeg[seg]) == 0 {
+		delete(t.bySeg, seg)
+	}
+}
+
+// UnbindSegment removes every name bound to the segment, returning how
+// many were dropped. The garbage collector calls this when an object dies
+// so its names can never dangle onto a reused segment.
+func (t *Team) UnbindSegment(seg *Segment) int {
+	keys := append([]fpa.SegKey(nil), t.bySeg[seg]...)
+	for _, k := range keys {
+		delete(t.table, k)
+		t.atlb.Invalidate(k.Pack())
+	}
+	delete(t.bySeg, seg)
+	return len(keys)
+}
+
+// DescriptorFor returns the descriptor bound to a name, bypassing the ATLB.
+func (t *Team) DescriptorFor(key fpa.SegKey) (*Descriptor, bool) {
+	d, ok := t.table[key]
+	return d, ok
+}
+
+// Alloc allocates a fresh object of the given size/class/kind, binds a new
+// virtual name with the smallest sufficient exponent, and returns the name.
+func (t *Team) Alloc(size uint64, class word.Class, kind Kind, rights Rights) (fpa.Addr, *Segment, error) {
+	exp := uint8(fpa.MinExpFor(size))
+	return t.AllocExp(exp, size, class, kind, rights)
+}
+
+// AllocExp allocates with an explicit exponent, which must cover size.
+func (t *Team) AllocExp(exp uint8, size uint64, class word.Class, kind Kind, rights Rights) (fpa.Addr, *Segment, error) {
+	if uint(exp) > t.Format.MaxExp() || uint(exp) > t.Format.ManBits {
+		return fpa.Addr{}, nil, fmt.Errorf("memory: no exponent for object of %d words", size)
+	}
+	if size > 0 && size > uint64(1)<<exp {
+		return fpa.Addr{}, nil, fmt.Errorf("memory: size %d exceeds exponent %d", size, exp)
+	}
+	num := t.nextSeg[exp]
+	limit := t.Format.SegmentsAt(uint(exp))
+	if num >= limit {
+		return fpa.Addr{}, nil, fmt.Errorf("memory: virtual space exhausted at exponent %d", exp)
+	}
+	t.nextSeg[exp] = num + 1
+	key := fpa.SegKey{Exp: exp, Num: num}
+	seg := t.space.Alloc(size, class, kind)
+	t.Bind(key, &Descriptor{Seg: seg, Length: size, Class: class, Rights: rights})
+	addr, err := t.Format.Make(key, 0)
+	if err != nil {
+		return fpa.Addr{}, nil, err
+	}
+	return addr, seg, nil
+}
+
+// Translate resolves a virtual address plus word offset to a segment and
+// in-segment index, enforcing exponent bounds, descriptor length and
+// capability rights. The boolean reports whether the ATLB hit.
+func (t *Team) Translate(a fpa.Addr, need Rights) (*Segment, uint64, bool, *Fault) {
+	t.Stats.Translations++
+	key := a.Key()
+	var d *Descriptor
+	hit := false
+	if v, ok := t.atlb.Lookup(key.Pack()); ok {
+		d = v
+		hit = true
+		t.Stats.ATLBHits++
+	} else if v, ok := t.table[key]; ok {
+		d = v
+		t.atlb.Insert(key.Pack(), v)
+	} else {
+		t.Stats.Faults++
+		return nil, 0, false, &Fault{Code: FaultNoSegment, Addr: a}
+	}
+	off := a.Offset()
+	if off >= d.Length {
+		t.Stats.Faults++
+		if d.Forward != nil {
+			return nil, 0, hit, &Fault{Code: FaultGrown, Addr: a, Forward: d.Forward}
+		}
+		return nil, 0, hit, &Fault{Code: FaultBounds, Addr: a}
+	}
+	if !d.Rights.Has(need) {
+		t.Stats.Faults++
+		return nil, 0, hit, &Fault{Code: FaultRights, Addr: a}
+	}
+	if d.Seg == nil || d.Seg.Freed {
+		t.Stats.Faults++
+		return nil, 0, hit, &Fault{Code: FaultDangling, Addr: a}
+	}
+	return d.Seg, off, hit, nil
+}
+
+// Grow reallocates the object named by a into a segment of newSize with a
+// wider exponent, copies the contents, and leaves the old name forwarding
+// (§2.2 aliasing). It returns the new virtual base address.
+func (t *Team) Grow(a fpa.Addr, newSize uint64) (fpa.Addr, error) {
+	key := a.Key()
+	d, ok := t.table[key]
+	if !ok {
+		return fpa.Addr{}, &Fault{Code: FaultNoSegment, Addr: a}
+	}
+	if newSize <= d.Length {
+		return fpa.Addr{}, fmt.Errorf("memory: grow to %d words is not larger than %d", newSize, d.Length)
+	}
+	newAddr, newSeg, err := t.Alloc(newSize, d.Class, d.Seg.Kind, d.Rights)
+	if err != nil {
+		return fpa.Addr{}, err
+	}
+	copy(newSeg.Data, d.Seg.Data)
+	old := d.Seg
+	// Both old and new descriptors point at the new segment; the old
+	// name keeps its old length bound and forwards past it.
+	d.Seg = newSeg
+	fwd := newAddr
+	d.Forward = &fwd
+	t.dropSegKey(old, key)
+	t.bySeg[newSeg] = append(t.bySeg[newSeg], key)
+	t.atlb.Invalidate(key.Pack())
+	t.space.Free(old)
+	return newAddr, nil
+}
+
+// Resolve follows forwarding: given an address that faulted with
+// FaultGrown, it returns the equivalent address under the new name.
+func Resolve(f *Fault) (fpa.Addr, bool) {
+	if f == nil || f.Code != FaultGrown || f.Forward == nil {
+		return fpa.Addr{}, false
+	}
+	return f.Forward.WithOffset(f.Addr.Offset())
+}

@@ -1,0 +1,430 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fpa"
+	"repro/internal/word"
+)
+
+func newTestTeam() *Team {
+	return NewTeam(1, fpa.COM32, NewSpace(), ATLBConfig{Entries: 16, Assoc: 2})
+}
+
+func TestSpaceAlignment(t *testing.T) {
+	s := NewSpace()
+	for _, size := range []uint64{1, 2, 3, 5, 32, 100, 1000} {
+		seg := s.Alloc(size, 0, KindObject)
+		rounded := pow2ceil(size)
+		if uint64(seg.Base)%rounded != 0 {
+			t.Errorf("segment of %d words at base %#x not aligned to %d", size, seg.Base, rounded)
+		}
+		if seg.Size() != size {
+			t.Errorf("size = %d, want %d", seg.Size(), size)
+		}
+	}
+}
+
+func TestSpaceAlignmentProperty(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		s := NewSpace()
+		var prev []*Segment
+		for _, sz := range sizes {
+			size := uint64(sz%512) + 1
+			seg := s.Alloc(size, 0, KindObject)
+			if uint64(seg.Base)%pow2ceil(size) != 0 {
+				return false
+			}
+			// No overlap with any earlier segment.
+			for _, p := range prev {
+				if seg.Base < p.End() && p.Base < seg.End() {
+					return false
+				}
+			}
+			prev = append(prev, seg)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceReuse(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(32, 0, KindContext)
+	base := a.Base
+	a.Data[3] = word.FromInt(99)
+	s.Free(a)
+	b := s.Alloc(32, 0, KindContext)
+	if b.Base != base {
+		t.Fatalf("freed segment not reused: %#x vs %#x", b.Base, base)
+	}
+	if !b.Data[3].IsUninit() {
+		t.Fatal("reused segment not cleared")
+	}
+	if b.Freed {
+		t.Fatal("reused segment still marked freed")
+	}
+}
+
+func TestSpaceDoubleFreeIgnored(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(8, 0, KindObject)
+	s.Free(a)
+	s.Free(a)
+	if got := s.Stats.Frees[KindObject]; got != 1 {
+		t.Fatalf("frees = %d", got)
+	}
+	b := s.Alloc(8, 0, KindObject)
+	c := s.Alloc(8, 0, KindObject)
+	if b.Base == c.Base {
+		t.Fatal("double free produced aliased segments")
+	}
+}
+
+func TestAllocStats(t *testing.T) {
+	s := NewSpace()
+	s.Alloc(32, 0, KindContext)
+	s.Alloc(32, 0, KindContext)
+	s.Alloc(32, 0, KindContext)
+	s.Alloc(10, 0, KindObject)
+	if got := s.Stats.ContextShare(); got != 0.75 {
+		t.Fatalf("context share = %v", got)
+	}
+	if s.Stats.TotalAllocs() != 4 {
+		t.Fatalf("total allocs = %d", s.Stats.TotalAllocs())
+	}
+	if s.LiveCount() != 4 {
+		t.Fatalf("live = %d", s.LiveCount())
+	}
+}
+
+func TestLiveSkipsFreed(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(4, 0, KindObject)
+	s.Alloc(4, 0, KindObject)
+	s.Free(a)
+	n := 0
+	s.Live(func(seg *Segment) {
+		n++
+		if seg == a {
+			t.Error("Live visited freed segment")
+		}
+	})
+	if n != 1 {
+		t.Fatalf("Live visited %d", n)
+	}
+}
+
+func TestTeamAllocAndTranslate(t *testing.T) {
+	tm := newTestTeam()
+	addr, seg, err := tm.Alloc(10, 42, KindObject, RW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr.Exp != 4 { // 10 words need exponent 4
+		t.Errorf("exponent = %d, want 4", addr.Exp)
+	}
+	a5, _ := addr.WithOffset(5)
+	got, off, _, fault := tm.Translate(a5, Read)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if got != seg || off != 5 {
+		t.Fatalf("translate = %v +%d", got, off)
+	}
+}
+
+func TestTranslateBounds(t *testing.T) {
+	tm := newTestTeam()
+	addr, _, err := tm.Alloc(10, 0, KindObject, RW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offset 12 is inside the exponent bound (16) but beyond the length:
+	// descriptor length check must fault.
+	a12, ok := addr.WithOffset(12)
+	if !ok {
+		t.Fatal("offset 12 should satisfy exponent 4")
+	}
+	_, _, _, fault := tm.Translate(a12, Read)
+	if fault == nil || fault.Code != FaultBounds {
+		t.Fatalf("fault = %v, want bounds", fault)
+	}
+}
+
+func TestTranslateNoSegment(t *testing.T) {
+	tm := newTestTeam()
+	a, _ := fpa.COM32.Make(fpa.SegKey{Exp: 3, Num: 77}, 0)
+	_, _, _, fault := tm.Translate(a, Read)
+	if fault == nil || fault.Code != FaultNoSegment {
+		t.Fatalf("fault = %v, want no-segment", fault)
+	}
+}
+
+func TestTranslateRights(t *testing.T) {
+	tm := newTestTeam()
+	addr, _, _ := tm.Alloc(4, 0, KindObject, Read)
+	if _, _, _, fault := tm.Translate(addr, Read); fault != nil {
+		t.Fatalf("read faulted: %v", fault)
+	}
+	_, _, _, fault := tm.Translate(addr, Write)
+	if fault == nil || fault.Code != FaultRights {
+		t.Fatalf("fault = %v, want rights", fault)
+	}
+}
+
+func TestTranslateDangling(t *testing.T) {
+	tm := newTestTeam()
+	addr, seg, _ := tm.Alloc(4, 0, KindObject, RW)
+	tm.Space().Free(seg)
+	_, _, _, fault := tm.Translate(addr, Read)
+	if fault == nil || fault.Code != FaultDangling {
+		t.Fatalf("fault = %v, want dangling", fault)
+	}
+}
+
+func TestATLBAccelerates(t *testing.T) {
+	tm := newTestTeam()
+	addr, _, _ := tm.Alloc(4, 0, KindObject, RW)
+	tm.Translate(addr, Read)
+	tm.Translate(addr, Read)
+	tm.Translate(addr, Read)
+	if tm.Stats.ATLBHits != 2 {
+		t.Fatalf("ATLB hits = %d, want 2 (first access misses)", tm.Stats.ATLBHits)
+	}
+	st := tm.ATLBStats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("ATLB stats = %+v", st)
+	}
+}
+
+func TestAliasedNamesShareObject(t *testing.T) {
+	// §3.1: virtual addresses may be aliased to allow teams to share
+	// objects or to grant different capabilities to one object.
+	tm := newTestTeam()
+	addr, seg, _ := tm.Alloc(8, 7, KindObject, RW)
+	alias := fpa.SegKey{Exp: 3, Num: 1000}
+	tm.Bind(alias, &Descriptor{Seg: seg, Length: 8, Class: 7, Rights: Read})
+	aAddr, _ := fpa.COM32.Make(alias, 2)
+	seg.Data[2] = word.FromInt(5)
+	got, off, _, fault := tm.Translate(aAddr, Read)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if got != seg || off != 2 {
+		t.Fatal("alias resolves differently")
+	}
+	// The read-only alias must refuse writes while the original allows
+	// them.
+	if _, _, _, fault := tm.Translate(aAddr, Write); fault == nil {
+		t.Fatal("read-only alias allowed write")
+	}
+	if _, _, _, fault := tm.Translate(addr, Write); fault != nil {
+		t.Fatal("original name lost write right")
+	}
+}
+
+func TestGrowForwards(t *testing.T) {
+	tm := newTestTeam()
+	addr, seg, _ := tm.Alloc(4, 9, KindObject, RW)
+	seg.Data[1] = word.FromInt(11)
+
+	newAddr, err := tm.Grow(addr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newAddr.Exp <= addr.Exp {
+		t.Fatalf("grown exponent %d not wider than %d", newAddr.Exp, addr.Exp)
+	}
+	// Contents copied.
+	n1, _ := newAddr.WithOffset(1)
+	gseg, off, _, fault := tm.Translate(n1, Read)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if gseg.Data[off] != word.FromInt(11) {
+		t.Fatal("grow lost contents")
+	}
+	// Old name still works within its old bound and reaches the same
+	// new segment.
+	o1, _ := addr.WithOffset(1)
+	oseg, ooff, _, fault := tm.Translate(o1, Read)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if oseg != gseg || ooff != 1 {
+		t.Fatal("old name does not alias the grown object")
+	}
+	// Beyond the old bound the old name traps with forwarding.
+	beyond, ok := addr.WithOffset(3)
+	if !ok {
+		t.Fatal("offset 3 must fit exponent 2")
+	}
+	_ = beyond
+	// Old length was 4; offset 3 is within length... grow to beyond:
+	// use Translate on an offset past the old length (not encodable via
+	// the old exponent — so construct the fault by translating offset
+	// at the limit).
+	over, ok := addr.WithOffset(3)
+	if !ok {
+		t.Fatal("encode")
+	}
+	if _, _, _, fault := tm.Translate(over, Read); fault != nil {
+		t.Fatalf("in-bound old access faulted: %v", fault)
+	}
+}
+
+func TestGrowTrapResolves(t *testing.T) {
+	tm := newTestTeam()
+	// Length 4 with exponent 3 leaves encodable offsets beyond the
+	// length, so a bounds fault with forwarding can occur.
+	addr, _, err := tm.AllocExp(3, 4, 9, KindObject, RW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tm.Grow(addr, 100); err != nil {
+		t.Fatal(err)
+	}
+	over, ok := addr.WithOffset(6)
+	if !ok {
+		t.Fatal("offset 6 fits exponent 3")
+	}
+	_, _, _, fault := tm.Translate(over, Read)
+	if fault == nil || fault.Code != FaultGrown {
+		t.Fatalf("fault = %v, want grown", fault)
+	}
+	resolved, ok := Resolve(fault)
+	if !ok {
+		t.Fatal("Resolve failed")
+	}
+	if resolved.Offset() != 6 {
+		t.Fatalf("resolved offset = %d", resolved.Offset())
+	}
+	if _, _, _, fault := tm.Translate(resolved, Read); fault != nil {
+		t.Fatalf("resolved address faulted: %v", fault)
+	}
+}
+
+func TestGrowErrors(t *testing.T) {
+	tm := newTestTeam()
+	addr, _, _ := tm.Alloc(8, 0, KindObject, RW)
+	if _, err := tm.Grow(addr, 8); err == nil {
+		t.Error("grow to equal size accepted")
+	}
+	bogus, _ := fpa.COM32.Make(fpa.SegKey{Exp: 2, Num: 999}, 0)
+	if _, err := tm.Grow(bogus, 100); err == nil {
+		t.Error("grow of unbound name accepted")
+	}
+}
+
+func TestResolveRejectsOtherFaults(t *testing.T) {
+	if _, ok := Resolve(&Fault{Code: FaultBounds}); ok {
+		t.Error("Resolve accepted a plain bounds fault")
+	}
+	if _, ok := Resolve(nil); ok {
+		t.Error("Resolve accepted nil")
+	}
+}
+
+func TestVirtualNamesDistinct(t *testing.T) {
+	tm := newTestTeam()
+	seen := map[fpa.SegKey]bool{}
+	for i := 0; i < 50; i++ {
+		addr, _, err := tm.Alloc(16, 0, KindObject, RW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[addr.Key()] {
+			t.Fatalf("duplicate virtual name %v", addr.Key())
+		}
+		seen[addr.Key()] = true
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{Code: FaultBounds}
+	if f.Error() == "" {
+		t.Fatal("empty fault message")
+	}
+	for c := FaultNoSegment; c <= FaultDangling; c++ {
+		if c.String() == "" {
+			t.Fatalf("fault code %d has no name", c)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := KindObject; k < NumKinds; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+}
+
+func TestHierarchyAccess(t *testing.T) {
+	h := NewHierarchy(
+		Level{Name: "l1", Entries: 4, Assoc: 1, BlockWords: 1, Penalty: 3},
+		Level{Name: "main", Entries: 64, Assoc: 4, BlockWords: 4, Penalty: 50},
+	)
+	// Cold access misses both levels.
+	if got := h.Access(100); got != 53 {
+		t.Fatalf("cold access = %d cycles, want 53", got)
+	}
+	// Immediately repeated access hits L1.
+	if got := h.Access(100); got != 0 {
+		t.Fatalf("warm access = %d cycles, want 0", got)
+	}
+	if h.Stats.Accesses != 2 || h.Stats.Cycles != 53 {
+		t.Fatalf("stats = %+v", h.Stats)
+	}
+	if names := h.LevelNames(); len(names) != 2 || names[0] != "l1" {
+		t.Fatalf("names = %v", names)
+	}
+	if ls := h.LevelStats(); ls[0].Misses != 1 || ls[0].Hits != 1 {
+		t.Fatalf("level stats = %+v", ls)
+	}
+	h.ResetStats()
+	if h.Stats.Accesses != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestHierarchyBlockLocality(t *testing.T) {
+	h := NewHierarchy(Level{Name: "l1", Entries: 16, Assoc: 2, BlockWords: 4, Penalty: 10})
+	h.Access(0)
+	// Addresses 1..3 share the block with 0.
+	for a := AbsAddr(1); a < 4; a++ {
+		if got := h.Access(a); got != 0 {
+			t.Fatalf("address %d missed despite block locality", a)
+		}
+	}
+	if got := h.Access(4); got != 10 {
+		t.Fatalf("next block cost %d, want 10", got)
+	}
+}
+
+func TestHierarchyEmptyIsFree(t *testing.T) {
+	h := NewHierarchy()
+	if got := h.Access(123); got != 0 {
+		t.Fatalf("flat memory charged %d", got)
+	}
+}
+
+func TestHierarchyBadBlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two block accepted")
+		}
+	}()
+	NewHierarchy(Level{Name: "x", Entries: 4, Assoc: 1, BlockWords: 3, Penalty: 1})
+}
+
+func TestDefaultHierarchy(t *testing.T) {
+	h := DefaultHierarchy()
+	if len(h.LevelNames()) != 2 {
+		t.Fatalf("default levels = %v", h.LevelNames())
+	}
+}

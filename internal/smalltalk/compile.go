@@ -1,0 +1,885 @@
+package smalltalk
+
+import (
+	"fmt"
+
+	"repro/internal/fith"
+	"repro/internal/isa"
+)
+
+// LitKind discriminates literal-pool entries. Class references stay
+// symbolic so the same compiled program can be loaded into the COM (class
+// objects are pointer words) and the Fith machine (its own class values).
+type LitKind int
+
+const (
+	LitInt LitKind = iota
+	LitFloat
+	LitAtom // includes true/false/nil by name
+	LitClass
+
+	// litJump marks an unpatched jump-displacement placeholder. It is
+	// never matched by intern (a genuine literal 0 must not alias a
+	// displacement that will be patched later) and never survives
+	// compilation: patch rewrites it to LitInt.
+	litJump
+)
+
+// Lit is one literal-pool entry.
+type Lit struct {
+	Kind  LitKind
+	Int   int32
+	Float float32
+	Name  string // atom or class name
+}
+
+// ComInstr is a backend instruction before opcode assignment: control
+// instructions carry a fixed opcode, message sends carry the selector and
+// are bound to an opcode when loaded into a machine.
+type ComInstr struct {
+	Op      isa.Opcode // meaningful when Sel == ""
+	Sel     string     // message selector; bound at load time
+	A, B, C isa.Operand
+}
+
+// CompiledMethod is one method compiled for both targets.
+type CompiledMethod struct {
+	Selector  string
+	NumArgs   int
+	NumTemps  int // context words beyond args (declared + expression temps)
+	FithTemps int // Fith temporary count (params included)
+	Lits      []Lit
+	Com       []ComInstr
+	Fith      []fith.Instr
+	// Selectors is the method's send table: Fith send instructions
+	// reference selectors by index here, bound to atoms at load time.
+	Selectors []string
+}
+
+// selIdx interns a selector in the method's send table.
+func (cm *CompiledMethod) selIdx(sel string) int32 {
+	for i, s := range cm.Selectors {
+		if s == sel {
+			return int32(i)
+		}
+	}
+	cm.Selectors = append(cm.Selectors, sel)
+	return int32(len(cm.Selectors) - 1)
+}
+
+// CompiledClass is one class with its compiled methods.
+type CompiledClass struct {
+	Name    string
+	Super   string
+	Extend  bool
+	Fields  []string
+	Methods []*CompiledMethod
+}
+
+// Compiled is a fully compiled program, ready to load.
+type Compiled struct {
+	Classes []*CompiledClass
+}
+
+// Compile parses and compiles source text for both machines.
+func Compile(src string) (*Compiled, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileProgram(prog)
+}
+
+// builtinFields lists field layouts of classes defined outside the program
+// text. All bootstrap classes are fieldless.
+var builtinClasses = map[string][]string{
+	"Object": nil, "SmallInt": nil, "Float": nil, "Atom": nil,
+	"Context": nil, "Class": nil, "Array": nil, "String": nil,
+}
+
+// CompileProgram compiles a parsed program.
+func CompileProgram(prog *Program) (*Compiled, error) {
+	// Resolve field layouts: inherited fields occupy the low slots.
+	fieldsOf := map[string][]string{}
+	superOf := map[string]string{}
+	for name := range builtinClasses {
+		fieldsOf[name] = nil
+	}
+	classNames := map[string]bool{}
+	for name := range builtinClasses {
+		classNames[name] = true
+	}
+	for _, cd := range prog.Classes {
+		if cd.Extend {
+			continue
+		}
+		super := cd.Super
+		if super == "" {
+			super = "Object"
+		}
+		superOf[cd.Name] = super
+		classNames[cd.Name] = true
+	}
+	var layout func(name string, seen map[string]bool) ([]string, error)
+	layout = func(name string, seen map[string]bool) ([]string, error) {
+		if f, ok := fieldsOf[name]; ok {
+			return f, nil
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("smalltalk: inheritance cycle at %q", name)
+		}
+		seen[name] = true
+		var cd *ClassDef
+		for _, c := range prog.Classes {
+			if !c.Extend && c.Name == name {
+				cd = c
+				break
+			}
+		}
+		if cd == nil {
+			return nil, fmt.Errorf("smalltalk: unknown superclass %q", name)
+		}
+		superFields, err := layout(superOf[name], seen)
+		if err != nil {
+			return nil, err
+		}
+		all := append(append([]string{}, superFields...), cd.Fields...)
+		fieldsOf[name] = all
+		return all, nil
+	}
+	for _, cd := range prog.Classes {
+		if cd.Extend {
+			if _, known := classNames[cd.Name]; !known {
+				return nil, fmt.Errorf("line %d: extend of unknown class %q", cd.Line, cd.Name)
+			}
+			continue
+		}
+		if _, err := layout(cd.Name, map[string]bool{}); err != nil {
+			return nil, err
+		}
+	}
+
+	out := &Compiled{}
+	for _, cd := range prog.Classes {
+		cc := &CompiledClass{Name: cd.Name, Super: cd.Super, Extend: cd.Extend, Fields: cd.Fields}
+		if cc.Super == "" && !cd.Extend {
+			cc.Super = "Object"
+		}
+		fields := fieldsOf[cd.Name]
+		for _, md := range cd.Methods {
+			cm, err := compileMethod(md, fields, classNames)
+			if err != nil {
+				return nil, fmt.Errorf("%s>>%s: %w", cd.Name, md.Selector, err)
+			}
+			cc.Methods = append(cc.Methods, cm)
+		}
+		out.Classes = append(out.Classes, cc)
+	}
+	return out, nil
+}
+
+func compileMethod(md *MethodDef, fields []string, classNames map[string]bool) (*CompiledMethod, error) {
+	cm := &CompiledMethod{Selector: md.Selector, NumArgs: len(md.Params)}
+	com := newComGen(md, fields, classNames, cm)
+	if err := com.method(); err != nil {
+		return nil, err
+	}
+	fg := newFithGen(md, fields, classNames, cm)
+	if err := fg.method(); err != nil {
+		return nil, err
+	}
+	return cm, nil
+}
+
+// litPool manages the shared literal table: value literals are deduplicated
+// while jump-displacement literals stay unique so they can be patched.
+type litPool struct{ cm *CompiledMethod }
+
+func (p litPool) intern(l Lit) (int, error) {
+	for i, have := range p.cm.Lits {
+		if have == l {
+			return i, nil
+		}
+	}
+	return p.append(l)
+}
+
+func (p litPool) append(l Lit) (int, error) {
+	if len(p.cm.Lits) >= 127 {
+		return 0, fmt.Errorf("literal pool overflow (max 127 entries)")
+	}
+	p.cm.Lits = append(p.cm.Lits, l)
+	return len(p.cm.Lits) - 1, nil
+}
+
+// ---------------------------------------------------------------------------
+// COM three-address code generation.
+
+// Context layout (§4 figure 8): 0 RCP, 1 RIP, 2 result pointer,
+// 3 receiver, 4.. arguments, then temporaries.
+const (
+	slotReceiver = 3
+	slotArg0     = 4
+)
+
+type comGen struct {
+	md         *MethodDef
+	cm         *CompiledMethod
+	fields     map[string]int
+	classNames map[string]bool
+	pool       litPool
+
+	vars     map[string]int // name → context slot
+	nextTemp int            // next free expression-temp slot
+	highTemp int            // high-water mark
+
+	ctxWords int
+}
+
+func newComGen(md *MethodDef, fields []string, classNames map[string]bool, cm *CompiledMethod) *comGen {
+	g := &comGen{
+		md:         md,
+		cm:         cm,
+		fields:     map[string]int{},
+		classNames: classNames,
+		pool:       litPool{cm: cm},
+		vars:       map[string]int{},
+		ctxWords:   32,
+	}
+	for i, f := range fields {
+		g.fields[f] = i
+	}
+	slot := slotArg0
+	for _, p := range md.Params {
+		g.vars[p] = slot
+		slot++
+	}
+	for _, t := range md.Temps {
+		g.vars[t] = slot
+		slot++
+	}
+	g.nextTemp = slot
+	g.highTemp = slot
+	return g
+}
+
+func (g *comGen) emit(in ComInstr) { g.cm.Com = append(g.cm.Com, in) }
+
+func (g *comGen) emitOp(op isa.Opcode, a, b, c isa.Operand) {
+	g.emit(ComInstr{Op: op, A: a, B: b, C: c})
+}
+
+func (g *comGen) emitSend(sel string, a, b, c isa.Operand) {
+	g.emit(ComInstr{Sel: sel, A: a, B: b, C: c})
+}
+
+func (g *comGen) alloc() (int, error) {
+	s := g.nextTemp
+	if s >= g.ctxWords {
+		return 0, fmt.Errorf("expression needs more than the %d-word context", g.ctxWords)
+	}
+	g.nextTemp++
+	if g.nextTemp > g.highTemp {
+		g.highTemp = g.nextTemp
+	}
+	return s, nil
+}
+
+// release frees expression temps above the given mark.
+func (g *comGen) release(mark int) { g.nextTemp = mark }
+
+func (g *comGen) lit(l Lit) (isa.Operand, error) {
+	i, err := g.pool.intern(l)
+	if err != nil {
+		return isa.None, err
+	}
+	return isa.Const(i), nil
+}
+
+// jumpLit appends a unique displacement placeholder and returns its pool
+// index for later patching.
+func (g *comGen) jumpLit() (int, isa.Operand, error) {
+	i, err := g.pool.append(Lit{Kind: litJump})
+	if err != nil {
+		return 0, isa.None, err
+	}
+	return i, isa.Const(i), nil
+}
+
+// patch sets the displacement literal so the jump at instruction jpc
+// lands on target.
+func (g *comGen) patch(litIdx, jpc, target int) error {
+	disp := target - (jpc + 1)
+	back := false
+	if disp < 0 {
+		disp, back = -disp, true
+	}
+	in := g.cm.Com[jpc]
+	if back != (in.Op == isa.RJmp) {
+		return fmt.Errorf("internal: jump direction mismatch at %d", jpc)
+	}
+	g.cm.Lits[litIdx] = Lit{Kind: LitInt, Int: int32(disp)}
+	return nil
+}
+
+func (g *comGen) here() int { return len(g.cm.Com) }
+
+func (g *comGen) falseLit() (isa.Operand, error) { return g.lit(Lit{Kind: LitAtom, Name: "false"}) }
+func (g *comGen) trueLit() (isa.Operand, error)  { return g.lit(Lit{Kind: LitAtom, Name: "true"}) }
+
+func (g *comGen) method() error {
+	for _, st := range g.md.Body {
+		if err := g.stmt(st); err != nil {
+			return err
+		}
+	}
+	// Implicit ^self.
+	g.emitOp(isa.Ret, isa.Cur(slotReceiver), isa.None, isa.None)
+	g.cm.NumTemps = g.highTemp - slotArg0 - g.cm.NumArgs
+	return nil
+}
+
+func (g *comGen) stmt(st Stmt) error {
+	mark := g.nextTemp
+	defer g.release(mark)
+	switch s := st.(type) {
+	case *ExprStmt:
+		_, err := g.expr(s.E)
+		return err
+	case *AssignStmt:
+		return g.assign(s.Name, s.E, s.Line)
+	case *ReturnStmt:
+		op, err := g.expr(s.E)
+		if err != nil {
+			return err
+		}
+		g.emitOp(isa.Ret, op, isa.None, isa.None)
+		return nil
+	}
+	return fmt.Errorf("unknown statement %T", st)
+}
+
+func (g *comGen) assign(name string, e Expr, line int) error {
+	if slot, ok := g.vars[name]; ok {
+		op, err := g.expr(e)
+		if err != nil {
+			return err
+		}
+		g.emitOp(isa.Move, isa.Cur(slot), op, isa.None)
+		return nil
+	}
+	if idx, ok := g.fields[name]; ok {
+		op, err := g.expr(e)
+		if err != nil {
+			return err
+		}
+		idxOp, err := g.lit(Lit{Kind: LitInt, Int: int32(idx)})
+		if err != nil {
+			return err
+		}
+		// at:put: form: value, receiver, index.
+		g.emitSend("at:put:", op, isa.Cur(slotReceiver), idxOp)
+		return nil
+	}
+	return fmt.Errorf("line %d: assignment to unknown variable %q", line, name)
+}
+
+// expr compiles an expression and returns the operand holding its value.
+func (g *comGen) expr(e Expr) (isa.Operand, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return g.lit(Lit{Kind: LitInt, Int: x.V})
+	case *FloatLit:
+		return g.lit(Lit{Kind: LitFloat, Float: x.V})
+	case *AtomLit:
+		return g.lit(Lit{Kind: LitAtom, Name: x.Name})
+	case *SelfExpr:
+		return isa.Cur(slotReceiver), nil
+	case *VarExpr:
+		return g.varRef(x)
+	case *AssignExpr:
+		if err := g.assign(x.Name, x.E, x.Line); err != nil {
+			return isa.None, err
+		}
+		return g.exprOperandFor(x.Name, x.Line)
+	case *SendExpr:
+		return g.send(x)
+	case *BlockExpr:
+		return isa.None, fmt.Errorf("line %d: blocks are only supported as inlined control-flow arguments", x.Line)
+	}
+	return isa.None, fmt.Errorf("unknown expression %T", e)
+}
+
+func (g *comGen) exprOperandFor(name string, line int) (isa.Operand, error) {
+	if slot, ok := g.vars[name]; ok {
+		return isa.Cur(slot), nil
+	}
+	return g.varRef(&VarExpr{Name: name, Line: line})
+}
+
+func (g *comGen) varRef(x *VarExpr) (isa.Operand, error) {
+	if slot, ok := g.vars[x.Name]; ok {
+		return isa.Cur(slot), nil
+	}
+	if idx, ok := g.fields[x.Name]; ok {
+		t, err := g.alloc()
+		if err != nil {
+			return isa.None, err
+		}
+		idxOp, err := g.lit(Lit{Kind: LitInt, Int: int32(idx)})
+		if err != nil {
+			return isa.None, err
+		}
+		g.emitSend("at:", isa.Cur(t), isa.Cur(slotReceiver), idxOp)
+		return isa.Cur(t), nil
+	}
+	if g.classNames[x.Name] {
+		return g.lit(Lit{Kind: LitClass, Name: x.Name})
+	}
+	return isa.None, fmt.Errorf("line %d: unknown variable %q", x.Line, x.Name)
+}
+
+func (g *comGen) send(x *SendExpr) (isa.Operand, error) {
+	if op, handled, err := g.inlined(x); handled {
+		return op, err
+	}
+	// Evaluate receiver and arguments to stable operands first: any of
+	// them may be a send, which disturbs the staging context.
+	recv, err := g.expr(x.Recv)
+	if err != nil {
+		return isa.None, err
+	}
+	args := make([]isa.Operand, len(x.Args))
+	for i, a := range x.Args {
+		if args[i], err = g.expr(a); err != nil {
+			return isa.None, err
+		}
+	}
+	sel := x.Selector
+
+	// Comparison sugar: a > b is b < a, a >= b is b <= a.
+	switch sel {
+	case ">":
+		sel, recv, args[0] = "<", args[0], recv
+	case ">=":
+		sel, recv, args[0] = "<=", args[0], recv
+	case "~=":
+		// (a = b) == false
+		t, err := g.alloc()
+		if err != nil {
+			return isa.None, err
+		}
+		g.emitSend("=", isa.Cur(t), recv, args[0])
+		f, err := g.falseLit()
+		if err != nil {
+			return isa.None, err
+		}
+		g.emitSend("==", isa.Cur(t), isa.Cur(t), f)
+		return isa.Cur(t), nil
+	}
+
+	if sel == "at:put:" {
+		// The machine's three-operand at:put: form: value, receiver,
+		// index (§3.4). Its value is the stored value.
+		g.emitSend("at:put:", args[1], recv, args[0])
+		return args[1], nil
+	}
+
+	dest, err := g.alloc()
+	if err != nil {
+		return isa.None, err
+	}
+	switch len(x.Args) {
+	case 0:
+		g.emitSend(sel, isa.Cur(dest), recv, isa.None)
+	case 1:
+		g.emitSend(sel, isa.Cur(dest), recv, args[0])
+	default:
+		// Stage arguments beyond the first into the next context
+		// (callee slots 5..), then send with the first argument as the
+		// C operand.
+		for i := 1; i < len(args); i++ {
+			g.emitOp(isa.Move, isa.Next(slotArg0+i), args[i], isa.None)
+		}
+		g.emitSend(sel, isa.Cur(dest), recv, args[0])
+	}
+	return isa.Cur(dest), nil
+}
+
+// inlined handles the control-flow selectors compiled to jumps.
+func (g *comGen) inlined(x *SendExpr) (isa.Operand, bool, error) {
+	switch x.Selector {
+	case "ifTrue:", "ifFalse:", "ifTrue:ifFalse:", "ifFalse:ifTrue:":
+		op, err := g.conditional(x)
+		return op, true, err
+	case "whileTrue:":
+		op, err := g.whileTrue(x)
+		return op, true, err
+	case "to:do:":
+		op, err := g.toDo(x)
+		return op, true, err
+	case "timesRepeat:":
+		op, err := g.timesRepeat(x)
+		return op, true, err
+	case "and:", "or:":
+		op, err := g.shortCircuit(x)
+		return op, true, err
+	}
+	return isa.None, false, nil
+}
+
+// blockBody extracts an argument that must be a literal block.
+func blockBody(e Expr, what string) (*BlockExpr, error) {
+	b, ok := e.(*BlockExpr)
+	if !ok {
+		return nil, fmt.Errorf("%s requires a literal block argument", what)
+	}
+	if len(b.Params) > 0 {
+		return nil, fmt.Errorf("%s block takes no parameters", what)
+	}
+	return b, nil
+}
+
+// body compiles block statements; the value of the final expression lands
+// in dest (or nil when the block is empty or ends with a non-expression).
+func (g *comGen) body(b *BlockExpr, dest int) error {
+	mark := g.nextTemp
+	defer g.release(mark)
+	for i, st := range b.Body {
+		last := i == len(b.Body)-1
+		if last && dest >= 0 {
+			if es, ok := st.(*ExprStmt); ok {
+				op, err := g.expr(es.E)
+				if err != nil {
+					return err
+				}
+				g.emitOp(isa.Move, isa.Cur(dest), op, isa.None)
+				return nil
+			}
+		}
+		if err := g.stmt(st); err != nil {
+			return err
+		}
+	}
+	if dest >= 0 {
+		nilOp, err := g.lit(Lit{Kind: LitAtom, Name: "nil"})
+		if err != nil {
+			return err
+		}
+		g.emitOp(isa.Move, isa.Cur(dest), nilOp, isa.None)
+	}
+	return nil
+}
+
+func (g *comGen) conditional(x *SendExpr) (isa.Operand, error) {
+	var trueBlk, falseBlk *BlockExpr
+	var err error
+	switch x.Selector {
+	case "ifTrue:":
+		if trueBlk, err = blockBody(x.Args[0], "ifTrue:"); err != nil {
+			return isa.None, err
+		}
+	case "ifFalse:":
+		if falseBlk, err = blockBody(x.Args[0], "ifFalse:"); err != nil {
+			return isa.None, err
+		}
+	case "ifTrue:ifFalse:":
+		if trueBlk, err = blockBody(x.Args[0], "ifTrue:"); err != nil {
+			return isa.None, err
+		}
+		if falseBlk, err = blockBody(x.Args[1], "ifFalse:"); err != nil {
+			return isa.None, err
+		}
+	case "ifFalse:ifTrue:":
+		if falseBlk, err = blockBody(x.Args[0], "ifFalse:"); err != nil {
+			return isa.None, err
+		}
+		if trueBlk, err = blockBody(x.Args[1], "ifTrue:"); err != nil {
+			return isa.None, err
+		}
+	}
+	cond, err := g.expr(x.Recv)
+	if err != nil {
+		return isa.None, err
+	}
+	dest, err := g.alloc()
+	if err != nil {
+		return isa.None, err
+	}
+	// fjmp cond, Lelse (taken when cond is falsy).
+	elseLit, elseOp, err := g.jumpLit()
+	if err != nil {
+		return isa.None, err
+	}
+	jElse := g.here()
+	g.emitOp(isa.FJmp, cond, elseOp, isa.None)
+	if trueBlk != nil {
+		if err := g.body(trueBlk, dest); err != nil {
+			return isa.None, err
+		}
+	} else {
+		nilOp, err := g.lit(Lit{Kind: LitAtom, Name: "nil"})
+		if err != nil {
+			return isa.None, err
+		}
+		g.emitOp(isa.Move, isa.Cur(dest), nilOp, isa.None)
+	}
+	// Unconditional forward jump over the false branch.
+	f, err := g.falseLit()
+	if err != nil {
+		return isa.None, err
+	}
+	endLit, endOp, err := g.jumpLit()
+	if err != nil {
+		return isa.None, err
+	}
+	jEnd := g.here()
+	g.emitOp(isa.FJmp, f, endOp, isa.None)
+	if err := g.patch(elseLit, jElse, g.here()); err != nil {
+		return isa.None, err
+	}
+	if falseBlk != nil {
+		if err := g.body(falseBlk, dest); err != nil {
+			return isa.None, err
+		}
+	} else {
+		nilOp, err := g.lit(Lit{Kind: LitAtom, Name: "nil"})
+		if err != nil {
+			return isa.None, err
+		}
+		g.emitOp(isa.Move, isa.Cur(dest), nilOp, isa.None)
+	}
+	if err := g.patch(endLit, jEnd, g.here()); err != nil {
+		return isa.None, err
+	}
+	return isa.Cur(dest), nil
+}
+
+func (g *comGen) whileTrue(x *SendExpr) (isa.Operand, error) {
+	condBlk, ok := x.Recv.(*BlockExpr)
+	if !ok {
+		return isa.None, fmt.Errorf("whileTrue: requires a block receiver")
+	}
+	bodyBlk, err := blockBody(x.Args[0], "whileTrue:")
+	if err != nil {
+		return isa.None, err
+	}
+	cond, err := g.alloc()
+	if err != nil {
+		return isa.None, err
+	}
+	top := g.here()
+	if err := g.body(condBlk, cond); err != nil {
+		return isa.None, err
+	}
+	endLit, endOp, err := g.jumpLit()
+	if err != nil {
+		return isa.None, err
+	}
+	jEnd := g.here()
+	g.emitOp(isa.FJmp, isa.Cur(cond), endOp, isa.None)
+	if err := g.body(bodyBlk, -1); err != nil {
+		return isa.None, err
+	}
+	tr, err := g.trueLit()
+	if err != nil {
+		return isa.None, err
+	}
+	topLit, topOp, err := g.jumpLit()
+	if err != nil {
+		return isa.None, err
+	}
+	jTop := g.here()
+	g.emitOp(isa.RJmp, tr, topOp, isa.None)
+	if err := g.patch(topLit, jTop, top); err != nil {
+		return isa.None, err
+	}
+	if err := g.patch(endLit, jEnd, g.here()); err != nil {
+		return isa.None, err
+	}
+	return g.lit(Lit{Kind: LitAtom, Name: "nil"})
+}
+
+func (g *comGen) toDo(x *SendExpr) (isa.Operand, error) {
+	blk, ok := x.Args[1].(*BlockExpr)
+	if !ok || len(blk.Params) != 1 {
+		return isa.None, fmt.Errorf("to:do: requires a one-parameter block")
+	}
+	startOp, err := g.expr(x.Recv)
+	if err != nil {
+		return isa.None, err
+	}
+	limitOp, err := g.expr(x.Args[0])
+	if err != nil {
+		return isa.None, err
+	}
+	iSlot, err := g.alloc()
+	if err != nil {
+		return isa.None, err
+	}
+	limSlot, err := g.alloc()
+	if err != nil {
+		return isa.None, err
+	}
+	condSlot, err := g.alloc()
+	if err != nil {
+		return isa.None, err
+	}
+	g.emitOp(isa.Move, isa.Cur(iSlot), startOp, isa.None)
+	g.emitOp(isa.Move, isa.Cur(limSlot), limitOp, isa.None)
+	if _, shadow := g.vars[blk.Params[0]]; shadow {
+		return isa.None, fmt.Errorf("to:do: parameter %q shadows a variable", blk.Params[0])
+	}
+	g.vars[blk.Params[0]] = iSlot
+	defer delete(g.vars, blk.Params[0])
+
+	top := g.here()
+	g.emitSend("<=", isa.Cur(condSlot), isa.Cur(iSlot), isa.Cur(limSlot))
+	endLit, endOp, err := g.jumpLit()
+	if err != nil {
+		return isa.None, err
+	}
+	jEnd := g.here()
+	g.emitOp(isa.FJmp, isa.Cur(condSlot), endOp, isa.None)
+	if err := g.body(&BlockExpr{Body: blk.Body}, -1); err != nil {
+		return isa.None, err
+	}
+	one, err := g.lit(Lit{Kind: LitInt, Int: 1})
+	if err != nil {
+		return isa.None, err
+	}
+	g.emitSend("+", isa.Cur(iSlot), isa.Cur(iSlot), one)
+	tr, err := g.trueLit()
+	if err != nil {
+		return isa.None, err
+	}
+	topLit, topOp, err := g.jumpLit()
+	if err != nil {
+		return isa.None, err
+	}
+	jTop := g.here()
+	g.emitOp(isa.RJmp, tr, topOp, isa.None)
+	if err := g.patch(topLit, jTop, top); err != nil {
+		return isa.None, err
+	}
+	if err := g.patch(endLit, jEnd, g.here()); err != nil {
+		return isa.None, err
+	}
+	return g.lit(Lit{Kind: LitAtom, Name: "nil"})
+}
+
+func (g *comGen) timesRepeat(x *SendExpr) (isa.Operand, error) {
+	blk, err := blockBody(x.Args[0], "timesRepeat:")
+	if err != nil {
+		return isa.None, err
+	}
+	countOp, err := g.expr(x.Recv)
+	if err != nil {
+		return isa.None, err
+	}
+	n, err := g.alloc()
+	if err != nil {
+		return isa.None, err
+	}
+	cond, err := g.alloc()
+	if err != nil {
+		return isa.None, err
+	}
+	g.emitOp(isa.Move, isa.Cur(n), countOp, isa.None)
+	one, err := g.lit(Lit{Kind: LitInt, Int: 1})
+	if err != nil {
+		return isa.None, err
+	}
+	zero, err := g.lit(Lit{Kind: LitInt, Int: 0})
+	if err != nil {
+		return isa.None, err
+	}
+	top := g.here()
+	g.emitSend("<", isa.Cur(cond), zero, isa.Cur(n))
+	endLit, endOp, err := g.jumpLit()
+	if err != nil {
+		return isa.None, err
+	}
+	jEnd := g.here()
+	g.emitOp(isa.FJmp, isa.Cur(cond), endOp, isa.None)
+	if err := g.body(blk, -1); err != nil {
+		return isa.None, err
+	}
+	g.emitSend("-", isa.Cur(n), isa.Cur(n), one)
+	tr, err := g.trueLit()
+	if err != nil {
+		return isa.None, err
+	}
+	topLit, topOp, err := g.jumpLit()
+	if err != nil {
+		return isa.None, err
+	}
+	jTop := g.here()
+	g.emitOp(isa.RJmp, tr, topOp, isa.None)
+	if err := g.patch(topLit, jTop, top); err != nil {
+		return isa.None, err
+	}
+	if err := g.patch(endLit, jEnd, g.here()); err != nil {
+		return isa.None, err
+	}
+	return g.lit(Lit{Kind: LitAtom, Name: "nil"})
+}
+
+func (g *comGen) shortCircuit(x *SendExpr) (isa.Operand, error) {
+	blk, err := blockBody(x.Args[0], x.Selector)
+	if err != nil {
+		return isa.None, err
+	}
+	condOp, err := g.expr(x.Recv)
+	if err != nil {
+		return isa.None, err
+	}
+	dest, err := g.alloc()
+	if err != nil {
+		return isa.None, err
+	}
+	g.emitOp(isa.Move, isa.Cur(dest), condOp, isa.None)
+	if x.Selector == "and:" {
+		// Falsy → done (answer the receiver's value).
+		endLit, endOp, err := g.jumpLit()
+		if err != nil {
+			return isa.None, err
+		}
+		jEnd := g.here()
+		g.emitOp(isa.FJmp, isa.Cur(dest), endOp, isa.None)
+		if err := g.body(blk, dest); err != nil {
+			return isa.None, err
+		}
+		if err := g.patch(endLit, jEnd, g.here()); err != nil {
+			return isa.None, err
+		}
+		return isa.Cur(dest), nil
+	}
+	// or: falsy → evaluate block; truthy → skip it.
+	takeLit, takeOp, err := g.jumpLit()
+	if err != nil {
+		return isa.None, err
+	}
+	jTake := g.here()
+	g.emitOp(isa.FJmp, isa.Cur(dest), takeOp, isa.None)
+	f, err := g.falseLit()
+	if err != nil {
+		return isa.None, err
+	}
+	endLit, endOp, err := g.jumpLit()
+	if err != nil {
+		return isa.None, err
+	}
+	jEnd := g.here()
+	g.emitOp(isa.FJmp, f, endOp, isa.None)
+	if err := g.patch(takeLit, jTake, g.here()); err != nil {
+		return isa.None, err
+	}
+	if err := g.body(blk, dest); err != nil {
+		return isa.None, err
+	}
+	if err := g.patch(endLit, jEnd, g.here()); err != nil {
+		return isa.None, err
+	}
+	return isa.Cur(dest), nil
+}

@@ -1,0 +1,469 @@
+package smalltalk
+
+import (
+	"fmt"
+
+	"repro/internal/fith"
+)
+
+// fithGen compiles a method body to Fith stack code. It shares the
+// literal pool with the COM generator (value literals deduplicate across
+// backends) and uses the method's send table for selectors.
+type fithGen struct {
+	md         *MethodDef
+	cm         *CompiledMethod
+	fields     map[string]int
+	classNames map[string]bool
+	pool       litPool
+
+	vars     map[string]int
+	nextTemp int
+	highTemp int
+}
+
+func newFithGen(md *MethodDef, fields []string, classNames map[string]bool, cm *CompiledMethod) *fithGen {
+	g := &fithGen{
+		md:         md,
+		cm:         cm,
+		fields:     map[string]int{},
+		classNames: classNames,
+		pool:       litPool{cm: cm},
+		vars:       map[string]int{},
+	}
+	for i, f := range fields {
+		g.fields[f] = i
+	}
+	n := 0
+	for _, p := range md.Params {
+		g.vars[p] = n
+		n++
+	}
+	for _, t := range md.Temps {
+		g.vars[t] = n
+		n++
+	}
+	g.nextTemp = n
+	g.highTemp = n
+	return g
+}
+
+func (g *fithGen) emit(in fith.Instr) { g.cm.Fith = append(g.cm.Fith, in) }
+
+func (g *fithGen) op(op fith.Opcode, arg int32) { g.emit(fith.Instr{Op: op, Arg: arg}) }
+
+func (g *fithGen) send(sel string, argc int) {
+	g.emit(fith.Instr{Op: fith.OpSend, Arg: g.cm.selIdx(sel), Arg2: int32(argc)})
+}
+
+func (g *fithGen) lit(l Lit) error {
+	i, err := g.pool.intern(l)
+	if err != nil {
+		return err
+	}
+	g.op(fith.OpLit, int32(i))
+	return nil
+}
+
+func (g *fithGen) alloc() int {
+	s := g.nextTemp
+	g.nextTemp++
+	if g.nextTemp > g.highTemp {
+		g.highTemp = g.nextTemp
+	}
+	return s
+}
+
+func (g *fithGen) release(mark int) { g.nextTemp = mark }
+
+func (g *fithGen) here() int { return len(g.cm.Fith) }
+
+// patch fixes the displacement of the jump at index j to land on target.
+func (g *fithGen) patch(j, target int) {
+	g.cm.Fith[j].Arg = int32(target - (j + 1))
+}
+
+func (g *fithGen) method() error {
+	for _, st := range g.md.Body {
+		if err := g.stmt(st); err != nil {
+			return err
+		}
+	}
+	g.op(fith.OpSelf, 0)
+	g.op(fith.OpRet, 0)
+	g.cm.FithTemps = g.highTemp
+	return nil
+}
+
+func (g *fithGen) stmt(st Stmt) error {
+	mark := g.nextTemp
+	defer g.release(mark)
+	switch s := st.(type) {
+	case *ExprStmt:
+		if err := g.expr(s.E); err != nil {
+			return err
+		}
+		g.op(fith.OpDrop, 0)
+		return nil
+	case *AssignStmt:
+		return g.assign(s.Name, s.E, s.Line, false)
+	case *ReturnStmt:
+		if err := g.expr(s.E); err != nil {
+			return err
+		}
+		g.op(fith.OpRet, 0)
+		return nil
+	}
+	return fmt.Errorf("unknown statement %T", st)
+}
+
+// assign compiles an assignment; when keep is true the assigned value is
+// left on the stack.
+func (g *fithGen) assign(name string, e Expr, line int, keep bool) error {
+	if slot, ok := g.vars[name]; ok {
+		if err := g.expr(e); err != nil {
+			return err
+		}
+		if keep {
+			g.op(fith.OpDup, 0)
+		}
+		g.op(fith.OpSetTemp, int32(slot))
+		return nil
+	}
+	if idx, ok := g.fields[name]; ok {
+		g.op(fith.OpSelf, 0)
+		if err := g.lit(Lit{Kind: LitInt, Int: int32(idx)}); err != nil {
+			return err
+		}
+		if err := g.expr(e); err != nil {
+			return err
+		}
+		g.send("at:put:", 2)
+		if !keep {
+			g.op(fith.OpDrop, 0)
+		}
+		return nil
+	}
+	return fmt.Errorf("line %d: assignment to unknown variable %q", line, name)
+}
+
+func (g *fithGen) expr(e Expr) error {
+	switch x := e.(type) {
+	case *IntLit:
+		return g.lit(Lit{Kind: LitInt, Int: x.V})
+	case *FloatLit:
+		return g.lit(Lit{Kind: LitFloat, Float: x.V})
+	case *AtomLit:
+		return g.lit(Lit{Kind: LitAtom, Name: x.Name})
+	case *SelfExpr:
+		g.op(fith.OpSelf, 0)
+		return nil
+	case *VarExpr:
+		return g.varRef(x)
+	case *AssignExpr:
+		return g.assign(x.Name, x.E, x.Line, true)
+	case *SendExpr:
+		return g.sendExpr(x)
+	case *BlockExpr:
+		return fmt.Errorf("line %d: blocks are only supported as inlined control-flow arguments", x.Line)
+	}
+	return fmt.Errorf("unknown expression %T", e)
+}
+
+func (g *fithGen) varRef(x *VarExpr) error {
+	if slot, ok := g.vars[x.Name]; ok {
+		g.op(fith.OpTemp, int32(slot))
+		return nil
+	}
+	if idx, ok := g.fields[x.Name]; ok {
+		g.op(fith.OpSelf, 0)
+		if err := g.lit(Lit{Kind: LitInt, Int: int32(idx)}); err != nil {
+			return err
+		}
+		g.send("at:", 1)
+		return nil
+	}
+	if g.classNames[x.Name] {
+		return g.lit(Lit{Kind: LitClass, Name: x.Name})
+	}
+	return fmt.Errorf("line %d: unknown variable %q", x.Line, x.Name)
+}
+
+func (g *fithGen) sendExpr(x *SendExpr) error {
+	if handled, err := g.inlined(x); handled {
+		return err
+	}
+	sel := x.Selector
+	switch sel {
+	case ">", ">=":
+		// a > b compiles as b < a: evaluate the argument first.
+		if err := g.expr(x.Args[0]); err != nil {
+			return err
+		}
+		if err := g.expr(x.Recv); err != nil {
+			return err
+		}
+		g.send(map[string]string{">": "<", ">=": "<="}[sel], 1)
+		return nil
+	case "~=":
+		if err := g.expr(x.Recv); err != nil {
+			return err
+		}
+		if err := g.expr(x.Args[0]); err != nil {
+			return err
+		}
+		g.send("=", 1)
+		if err := g.lit(Lit{Kind: LitAtom, Name: "false"}); err != nil {
+			return err
+		}
+		g.send("==", 1)
+		return nil
+	}
+	if err := g.expr(x.Recv); err != nil {
+		return err
+	}
+	for _, a := range x.Args {
+		if err := g.expr(a); err != nil {
+			return err
+		}
+	}
+	g.send(sel, len(x.Args))
+	return nil
+}
+
+func (g *fithGen) inlined(x *SendExpr) (bool, error) {
+	switch x.Selector {
+	case "ifTrue:", "ifFalse:", "ifTrue:ifFalse:", "ifFalse:ifTrue:":
+		return true, g.conditional(x)
+	case "whileTrue:":
+		return true, g.whileTrue(x)
+	case "to:do:":
+		return true, g.toDo(x)
+	case "timesRepeat:":
+		return true, g.timesRepeat(x)
+	case "and:", "or:":
+		return true, g.shortCircuit(x)
+	}
+	return false, nil
+}
+
+// valueBody compiles block statements leaving the final expression's value
+// on the stack (nil when absent).
+func (g *fithGen) valueBody(b *BlockExpr) error {
+	mark := g.nextTemp
+	defer g.release(mark)
+	for i, st := range b.Body {
+		if i == len(b.Body)-1 {
+			if es, ok := st.(*ExprStmt); ok {
+				return g.expr(es.E)
+			}
+		}
+		if err := g.stmt(st); err != nil {
+			return err
+		}
+	}
+	return g.lit(Lit{Kind: LitAtom, Name: "nil"})
+}
+
+// effectBody compiles block statements for effect only.
+func (g *fithGen) effectBody(b *BlockExpr) error {
+	mark := g.nextTemp
+	defer g.release(mark)
+	for _, st := range b.Body {
+		if err := g.stmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *fithGen) conditional(x *SendExpr) error {
+	var trueBlk, falseBlk *BlockExpr
+	var err error
+	switch x.Selector {
+	case "ifTrue:":
+		if trueBlk, err = blockBody(x.Args[0], "ifTrue:"); err != nil {
+			return err
+		}
+	case "ifFalse:":
+		if falseBlk, err = blockBody(x.Args[0], "ifFalse:"); err != nil {
+			return err
+		}
+	case "ifTrue:ifFalse:":
+		if trueBlk, err = blockBody(x.Args[0], "ifTrue:"); err != nil {
+			return err
+		}
+		if falseBlk, err = blockBody(x.Args[1], "ifFalse:"); err != nil {
+			return err
+		}
+	case "ifFalse:ifTrue:":
+		if falseBlk, err = blockBody(x.Args[0], "ifFalse:"); err != nil {
+			return err
+		}
+		if trueBlk, err = blockBody(x.Args[1], "ifTrue:"); err != nil {
+			return err
+		}
+	}
+	if err := g.expr(x.Recv); err != nil {
+		return err
+	}
+	jElse := g.here()
+	g.op(fith.OpJmpFalse, 0)
+	if trueBlk != nil {
+		if err := g.valueBody(trueBlk); err != nil {
+			return err
+		}
+	} else {
+		if err := g.lit(Lit{Kind: LitAtom, Name: "nil"}); err != nil {
+			return err
+		}
+	}
+	jEnd := g.here()
+	g.op(fith.OpJmp, 0)
+	g.patch(jElse, g.here())
+	if falseBlk != nil {
+		if err := g.valueBody(falseBlk); err != nil {
+			return err
+		}
+	} else {
+		if err := g.lit(Lit{Kind: LitAtom, Name: "nil"}); err != nil {
+			return err
+		}
+	}
+	g.patch(jEnd, g.here())
+	return nil
+}
+
+func (g *fithGen) whileTrue(x *SendExpr) error {
+	condBlk, ok := x.Recv.(*BlockExpr)
+	if !ok {
+		return fmt.Errorf("whileTrue: requires a block receiver")
+	}
+	bodyBlk, err := blockBody(x.Args[0], "whileTrue:")
+	if err != nil {
+		return err
+	}
+	top := g.here()
+	if err := g.valueBody(condBlk); err != nil {
+		return err
+	}
+	jEnd := g.here()
+	g.op(fith.OpJmpFalse, 0)
+	if err := g.effectBody(bodyBlk); err != nil {
+		return err
+	}
+	jTop := g.here()
+	g.op(fith.OpJmp, 0)
+	g.patch(jTop, top)
+	g.patch(jEnd, g.here())
+	return g.lit(Lit{Kind: LitAtom, Name: "nil"})
+}
+
+func (g *fithGen) toDo(x *SendExpr) error {
+	blk, ok := x.Args[1].(*BlockExpr)
+	if !ok || len(blk.Params) != 1 {
+		return fmt.Errorf("to:do: requires a one-parameter block")
+	}
+	if _, shadow := g.vars[blk.Params[0]]; shadow {
+		return fmt.Errorf("to:do: parameter %q shadows a variable", blk.Params[0])
+	}
+	i := g.alloc()
+	lim := g.alloc()
+	if err := g.expr(x.Recv); err != nil {
+		return err
+	}
+	g.op(fith.OpSetTemp, int32(i))
+	if err := g.expr(x.Args[0]); err != nil {
+		return err
+	}
+	g.op(fith.OpSetTemp, int32(lim))
+	g.vars[blk.Params[0]] = i
+	defer delete(g.vars, blk.Params[0])
+
+	top := g.here()
+	g.op(fith.OpTemp, int32(i))
+	g.op(fith.OpTemp, int32(lim))
+	g.send("<=", 1)
+	jEnd := g.here()
+	g.op(fith.OpJmpFalse, 0)
+	if err := g.effectBody(&BlockExpr{Body: blk.Body}); err != nil {
+		return err
+	}
+	g.op(fith.OpTemp, int32(i))
+	if err := g.lit(Lit{Kind: LitInt, Int: 1}); err != nil {
+		return err
+	}
+	g.send("+", 1)
+	g.op(fith.OpSetTemp, int32(i))
+	jTop := g.here()
+	g.op(fith.OpJmp, 0)
+	g.patch(jTop, top)
+	g.patch(jEnd, g.here())
+	return g.lit(Lit{Kind: LitAtom, Name: "nil"})
+}
+
+func (g *fithGen) timesRepeat(x *SendExpr) error {
+	blk, err := blockBody(x.Args[0], "timesRepeat:")
+	if err != nil {
+		return err
+	}
+	n := g.alloc()
+	if err := g.expr(x.Recv); err != nil {
+		return err
+	}
+	g.op(fith.OpSetTemp, int32(n))
+	top := g.here()
+	if err := g.lit(Lit{Kind: LitInt, Int: 0}); err != nil {
+		return err
+	}
+	g.op(fith.OpTemp, int32(n))
+	g.send("<", 1)
+	jEnd := g.here()
+	g.op(fith.OpJmpFalse, 0)
+	if err := g.effectBody(blk); err != nil {
+		return err
+	}
+	g.op(fith.OpTemp, int32(n))
+	if err := g.lit(Lit{Kind: LitInt, Int: 1}); err != nil {
+		return err
+	}
+	g.send("-", 1)
+	g.op(fith.OpSetTemp, int32(n))
+	jTop := g.here()
+	g.op(fith.OpJmp, 0)
+	g.patch(jTop, top)
+	g.patch(jEnd, g.here())
+	return g.lit(Lit{Kind: LitAtom, Name: "nil"})
+}
+
+func (g *fithGen) shortCircuit(x *SendExpr) error {
+	blk, err := blockBody(x.Args[0], x.Selector)
+	if err != nil {
+		return err
+	}
+	if err := g.expr(x.Recv); err != nil {
+		return err
+	}
+	if x.Selector == "and:" {
+		g.op(fith.OpDup, 0)
+		jEnd := g.here()
+		g.op(fith.OpJmpFalse, 0)
+		g.op(fith.OpDrop, 0)
+		if err := g.valueBody(blk); err != nil {
+			return err
+		}
+		g.patch(jEnd, g.here())
+		return nil
+	}
+	g.op(fith.OpDup, 0)
+	jTake := g.here()
+	g.op(fith.OpJmpFalse, 0)
+	jEnd := g.here()
+	g.op(fith.OpJmp, 0)
+	g.patch(jTake, g.here())
+	g.op(fith.OpDrop, 0)
+	if err := g.valueBody(blk); err != nil {
+		return err
+	}
+	g.patch(jEnd, g.here())
+	return nil
+}

@@ -1,0 +1,282 @@
+// Package smalltalk implements the language front end of §4: a small
+// Smalltalk-style language with classes, unary/binary/keyword message
+// sends and inlined control-flow blocks, compiled to both COM
+// three-address code and Fith stack code (the §5 comparison).
+//
+// The surface syntax:
+//
+//	class Point extends Object [
+//	    | x y |
+//	    method x [ ^x ]
+//	    method setX: ax y: ay [ x := ax. y := ay ]
+//	    method + p [ ^Point new setX: x + p x y: y + p y ]
+//	]
+//	extend SmallInt [
+//	    method fact [ self isZero ifTrue: [ ^1 ]. ^self * (self - 1) fact ]
+//	]
+//
+// Message precedence is Smalltalk's: unary > binary > keyword. Blocks are
+// permitted only where the compiler inlines them (ifTrue:/ifFalse:,
+// whileTrue:, to:do:, timesRepeat:, and:/or:), which is how early
+// Smalltalk compilers treated these selectors too.
+package smalltalk
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword // trailing colon: at:, ifTrue:
+	tokBinary  // + - * / < <= = == ~= > >= \\ ,
+	tokInt
+	tokFloat
+	tokAtom // #symbol
+	tokAssign
+	tokCaret
+	tokDot
+	tokPipe
+	tokLBracket
+	tokRBracket
+	tokLParen
+	tokRParen
+	tokSemi
+	tokColonVar // :x block parameter
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokKeyword:
+		return "keyword"
+	case tokBinary:
+		return "binary selector"
+	case tokInt:
+		return "integer"
+	case tokFloat:
+		return "float"
+	case tokAtom:
+		return "atom"
+	case tokAssign:
+		return ":="
+	case tokCaret:
+		return "^"
+	case tokDot:
+		return "."
+	case tokPipe:
+		return "|"
+	case tokLBracket:
+		return "["
+	case tokRBracket:
+		return "]"
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokSemi:
+		return ";"
+	case tokColonVar:
+		return "block parameter"
+	}
+	return "token"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	toks []token
+}
+
+const binaryChars = "+-*/<>=~\\,@%&?!"
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: []rune(src), line: 1}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		r := l.src[l.pos]
+		switch {
+		case r == '"': // comment
+			if err := l.comment(); err != nil {
+				return nil, err
+			}
+		case unicode.IsLetter(r) || r == '_':
+			l.identifier()
+		case unicode.IsDigit(r):
+			l.number(false)
+		case r == '#':
+			if err := l.atom(); err != nil {
+				return nil, err
+			}
+		case r == ':':
+			if l.peek(1) == '=' {
+				l.emit(tokAssign, ":=")
+				l.pos += 2
+			} else {
+				// :x block parameter
+				l.pos++
+				start := l.pos
+				for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos])) {
+					l.pos++
+				}
+				if l.pos == start {
+					return nil, fmt.Errorf("line %d: ':' without parameter name", l.line)
+				}
+				l.emit(tokColonVar, string(l.src[start:l.pos]))
+			}
+		case r == '^':
+			l.emit(tokCaret, "^")
+			l.pos++
+		case r == '.':
+			l.emit(tokDot, ".")
+			l.pos++
+		case r == '|':
+			l.emit(tokPipe, "|")
+			l.pos++
+		case r == '[':
+			l.emit(tokLBracket, "[")
+			l.pos++
+		case r == ']':
+			l.emit(tokRBracket, "]")
+			l.pos++
+		case r == '(':
+			l.emit(tokLParen, "(")
+			l.pos++
+		case r == ')':
+			l.emit(tokRParen, ")")
+			l.pos++
+		case r == ';':
+			l.emit(tokSemi, ";")
+			l.pos++
+		case r == '-' && unicode.IsDigit(l.peek(1)) && l.negContext():
+			l.number(true)
+		case strings.ContainsRune(binaryChars, r):
+			start := l.pos
+			for l.pos < len(l.src) && strings.ContainsRune(binaryChars, l.src[l.pos]) {
+				l.pos++
+			}
+			l.emit(tokBinary, string(l.src[start:l.pos]))
+		default:
+			return nil, fmt.Errorf("line %d: unexpected character %q", l.line, r)
+		}
+	}
+}
+
+func (l *lexer) peek(n int) rune {
+	if l.pos+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+n]
+}
+
+// negContext reports whether a '-' begins a negative literal rather than a
+// binary minus: true after an operator, open bracket, or at the start.
+func (l *lexer) negContext() bool {
+	for i := len(l.toks) - 1; i >= 0; i-- {
+		switch l.toks[i].kind {
+		case tokIdent, tokInt, tokFloat, tokRParen, tokRBracket, tokAtom:
+			return false
+		default:
+			return true
+		}
+	}
+	return true
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		r := l.src[l.pos]
+		if r == '\n' {
+			l.line++
+			l.pos++
+		} else if unicode.IsSpace(r) {
+			l.pos++
+		} else {
+			return
+		}
+	}
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, line: l.line})
+}
+
+func (l *lexer) comment() error {
+	start := l.line
+	l.pos++ // opening quote
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == '"' {
+			l.pos++
+			return nil
+		}
+		if l.src[l.pos] == '\n' {
+			l.line++
+		}
+		l.pos++
+	}
+	return fmt.Errorf("line %d: unterminated comment", start)
+}
+
+func (l *lexer) identifier() {
+	start := l.pos
+	for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+		l.pos++
+	}
+	text := string(l.src[start:l.pos])
+	if l.pos < len(l.src) && l.src[l.pos] == ':' && l.peek(1) != '=' {
+		l.pos++
+		l.emit(tokKeyword, text+":")
+		return
+	}
+	l.emit(tokIdent, text)
+}
+
+func (l *lexer) number(neg bool) {
+	start := l.pos
+	if neg {
+		l.pos++
+	}
+	kind := tokInt
+	for l.pos < len(l.src) && unicode.IsDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' && unicode.IsDigit(l.peek(1)) {
+		kind = tokFloat
+		l.pos++
+		for l.pos < len(l.src) && unicode.IsDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	l.emit(kind, string(l.src[start:l.pos]))
+}
+
+func (l *lexer) atom() error {
+	l.pos++ // '#'
+	start := l.pos
+	for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == ':' || l.src[l.pos] == '_') {
+		l.pos++
+	}
+	if l.pos == start {
+		return fmt.Errorf("line %d: empty atom literal", l.line)
+	}
+	l.emit(tokAtom, string(l.src[start:l.pos]))
+	return nil
+}

@@ -1,0 +1,178 @@
+package smalltalk
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fith"
+	"repro/internal/isa"
+	"repro/internal/object"
+	"repro/internal/word"
+)
+
+// LoadCOM materialises a compiled program on a COM: classes are defined
+// (with class objects), literal pools are converted to tagged words, send
+// selectors are bound to opcodes, and methods are installed in memory.
+func LoadCOM(m *core.Machine, c *Compiled) error {
+	for _, cc := range c.Classes {
+		cls, err := comClass(m, cc)
+		if err != nil {
+			return err
+		}
+		for _, cm := range cc.Methods {
+			meth, err := comMethod(m, cm)
+			if err != nil {
+				return fmt.Errorf("%s>>%s: %w", cc.Name, cm.Selector, err)
+			}
+			if err := m.InstallMethod(cls, meth); err != nil {
+				return fmt.Errorf("%s>>%s: %w", cc.Name, cm.Selector, err)
+			}
+		}
+	}
+	return nil
+}
+
+func comClass(m *core.Machine, cc *CompiledClass) (*object.Class, error) {
+	if cc.Extend {
+		cls, ok := m.Image.ClassByName(cc.Name)
+		if !ok {
+			return nil, fmt.Errorf("extend of unknown class %q", cc.Name)
+		}
+		return cls, nil
+	}
+	super, ok := m.Image.ClassByName(cc.Super)
+	if !ok {
+		return nil, fmt.Errorf("unknown superclass %q", cc.Super)
+	}
+	return m.DefineClass(object.NewClass(cc.Name, super, cc.Fields...))
+}
+
+// comLit converts a literal-pool entry to a tagged word.
+func comLit(m *core.Machine, l Lit) (word.Word, error) {
+	switch l.Kind {
+	case LitInt:
+		return word.FromInt(l.Int), nil
+	case LitFloat:
+		return word.FromFloat(l.Float), nil
+	case LitAtom:
+		switch l.Name {
+		case "true":
+			return word.True, nil
+		case "false":
+			return word.False, nil
+		case "nil":
+			return word.Nil, nil
+		}
+		return word.FromAtom(uint32(m.Image.Atoms.Intern(l.Name))), nil
+	case LitClass:
+		cls, ok := m.Image.ClassByName(l.Name)
+		if !ok {
+			return word.Word{}, fmt.Errorf("unknown class literal %q", l.Name)
+		}
+		return m.ClassPointer(cls), nil
+	}
+	return word.Word{}, fmt.Errorf("unknown literal kind %d", l.Kind)
+}
+
+func comMethod(m *core.Machine, cm *CompiledMethod) (*object.Method, error) {
+	lits := make([]word.Word, len(cm.Lits))
+	for i, l := range cm.Lits {
+		w, err := comLit(m, l)
+		if err != nil {
+			return nil, err
+		}
+		lits[i] = w
+	}
+	code := make([]uint32, len(cm.Com))
+	for i, in := range cm.Com {
+		op := in.Op
+		if in.Sel != "" {
+			var err error
+			op, err = m.OpcodeFor(m.Image.Atoms.Intern(in.Sel))
+			if err != nil {
+				return nil, err
+			}
+		}
+		code[i] = isa.Instr{Op: op, A: in.A, B: in.B, C: in.C}.Encode()
+	}
+	return &object.Method{
+		Selector: m.Image.Atoms.Intern(cm.Selector),
+		NumArgs:  cm.NumArgs,
+		NumTemps: cm.NumTemps,
+		Literals: lits,
+		Code:     code,
+	}, nil
+}
+
+// LoadFith materialises the same compiled program on a Fith machine.
+func LoadFith(vm *fith.VM, c *Compiled) error {
+	for _, cc := range c.Classes {
+		var cls *object.Class
+		if cc.Extend {
+			var ok bool
+			cls, ok = vm.Image.ClassByName(cc.Name)
+			if !ok {
+				return fmt.Errorf("extend of unknown class %q", cc.Name)
+			}
+		} else {
+			var err error
+			cls, err = vm.DefineClass(cc.Name, cc.Super, cc.Fields)
+			if err != nil {
+				return err
+			}
+		}
+		for _, cm := range cc.Methods {
+			meth, err := fithMethod(vm, cm)
+			if err != nil {
+				return fmt.Errorf("%s>>%s: %w", cc.Name, cm.Selector, err)
+			}
+			vm.Install(cls, meth)
+		}
+	}
+	return nil
+}
+
+func fithLit(vm *fith.VM, l Lit) (fith.Value, error) {
+	switch l.Kind {
+	case LitInt:
+		return fith.IntVal(l.Int), nil
+	case LitFloat:
+		return fith.FloatVal(l.Float), nil
+	case LitAtom:
+		switch l.Name {
+		case "true":
+			return fith.BoolVal(true), nil
+		case "false":
+			return fith.BoolVal(false), nil
+		case "nil":
+			return fith.NilVal, nil
+		}
+		return fith.Value{W: word.FromAtom(uint32(vm.Image.Atoms.Intern(l.Name)))}, nil
+	case LitClass:
+		return vm.ClassValue(l.Name)
+	}
+	return fith.Value{}, fmt.Errorf("unknown literal kind %d", l.Kind)
+}
+
+func fithMethod(vm *fith.VM, cm *CompiledMethod) (*fith.Method, error) {
+	lits := make([]fith.Value, len(cm.Lits))
+	for i, l := range cm.Lits {
+		v, err := fithLit(vm, l)
+		if err != nil {
+			return nil, err
+		}
+		lits[i] = v
+	}
+	sels := make([]object.Selector, len(cm.Selectors))
+	for i, s := range cm.Selectors {
+		sels[i] = vm.Image.Atoms.Intern(s)
+	}
+	return &fith.Method{
+		Selector:  vm.Image.Atoms.Intern(cm.Selector),
+		NumArgs:   cm.NumArgs,
+		NumTemps:  cm.FithTemps,
+		Lits:      lits,
+		Selectors: sels,
+		Code:      append([]fith.Instr(nil), cm.Fith...),
+	}, nil
+}

@@ -1,0 +1,356 @@
+package smalltalk
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse turns source text into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tokEOF) {
+		cd, err := p.classDef()
+		if err != nil {
+			return nil, err
+		}
+		prog.Classes = append(prog.Classes, cd)
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k tokKind) bool { return p.cur().kind == k }
+
+func (p *parser) atIdent(text string) bool {
+	return p.cur().kind == tokIdent && p.cur().text == text
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if !p.at(k) {
+		return token{}, p.errf("expected %v, found %v %q", k, p.cur().kind, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+// classDef := ("class" IDENT ("extends" IDENT)? | "extend" IDENT) "[" fields? method* "]"
+func (p *parser) classDef() (*ClassDef, error) {
+	line := p.cur().line
+	cd := &ClassDef{Line: line}
+	switch {
+	case p.atIdent("class"):
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		cd.Name = name.text
+		if p.atIdent("extends") {
+			p.next()
+			super, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			cd.Super = super.text
+		}
+	case p.atIdent("extend"):
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		cd.Name = name.text
+		cd.Extend = true
+	default:
+		return nil, p.errf("expected 'class' or 'extend', found %q", p.cur().text)
+	}
+	if _, err := p.expect(tokLBracket); err != nil {
+		return nil, err
+	}
+	if p.at(tokPipe) {
+		if cd.Extend {
+			return nil, p.errf("extend blocks cannot declare fields")
+		}
+		p.next()
+		for p.at(tokIdent) {
+			cd.Fields = append(cd.Fields, p.next().text)
+		}
+		if _, err := p.expect(tokPipe); err != nil {
+			return nil, err
+		}
+	}
+	for p.atIdent("method") {
+		md, err := p.methodDef()
+		if err != nil {
+			return nil, err
+		}
+		cd.Methods = append(cd.Methods, md)
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return nil, err
+	}
+	return cd, nil
+}
+
+// methodDef := "method" pattern "[" temps? statements "]"
+func (p *parser) methodDef() (*MethodDef, error) {
+	line := p.cur().line
+	p.next() // "method"
+	md := &MethodDef{Line: line}
+	switch p.cur().kind {
+	case tokIdent: // unary
+		md.Selector = p.next().text
+	case tokBinary: // binary with one parameter
+		md.Selector = p.next().text
+		arg, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		md.Params = []string{arg.text}
+	case tokKeyword:
+		var sel strings.Builder
+		for p.at(tokKeyword) {
+			sel.WriteString(p.next().text)
+			arg, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			md.Params = append(md.Params, arg.text)
+		}
+		md.Selector = sel.String()
+	default:
+		return nil, p.errf("expected method pattern, found %q", p.cur().text)
+	}
+	if _, err := p.expect(tokLBracket); err != nil {
+		return nil, err
+	}
+	if p.at(tokPipe) {
+		p.next()
+		for p.at(tokIdent) {
+			md.Temps = append(md.Temps, p.next().text)
+		}
+		if _, err := p.expect(tokPipe); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.statements()
+	if err != nil {
+		return nil, err
+	}
+	md.Body = body
+	if _, err := p.expect(tokRBracket); err != nil {
+		return nil, err
+	}
+	return md, nil
+}
+
+// statements := (statement ("." statement)*)? "."?
+func (p *parser) statements() ([]Stmt, error) {
+	var out []Stmt
+	for {
+		if p.at(tokRBracket) || p.at(tokEOF) {
+			return out, nil
+		}
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+		if p.at(tokDot) {
+			p.next()
+			continue
+		}
+		return out, nil
+	}
+}
+
+func (p *parser) statement() (Stmt, error) {
+	if p.at(tokCaret) {
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{E: e}, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if a, ok := e.(*AssignExpr); ok {
+		return &AssignStmt{Name: a.Name, E: a.E, Line: a.Line}, nil
+	}
+	return &ExprStmt{E: e}, nil
+}
+
+// expr := IDENT ":=" expr | keywordExpr
+func (p *parser) expr() (Expr, error) {
+	if p.at(tokIdent) && p.toks[p.pos+1].kind == tokAssign {
+		name := p.next()
+		p.next() // :=
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{Name: name.text, E: e, Line: name.line}, nil
+	}
+	return p.keywordExpr()
+}
+
+// keywordExpr := binaryExpr (KEYWORD binaryExpr)*
+func (p *parser) keywordExpr() (Expr, error) {
+	recv, err := p.binaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokKeyword) {
+		return recv, nil
+	}
+	line := p.cur().line
+	var sel strings.Builder
+	var args []Expr
+	for p.at(tokKeyword) {
+		sel.WriteString(p.next().text)
+		arg, err := p.binaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, arg)
+	}
+	return &SendExpr{Recv: recv, Selector: sel.String(), Args: args, Line: line}, nil
+}
+
+// binaryExpr := unaryExpr (BINARY unaryExpr)*   (left associative)
+func (p *parser) binaryExpr() (Expr, error) {
+	left, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokBinary) {
+		op := p.next()
+		right, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &SendExpr{Recv: left, Selector: op.text, Args: []Expr{right}, Line: op.line}
+	}
+	return left, nil
+}
+
+// unaryExpr := primary IDENT*
+func (p *parser) unaryExpr() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokIdent) && !p.reserved(p.cur().text) {
+		sel := p.next()
+		e = &SendExpr{Recv: e, Selector: sel.text, Line: sel.line}
+	}
+	return e, nil
+}
+
+// reserved identifiers never parse as unary selectors.
+func (p *parser) reserved(s string) bool {
+	switch s {
+	case "method", "class", "extend", "extends":
+		return true
+	}
+	return false
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 32)
+		if err != nil {
+			return nil, p.errf("integer %q out of range", t.text)
+		}
+		return &IntLit{V: int32(v)}, nil
+	case tokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 32)
+		if err != nil {
+			return nil, p.errf("bad float %q", t.text)
+		}
+		return &FloatLit{V: float32(v)}, nil
+	case tokAtom:
+		p.next()
+		return &AtomLit{Name: t.text}, nil
+	case tokIdent:
+		p.next()
+		switch t.text {
+		case "self":
+			return &SelfExpr{}, nil
+		case "true", "false", "nil":
+			return &AtomLit{Name: t.text}, nil
+		}
+		return &VarExpr{Name: t.text, Line: t.line}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokLBracket:
+		return p.block()
+	case tokBinary:
+		if t.text == "-" {
+			// Unary minus on a parenthesised expression etc.: parse as
+			// 0 - operand for simplicity.
+			p.next()
+			e, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &SendExpr{Recv: &IntLit{V: 0}, Selector: "-", Args: []Expr{e}, Line: t.line}, nil
+		}
+	}
+	return nil, p.errf("unexpected %v %q in expression", t.kind, t.text)
+}
+
+// block := "[" (":param")* ("|")? statements "]"
+func (p *parser) block() (Expr, error) {
+	line := p.cur().line
+	p.next() // [
+	b := &BlockExpr{Line: line}
+	for p.at(tokColonVar) {
+		b.Params = append(b.Params, p.next().text)
+	}
+	if len(b.Params) > 0 {
+		if _, err := p.expect(tokPipe); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.statements()
+	if err != nil {
+		return nil, err
+	}
+	b.Body = body
+	if _, err := p.expect(tokRBracket); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

@@ -1,0 +1,461 @@
+package smalltalk
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fith"
+	"repro/internal/word"
+)
+
+// both compiles source and loads it into a fresh COM and a fresh Fith VM.
+func both(t *testing.T, src string) (*core.Machine, *fith.VM) {
+	t.Helper()
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := core.New(core.Config{})
+	if err := LoadCOM(m, c); err != nil {
+		t.Fatalf("load COM: %v", err)
+	}
+	vm := fith.NewVM(fith.Config{})
+	if err := LoadFith(vm, c); err != nil {
+		t.Fatalf("load Fith: %v", err)
+	}
+	return m, vm
+}
+
+// agreeInt sends to an integer receiver on both machines and checks both
+// return the same expected integer.
+func agreeInt(t *testing.T, m *core.Machine, vm *fith.VM, recv int32, sel string, want int32, args ...int32) {
+	t.Helper()
+	var comArgs []word.Word
+	var fithArgs []fith.Value
+	for _, a := range args {
+		comArgs = append(comArgs, word.FromInt(a))
+		fithArgs = append(fithArgs, fith.IntVal(a))
+	}
+	got, err := m.Send(word.FromInt(recv), sel, comArgs...)
+	if err != nil {
+		t.Fatalf("COM %d %s: %v", recv, sel, err)
+	}
+	if got != word.FromInt(want) {
+		t.Fatalf("COM %d %s = %v, want %d", recv, sel, got, want)
+	}
+	fgot, err := vm.Send(fith.IntVal(recv), sel, fithArgs...)
+	if err != nil {
+		t.Fatalf("Fith %d %s: %v", recv, sel, err)
+	}
+	if fgot.W != word.FromInt(want) {
+		t.Fatalf("Fith %d %s = %v, want %d", recv, sel, fgot, want)
+	}
+}
+
+func TestFactorialBothMachines(t *testing.T) {
+	m, vm := both(t, `
+		extend SmallInt [
+			method fact [
+				self isZero ifTrue: [ ^1 ].
+				^self * (self - 1) fact
+			]
+		]
+	`)
+	agreeInt(t, m, vm, 0, "fact", 1)
+	agreeInt(t, m, vm, 1, "fact", 1)
+	agreeInt(t, m, vm, 6, "fact", 720)
+	agreeInt(t, m, vm, 10, "fact", 3628800)
+}
+
+func TestFibonacciBothMachines(t *testing.T) {
+	m, vm := both(t, `
+		extend SmallInt [
+			method fib [
+				self < 2 ifTrue: [ ^self ].
+				^(self - 1) fib + (self - 2) fib
+			]
+		]
+	`)
+	agreeInt(t, m, vm, 10, "fib", 55)
+	agreeInt(t, m, vm, 15, "fib", 610)
+}
+
+func TestWhileLoop(t *testing.T) {
+	m, vm := both(t, `
+		extend SmallInt [
+			method sumTo [
+				| acc i |
+				acc := 0. i := 1.
+				[ i <= self ] whileTrue: [ acc := acc + i. i := i + 1 ].
+				^acc
+			]
+		]
+	`)
+	agreeInt(t, m, vm, 100, "sumTo", 5050)
+	agreeInt(t, m, vm, 0, "sumTo", 0)
+}
+
+func TestToDoLoop(t *testing.T) {
+	m, vm := both(t, `
+		extend SmallInt [
+			method squareSum [
+				| acc |
+				acc := 0.
+				1 to: self do: [:i | acc := acc + (i * i) ].
+				^acc
+			]
+		]
+	`)
+	agreeInt(t, m, vm, 5, "squareSum", 55)
+	agreeInt(t, m, vm, 10, "squareSum", 385)
+}
+
+func TestTimesRepeat(t *testing.T) {
+	m, vm := both(t, `
+		extend SmallInt [
+			method doubled [
+				| x |
+				x := 0.
+				self timesRepeat: [ x := x + 2 ].
+				^x
+			]
+		]
+	`)
+	agreeInt(t, m, vm, 7, "doubled", 14)
+	agreeInt(t, m, vm, 0, "doubled", 0)
+}
+
+func TestConditionals(t *testing.T) {
+	m, vm := both(t, `
+		extend SmallInt [
+			method absval [
+				self < 0 ifTrue: [ ^0 - self ] ifFalse: [ ^self ]
+			]
+			method sign [
+				self isZero ifTrue: [ ^0 ].
+				self < 0 ifTrue: [ ^-1 ].
+				^1
+			]
+			method parity [
+				^(self \\ 2) isZero ifTrue: [ #even ] ifFalse: [ #odd ]
+			]
+		]
+	`)
+	agreeInt(t, m, vm, -5, "absval", 5)
+	agreeInt(t, m, vm, 5, "absval", 5)
+	agreeInt(t, m, vm, -7, "sign", -1)
+	agreeInt(t, m, vm, 0, "sign", 0)
+	agreeInt(t, m, vm, 3, "sign", 1)
+
+	got, err := m.Send(word.FromInt(4), "parity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	even := word.FromAtom(uint32(m.Image.Atoms.Intern("even")))
+	if got != even {
+		t.Fatalf("4 parity = %v", got)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	m, vm := both(t, `
+		extend SmallInt [
+			method between [
+				"answer 1 when 10 < self < 20 — uses and: to guard"
+				((10 < self) and: [ self < 20 ]) ifTrue: [ ^1 ]. ^0
+			]
+			method outside [
+				((self < 10) or: [ 20 < self ]) ifTrue: [ ^1 ]. ^0
+			]
+		]
+	`)
+	agreeInt(t, m, vm, 15, "between", 1)
+	agreeInt(t, m, vm, 5, "between", 0)
+	agreeInt(t, m, vm, 25, "between", 0)
+	agreeInt(t, m, vm, 5, "outside", 1)
+	agreeInt(t, m, vm, 15, "outside", 0)
+	agreeInt(t, m, vm, 25, "outside", 1)
+}
+
+func TestComparisonSugar(t *testing.T) {
+	m, vm := both(t, `
+		extend SmallInt [
+			method cmp [
+				self > 10 ifTrue: [ ^2 ].
+				self >= 10 ifTrue: [ ^1 ].
+				self ~= 0 ifTrue: [ ^0 ].
+				^-1
+			]
+		]
+	`)
+	agreeInt(t, m, vm, 11, "cmp", 2)
+	agreeInt(t, m, vm, 10, "cmp", 1)
+	agreeInt(t, m, vm, 5, "cmp", 0)
+	agreeInt(t, m, vm, 0, "cmp", -1)
+}
+
+func TestUserClassWithFields(t *testing.T) {
+	m, vm := both(t, `
+		class Point extends Object [
+			| x y |
+			method x [ ^x ]
+			method y [ ^y ]
+			method setX: ax y: ay [ x := ax. y := ay ]
+			method manhattan [ ^x + y ]
+			method + p [
+				| r |
+				r := Point new.
+				r setX: x + p x y: y + p y.
+				^r
+			]
+		]
+		extend SmallInt [
+			method pointDance [
+				| a b c |
+				a := Point new. a setX: self y: 2.
+				b := Point new. b setX: 10 y: 20.
+				c := a + b.
+				^c manhattan
+			]
+		]
+	`)
+	agreeInt(t, m, vm, 1, "pointDance", 33)
+	agreeInt(t, m, vm, 5, "pointDance", 37)
+}
+
+func TestInheritance(t *testing.T) {
+	m, vm := both(t, `
+		class Animal extends Object [
+			| legs |
+			method init [ legs := 4 ]
+			method legs [ ^legs ]
+			method describe [ ^self legs ]
+		]
+		class Bird extends Animal [
+			method init [ legs := 2 ]
+		]
+		class Spider extends Animal [
+			method init [ legs := 8 ]
+			method describe [ ^self legs * 2 ]
+		]
+		extend SmallInt [
+			method menagerie [
+				| a b s |
+				a := Animal new. a init.
+				b := Bird new. b init.
+				s := Spider new. s init.
+				^(a describe * 100) + (b describe * 10) + s describe
+			]
+		]
+	`)
+	// Animal: 4 → 400; Bird inherits describe: 2 → 20; Spider: 16.
+	agreeInt(t, m, vm, 0, "menagerie", 436)
+}
+
+func TestArraysAndPolymorphism(t *testing.T) {
+	m, vm := both(t, `
+		extend SmallInt [
+			method fillSum [
+				| arr acc |
+				arr := Array new: self.
+				0 to: self - 1 do: [:i | arr at: i put: i * i ].
+				acc := 0.
+				0 to: self - 1 do: [:i | acc := acc + (arr at: i) ].
+				^acc
+			]
+		]
+	`)
+	agreeInt(t, m, vm, 10, "fillSum", 285)
+}
+
+func TestFloatsInBothMachines(t *testing.T) {
+	m, vm := both(t, `
+		extend Float [
+			method triple [ ^self + self + self ]
+		]
+	`)
+	got, err := m.Send(word.FromFloat(1.5), "triple")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsFloat() || got.Float() != 4.5 {
+		t.Fatalf("COM 1.5 triple = %v", got)
+	}
+	fgot, err := vm.Send(fith.FloatVal(1.5), "triple")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fgot.W.Float() != 4.5 {
+		t.Fatalf("Fith 1.5 triple = %v", fgot)
+	}
+}
+
+func TestMultiKeywordArguments(t *testing.T) {
+	m, vm := both(t, `
+		extend SmallInt [
+			method between: lo and: hi [
+				((lo <= self) and: [ self <= hi ]) ifTrue: [ ^1 ]. ^0
+			]
+			method clamp: lo to: hi [
+				self < lo ifTrue: [ ^lo ].
+				hi < self ifTrue: [ ^hi ].
+				^self
+			]
+		]
+	`)
+	agreeInt(t, m, vm, 5, "between:and:", 1, 1, 10)
+	agreeInt(t, m, vm, 15, "between:and:", 0, 1, 10)
+	agreeInt(t, m, vm, 15, "clamp:to:", 10, 0, 10)
+	agreeInt(t, m, vm, -5, "clamp:to:", 0, 0, 10)
+	agreeInt(t, m, vm, 5, "clamp:to:", 5, 0, 10)
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"class [ ]", "expected"},
+		{"extend Unknown77 [ method x [ ^1 ] ]", "unknown class"},
+		{"extend SmallInt [ method x [ ^zzz ] ]", "unknown variable"},
+		{"extend SmallInt [ method x [ zzz := 1 ] ]", "unknown variable"},
+		{"extend SmallInt [ method x [ ^[ 1 ] ] ]", "blocks are only"},
+		{"extend SmallInt [ method x [ ^1 whileTrue: [ 2 ] ] ]", "block receiver"},
+		{"extend SmallInt [ method x [ ^1 to: 2 do: [ 3 ] ] ]", "one-parameter"},
+		{"extend SmallInt [ | f | method x [ ^1 ] ]", "fields"},
+		{"class C extends Missing [ ]", "unknown superclass"},
+		{"extend SmallInt [ method x [ ^1 ifTrue: 2 ] ]", "literal block"},
+	}
+	for _, tc := range cases {
+		_, err := Compile(tc.src)
+		if err == nil {
+			t.Errorf("compiled %q without error", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("error for %q = %v, want contains %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"class C [ method [ ] ]",
+		"class C [ method x [ ^ ] ]",
+		"class C [ method x [ 1 +. ] ]",
+		"class C [ method x [ (1 + 2 ] ]",
+		"@",
+		`class C [ method x [ "unterminated ] ]`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parsed %q without error", src)
+		}
+	}
+}
+
+func TestStackVsThreeAddressInstructionCounts(t *testing.T) {
+	// §5: "Stack machines ... require almost twice as many instructions
+	// to implement a given source language program than a three address
+	// machine." Dynamic counts on the same workload:
+	src := `
+		extend SmallInt [
+			method work [
+				| acc i |
+				acc := 0. i := 1.
+				[ i <= self ] whileTrue: [
+					acc := acc + (i * i) - (i / 2).
+					i := i + 1 ].
+				^acc
+			]
+		]
+	`
+	m, vm := both(t, src)
+	if _, err := m.Send(word.FromInt(200), "work"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Send(fith.IntVal(200), "work"); err != nil {
+		t.Fatal(err)
+	}
+	com := float64(m.Stats.Instructions)
+	fith := float64(vm.Stats.Instructions)
+	ratio := fith / com
+	if ratio < 1.4 || ratio > 3.0 {
+		t.Fatalf("stack/3-address instruction ratio = %.2f (COM %d, Fith %d), expected ≈2",
+			ratio, m.Stats.Instructions, vm.Stats.Instructions)
+	}
+}
+
+func TestFithTraceEmission(t *testing.T) {
+	c, err := Compile(`extend SmallInt [ method double [ ^self + self ] ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := fith.NewVM(fith.Config{})
+	if err := LoadFith(vm, c); err != nil {
+		t.Fatal(err)
+	}
+	var events []fith.TraceEvent
+	vm.Trace = func(e fith.TraceEvent) { events = append(events, e) }
+	if _, err := vm.Send(fith.IntVal(3), "double"); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no trace events")
+	}
+	sawSend := false
+	for _, e := range events {
+		if e.Op == fith.OpSend {
+			sawSend = true
+			if e.Class != word.ClassSmallInt {
+				t.Fatalf("send event class = %d", e.Class)
+			}
+			if e.Sel == 0 {
+				t.Fatal("send event lacks selector")
+			}
+		}
+	}
+	if !sawSend {
+		t.Fatal("no send in trace")
+	}
+	// Addresses are distinct per instruction within a method.
+	seen := map[uint64]bool{}
+	for _, e := range events[:3] {
+		if seen[e.IAddr] {
+			t.Fatal("duplicate instruction address in straight-line trace")
+		}
+		seen[e.IAddr] = true
+	}
+}
+
+func TestLiteralPoolDedupAcrossBackends(t *testing.T) {
+	c, err := Compile(`extend SmallInt [ method f [ ^self + 7 + 7 + 7 ] ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := c.Classes[0].Methods[0]
+	count := 0
+	for _, l := range cm.Lits {
+		if l.Kind == LitInt && l.Int == 7 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("literal 7 appears %d times in the pool", count)
+	}
+}
+
+func TestRecursionDepthStats(t *testing.T) {
+	_, vm := both(t, `
+		extend SmallInt [
+			method down [ self isZero ifTrue: [ ^0 ]. ^(self - 1) down ]
+		]
+	`)
+	if _, err := vm.Send(fith.IntVal(40), "down"); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Stats.MaxDepth < 40 {
+		t.Fatalf("max depth = %d", vm.Stats.MaxDepth)
+	}
+}

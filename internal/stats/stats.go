@@ -1,0 +1,195 @@
+// Package stats provides the counters, ratio series, and plain-text tables
+// and charts used to report every experiment in the reproduction.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Ratio is a hit/total pair, the unit of every cache experiment.
+type Ratio struct {
+	Hits  uint64
+	Total uint64
+}
+
+// Add records one event, a hit or a miss.
+func (r *Ratio) Add(hit bool) {
+	r.Total++
+	if hit {
+		r.Hits++
+	}
+}
+
+// Misses returns the number of misses recorded.
+func (r Ratio) Misses() uint64 { return r.Total - r.Hits }
+
+// Value returns the hit ratio in [0,1], or 0 for an empty ratio.
+func (r Ratio) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Total)
+}
+
+// String renders the ratio as a percentage with the raw counts.
+func (r Ratio) String() string {
+	return fmt.Sprintf("%.2f%% (%d/%d)", 100*r.Value(), r.Hits, r.Total)
+}
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named sequence of points, e.g. one associativity curve of
+// figure 10.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point to the series.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// YAt returns the y value at the given x, or NaN if absent.
+func (s *Series) YAt(x float64) float64 {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y
+		}
+	}
+	return math.NaN()
+}
+
+// Table is a plain-text table with a title, column headers and string rows.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+}
+
+// NewTable returns an empty table with the given title and columns.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, Cols: cols}
+}
+
+// AddRow appends a row of cells; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Cols))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		width[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Cols)
+	rule := make([]string, len(t.Cols))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Chart renders one or more series as an ASCII chart in the style of the
+// paper's figures: y from 0 to 1 (hit ratio) against x (log2 cache size).
+// Each series is drawn with its own glyph; coincident points show the glyph
+// of the later series.
+func Chart(title string, xlabel string, series ...Series) string {
+	const (
+		height = 16
+		glyphs = "o*x+#@%&"
+	)
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	if len(xs) == 0 {
+		return title + " (no data)\n"
+	}
+	col := make(map[float64]int, len(xs))
+	for i, x := range xs {
+		col[x] = i * 4
+	}
+	width := (len(xs)-1)*4 + 1
+	grid := make([][]byte, height+1)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			y := p.Y
+			if y < 0 {
+				y = 0
+			}
+			if y > 1 {
+				y = 1
+			}
+			row := height - int(math.Round(y*float64(height)))
+			grid[row][col[p.X]] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, line := range grid {
+		yv := float64(height-i) / float64(height)
+		label := "    "
+		if i%4 == 0 {
+			label = fmt.Sprintf("%3.1f ", yv)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(line))
+	}
+	b.WriteString("    +" + strings.Repeat("-", width) + "\n")
+	b.WriteString("     ")
+	for _, x := range xs {
+		b.WriteString(fmt.Sprintf("%-4.0f", x))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "     %s\n", xlabel)
+	for si, s := range series {
+		fmt.Fprintf(&b, "     %c = %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// Percent formats a [0,1] value as a fixed-width percentage.
+func Percent(v float64) string { return fmt.Sprintf("%6.2f%%", 100*v) }

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Fatal("empty ratio not 0")
+	}
+	r.Add(true)
+	r.Add(true)
+	r.Add(false)
+	if r.Hits != 2 || r.Total != 3 || r.Misses() != 1 {
+		t.Fatalf("ratio = %+v", r)
+	}
+	if got := r.Value(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("value = %v", got)
+	}
+	if !strings.Contains(r.String(), "(2/3)") {
+		t.Fatalf("string = %q", r.String())
+	}
+}
+
+func TestRatioProperty(t *testing.T) {
+	prop := func(hits []bool) bool {
+		var r Ratio
+		want := 0
+		for _, h := range hits {
+			r.Add(h)
+			if h {
+				want++
+			}
+		}
+		return r.Hits == uint64(want) && r.Total == uint64(len(hits)) && r.Value() >= 0 && r.Value() <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "2-way"
+	s.Add(3, 0.5)
+	s.Add(4, 0.75)
+	if len(s.Points) != 2 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	if got := s.YAt(4); got != 0.75 {
+		t.Fatalf("YAt(4) = %v", got)
+	}
+	if got := s.YAt(99); !math.IsNaN(got) {
+		t.Fatalf("YAt(missing) = %v, want NaN", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("T1: demo", "size", "hit ratio")
+	tb.AddRow("8", "0.62")
+	tb.AddRow("4096", "0.999")
+	tb.AddRow("16") // short row pads
+	out := tb.String()
+	for _, want := range []string{"T1: demo", "size", "hit ratio", "4096", "0.999", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+1+1+3 {
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+	// Columns are aligned: every data row at least as wide as the header row.
+	header := lines[1]
+	for _, l := range lines[3:] {
+		if len(l) > len(header)+8 {
+			t.Errorf("row wider than alignment suggests: %q vs header %q", l, header)
+		}
+	}
+}
+
+func TestChartContainsSeriesAndAxes(t *testing.T) {
+	a := Series{Name: "1-way"}
+	b := Series{Name: "2-way"}
+	for x := 3; x <= 12; x++ {
+		a.Add(float64(x), float64(x)/14)
+		b.Add(float64(x), float64(x)/12)
+	}
+	out := Chart("Figure 10", "log2 entries", a, b)
+	for _, want := range []string{"Figure 10", "log2 entries", "o = 1-way", "* = 2-way", "1.0", "0.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartClampsOutOfRange(t *testing.T) {
+	s := Series{Name: "wild"}
+	s.Add(1, -0.5)
+	s.Add(2, 1.5)
+	out := Chart("clamp", "x", s)
+	if !strings.Contains(out, "o") {
+		t.Fatalf("clamped points not drawn:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("empty", "x")
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart = %q", out)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.9912); got != " 99.12%" {
+		t.Fatalf("Percent = %q", got)
+	}
+}

@@ -1,0 +1,186 @@
+// Package trace implements the trace-driven cache simulation of §5: the
+// Fith interpreter records, for each instruction interpreted, the address
+// of the instruction, the opcode and the class of the object on top of the
+// stack; this package replays such traces against set-associative cache
+// models of varying size and associativity, with a warmup trace run first
+// "to avoid biasing the results by the initial faulting in of data".
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/fith"
+	"repro/internal/object"
+	"repro/internal/stats"
+	"repro/internal/word"
+)
+
+// Record is one trace entry.
+type Record struct {
+	IAddr uint64     // instruction address (drives the instruction cache)
+	Key   uint64     // translation key: opcode × class (drives the ITLB)
+	Send  bool       // whether the instruction was a message send
+	Class word.Class // receiver/TOS class
+}
+
+// Trace is a named sequence of records.
+type Trace struct {
+	Name    string
+	Records []Record
+}
+
+// Len returns the number of records.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// ITLBKey forms the translation key the Fith machine uses: for sends the
+// selector with the receiver class, for other opcodes the opcode with the
+// top-of-stack class (every instruction is translated; §2.1).
+func ITLBKey(op fith.Opcode, sel object.Selector, class word.Class) uint64 {
+	return uint64(op)<<48 | uint64(sel)<<16 | uint64(class)
+}
+
+// Collector attaches to a Fith VM and accumulates a trace.
+type Collector struct {
+	T Trace
+}
+
+// NewCollector names a fresh collector.
+func NewCollector(name string) *Collector { return &Collector{T: Trace{Name: name}} }
+
+// Hook returns the VM trace hook.
+func (c *Collector) Hook() func(fith.TraceEvent) {
+	return func(e fith.TraceEvent) {
+		c.T.Records = append(c.T.Records, Record{
+			IAddr: e.IAddr,
+			Key:   ITLBKey(e.Op, e.Sel, e.Class),
+			Send:  e.Op == fith.OpSend,
+			Class: e.Class,
+		})
+	}
+}
+
+// Split divides a trace into warmup and measurement sections at the given
+// fraction (0 < frac < 1).
+func (t *Trace) Split(frac float64) (warm, measure []Record) {
+	n := int(float64(len(t.Records)) * frac)
+	if n < 0 {
+		n = 0
+	}
+	if n > len(t.Records) {
+		n = len(t.Records)
+	}
+	return t.Records[:n], t.Records[n:]
+}
+
+// SimulateITLB replays translation keys through a cache of the given
+// geometry: warmup first, then statistics reset, then measurement.
+func SimulateITLB(warm, measure []Record, entries, assoc int) stats.Ratio {
+	c := cache.New[struct{}](cache.Config{Entries: entries, Assoc: assoc, HashSets: true})
+	for _, r := range warm {
+		c.Touch(r.Key)
+	}
+	c.ResetStats()
+	var ratio stats.Ratio
+	for _, r := range measure {
+		ratio.Add(c.Touch(r.Key))
+	}
+	return ratio
+}
+
+// SimulateICache replays instruction addresses through an instruction
+// cache with the given block size in instructions.
+func SimulateICache(warm, measure []Record, entries, assoc, blockWords int) stats.Ratio {
+	if blockWords < 1 {
+		blockWords = 1
+	}
+	shift := uint(0)
+	for 1<<shift < blockWords {
+		shift++
+	}
+	c := cache.New[struct{}](cache.Config{Entries: entries, Assoc: assoc, HashSets: true})
+	for _, r := range warm {
+		c.Touch(r.IAddr >> shift)
+	}
+	c.ResetStats()
+	var ratio stats.Ratio
+	for _, r := range measure {
+		ratio.Add(c.Touch(r.IAddr >> shift))
+	}
+	return ratio
+}
+
+// Sim selects which structure a sweep simulates.
+type Sim int
+
+// The two simulated structures of §5.
+const (
+	SimITLB Sim = iota
+	SimICache
+)
+
+// Pair is a warmup trace plus the measurement trace run after it.
+type Pair struct {
+	Warm    *Trace
+	Measure *Trace
+}
+
+// Sweep produces hit-ratio curves over cache sizes for each associativity,
+// the exact axes of figures 10 and 11 (hit ratio vs log2 size, one curve
+// per associativity). Ratios aggregate across all trace pairs.
+func Sweep(pairs []Pair, sim Sim, sizes []int, assocs []int) []stats.Series {
+	var out []stats.Series
+	for _, assoc := range assocs {
+		name := fmt.Sprintf("%d-way", assoc)
+		if assoc <= 0 {
+			name = "full"
+		}
+		s := stats.Series{Name: name}
+		for _, size := range sizes {
+			var agg stats.Ratio
+			for _, p := range pairs {
+				var r stats.Ratio
+				if sim == SimITLB {
+					r = SimulateITLB(p.Warm.Records, p.Measure.Records, size, assoc)
+				} else {
+					r = SimulateICache(p.Warm.Records, p.Measure.Records, size, assoc, 1)
+				}
+				agg.Hits += r.Hits
+				agg.Total += r.Total
+			}
+			s.Add(log2(size), agg.Value())
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func log2(n int) float64 {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	return float64(l)
+}
+
+// SendOnly filters a trace down to its message sends, for studying the
+// dispatch-only working set.
+func (t *Trace) SendOnly() *Trace {
+	out := &Trace{Name: t.Name + "-sends"}
+	for _, r := range t.Records {
+		if r.Send {
+			out.Records = append(out.Records, r)
+		}
+	}
+	return out
+}
+
+// DistinctKeys counts the distinct translation keys — the compulsory-miss
+// floor of any ITLB size.
+func (t *Trace) DistinctKeys() int {
+	seen := map[uint64]bool{}
+	for _, r := range t.Records {
+		seen[r.Key] = true
+	}
+	return len(seen)
+}

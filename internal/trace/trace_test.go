@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/fith"
+	"repro/internal/word"
+)
+
+func synthetic(n int, distinctKeys int, distinctAddrs int) *Trace {
+	t := &Trace{Name: "synthetic"}
+	for i := 0; i < n; i++ {
+		t.Records = append(t.Records, Record{
+			IAddr: uint64(i % distinctAddrs),
+			Key:   uint64(i % distinctKeys),
+			Send:  i%3 == 0,
+		})
+	}
+	return t
+}
+
+func TestSplit(t *testing.T) {
+	tr := synthetic(100, 10, 10)
+	warm, measure := tr.Split(0.25)
+	if len(warm) != 25 || len(measure) != 75 {
+		t.Fatalf("split = %d/%d", len(warm), len(measure))
+	}
+	warm, measure = tr.Split(0)
+	if len(warm) != 0 || len(measure) != 100 {
+		t.Fatalf("zero split = %d/%d", len(warm), len(measure))
+	}
+}
+
+func TestSimulateITLBCapacity(t *testing.T) {
+	// 8 distinct keys cycling: a fully-assoc cache of 8 never misses
+	// after warmup; a cache of 4 always misses (LRU with cyclic access).
+	tr := synthetic(1000, 8, 1)
+	warm, measure := tr.Split(0.2)
+	big := SimulateITLB(warm, measure, 8, 0)
+	if big.Value() != 1.0 {
+		t.Fatalf("8-entry cache over 8 keys: %v", big)
+	}
+	small := SimulateITLB(warm, measure, 4, 0)
+	if small.Value() != 0 {
+		t.Fatalf("4-entry LRU over cyclic 8 keys should always miss: %v", small)
+	}
+}
+
+func TestSimulateICacheBlockSize(t *testing.T) {
+	tr := synthetic(1000, 1, 64)
+	warm, measure := tr.Split(0.5)
+	// 64 distinct addresses in 16 blocks of 4: a 16-block cache holds
+	// them all.
+	r := SimulateICache(warm, measure, 16, 0, 4)
+	if r.Value() != 1.0 {
+		t.Fatalf("block cache missed: %v", r)
+	}
+	// Block size 1 with only 16 entries thrashes.
+	r = SimulateICache(warm, measure, 16, 0, 1)
+	if r.Value() != 0 {
+		t.Fatalf("cyclic 64 addrs in 16 entries should always miss: %v", r)
+	}
+}
+
+func TestSweepShapes(t *testing.T) {
+	tr := synthetic(4000, 100, 500)
+	w, m := tr.Split(0.25)
+	pair := Pair{Warm: &Trace{Records: w}, Measure: &Trace{Records: m}}
+	series := Sweep([]Pair{pair}, SimITLB, []int{8, 64, 512}, []int{1, 2})
+	if len(series) != 2 {
+		t.Fatalf("series count = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 3 {
+			t.Fatalf("series %s has %d points", s.Name, len(s.Points))
+		}
+		// Hit ratio must be non-decreasing in size.
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Y+1e-9 < s.Points[i-1].Y {
+				t.Errorf("series %s not monotone: %v", s.Name, s.Points)
+			}
+		}
+	}
+	if series[0].Points[0].X != 3 || series[0].Points[2].X != 9 {
+		t.Errorf("x axis should be log2 size: %v", series[0].Points)
+	}
+}
+
+func TestITLBKeyDistinguishes(t *testing.T) {
+	a := ITLBKey(fith.OpSend, 100, word.Class(20))
+	b := ITLBKey(fith.OpSend, 100, word.Class(21))
+	c := ITLBKey(fith.OpSend, 101, word.Class(20))
+	d := ITLBKey(fith.OpLit, 0, word.Class(20))
+	if a == b || a == c || a == d || b == c {
+		t.Fatal("ITLB keys collide")
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector("x")
+	hook := c.Hook()
+	hook(fith.TraceEvent{IAddr: 5, Op: fith.OpSend, Sel: 9, Class: 3})
+	hook(fith.TraceEvent{IAddr: 6, Op: fith.OpLit, Class: 1})
+	if c.T.Len() != 2 {
+		t.Fatalf("collected %d", c.T.Len())
+	}
+	if !c.T.Records[0].Send || c.T.Records[1].Send {
+		t.Fatal("send flags wrong")
+	}
+	if c.T.DistinctKeys() != 2 {
+		t.Fatalf("distinct keys = %d", c.T.DistinctKeys())
+	}
+	sends := c.T.SendOnly()
+	if sends.Len() != 1 {
+		t.Fatalf("send filter = %d", sends.Len())
+	}
+}

@@ -1,0 +1,139 @@
+package obarch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := NewSystem(Options{})
+	if err := sys.Load(`extend SmallInt [ method double [ ^self + self ] ]`); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.SendInt(21, "double")
+	if err != nil || got != 42 {
+		t.Fatalf("double = %d, %v", got, err)
+	}
+	if sys.Stats().Instructions == 0 {
+		t.Fatal("no instructions recorded")
+	}
+}
+
+func TestValuesAndInstances(t *testing.T) {
+	sys := NewSystem(Options{})
+	arr, err := sys.NewInstanceOf("Array", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Send(arr, "at:put:", Int(0), Float(1.5)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.Send(arr, "at:", Int(0))
+	if err != nil || got != Float(1.5) {
+		t.Fatalf("round trip = %v, %v", got, err)
+	}
+	if _, err := sys.NewInstanceOf("Nonesuch", 0); err == nil {
+		t.Fatal("unknown class instantiated")
+	}
+	if !True.Truthy() || False.Truthy() || Nil.Truthy() {
+		t.Fatal("truth constants wrong")
+	}
+}
+
+func TestCollectThroughFacade(t *testing.T) {
+	sys := NewSystem(Options{})
+	for i := 0; i < 5; i++ {
+		if _, err := sys.NewInstanceOf("Array", 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sys.Collect()
+	if st.SweptObjects != 5 {
+		t.Fatalf("swept %d, want 5", st.SweptObjects)
+	}
+	keep, _ := sys.NewInstanceOf("Array", 4)
+	sys.AddRoot(keep)
+	if st := sys.Collect(); st.SweptObjects != 0 {
+		t.Fatalf("swept rooted object")
+	}
+}
+
+func TestFithFacadeAgrees(t *testing.T) {
+	src := `extend SmallInt [ method triple [ ^self + self + self ] ]`
+	sys := NewSystem(Options{})
+	if err := sys.Load(src); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFithSystem()
+	if err := fs.Load(src); err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys.SendInt(14, "triple")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.SendInt(14, "triple")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || a != 42 {
+		t.Fatalf("COM %d vs Fith %d", a, b)
+	}
+}
+
+func TestOptionsAblation(t *testing.T) {
+	src := `extend SmallInt [ method double [ ^self + self ] ]`
+	run := func(opt Options) uint64 {
+		sys := NewSystem(opt)
+		if err := sys.Load(src); err != nil {
+			t.Fatal(err)
+		}
+		for i := int32(0); i < 30; i++ {
+			if _, err := sys.SendInt(i, "double"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sys.Stats().LookupCycles
+	}
+	if with, without := run(Options{}), run(Options{NoITLB: true}); without <= with {
+		t.Fatalf("NoITLB lookup cycles %d not above ITLB %d", without, with)
+	}
+	sys := NewSystem(Options{ITLBEntries: 16, ITLBAssoc: 1, CtxBlocks: 8, MaxSteps: 1000})
+	if err := sys.Load(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.SendInt(3, "double"); err != nil {
+		t.Fatal(err)
+	}
+	if sys.ITLBHitRatio() < 0 {
+		t.Fatal("hit ratio unavailable")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 9 {
+		t.Fatalf("only %d experiments", len(ids))
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment("t5", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MULTICS") {
+		t.Fatalf("t5 report:\n%s", buf.String())
+	}
+	if err := RunExperiment("bogus", &buf); err == nil {
+		t.Fatal("bogus experiment ran")
+	}
+}
+
+func TestLoadErrorsSurface(t *testing.T) {
+	sys := NewSystem(Options{})
+	if err := sys.Load("class ["); err == nil {
+		t.Fatal("bad source loaded")
+	}
+	if _, err := sys.SendInt(1, "missingMethod"); err == nil {
+		t.Fatal("missing method answered")
+	}
+}
