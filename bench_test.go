@@ -5,11 +5,15 @@ package obarch
 // metric, so `go test -bench=. -benchmem` reproduces the evaluation.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fith"
+	"repro/internal/serve"
+	"repro/internal/word"
 	"repro/internal/workload"
 )
 
@@ -144,6 +148,95 @@ func BenchmarkFithInterpreter(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Serving benches: the concurrent pool against the single-machine baseline.
+
+// poolSnapshot compiles, loads and warms the arith program once for the
+// pool benchmarks.
+func poolSnapshot(b *testing.B) (*core.Snapshot, workload.Program) {
+	b.Helper()
+	p := workload.Arith()
+	m, err := workload.NewCOM(p, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := workload.WarmCOM(m, p); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return snap, p
+}
+
+// BenchmarkPoolThroughput measures serving throughput (sends/sec) at 1, 4
+// and GOMAXPROCS workers. Each send runs the arith program at warmup size;
+// clients submit from GOMAXPROCS goroutines. Comparing worker counts
+// against BenchmarkCOMInterpreter's single-machine baseline shows the
+// pool's scaling.
+func BenchmarkPoolThroughput(b *testing.B) {
+	snap, p := poolSnapshot(b)
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, workers := range counts {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pool := serve.NewPool(snap, serve.Config{Workers: workers, QueueDepth: 256})
+			defer pool.Close()
+			req := serve.Request{Receiver: word.FromInt(p.Warm), Selector: p.Entry}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if res := pool.Do(req); res.Err != nil {
+						b.Error(res.Err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			met := pool.Metrics()
+			if met.Requests > 0 {
+				b.ReportMetric(float64(met.Instructions)/float64(met.Requests), "instrs/send")
+			}
+		})
+	}
+}
+
+// BenchmarkWarmStart compares the two ways to stand up a worker machine
+// holding the full workload suite: cloning a snapshot versus re-running
+// compile+load for every program. The ratio is the pool's whole reason to
+// exist — and only the clone starts with a warm ITLB.
+func BenchmarkWarmStart(b *testing.B) {
+	build := func(b *testing.B) *core.Machine {
+		m := core.New(core.Config{})
+		if _, err := workload.LoadSuite(m); err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	b.Run("clone", func(b *testing.B) {
+		m := build(b)
+		snap, err := m.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if c := snap.NewMachine(); c == nil {
+				b.Fatal("nil clone")
+			}
+		}
+	})
+	b.Run("compile+load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			build(b)
+		}
+	})
 }
 
 // BenchmarkSendPath measures a single warm message send on the COM.

@@ -1,0 +1,162 @@
+// Command loadgen replays the workload suite against a running obarchd as
+// concurrent HTTP traffic, validates every checksum, and reports
+// throughput and latency.
+//
+//	obarchd -addr :8373 &
+//	loadgen -addr http://localhost:8373 -clients 8 -rounds 4
+//
+// The program list (entry selectors, measured sizes, expected checksums)
+// is fetched from the server's /programs endpoint, so loadgen also works
+// against a server that loaded custom sources alongside the suite.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type program struct {
+	Name  string `json:"name"`
+	Entry string `json:"entry"`
+	Size  int32  `json:"size"`
+	Warm  int32  `json:"warm"`
+	Check int32  `json:"check"`
+}
+
+type sendResponse struct {
+	Result any    `json:"result"`
+	Error  string `json:"error"`
+	Worker int    `json:"worker"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8373", "obarchd base URL")
+	clients := flag.Int("clients", 8, "concurrent clients")
+	rounds := flag.Int("rounds", 2, "suite replays per client")
+	name := flag.String("program", "", "restrict to one program by name")
+	warm := flag.Bool("warm", false, "use warmup sizes instead of measured sizes (no checksum validation)")
+	flag.Parse()
+
+	programs, err := fetchPrograms(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	if *name != "" {
+		kept := programs[:0]
+		for _, p := range programs {
+			if p.Name == *name {
+				kept = append(kept, p)
+			}
+		}
+		programs = kept
+	}
+	if len(programs) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: no programs to run")
+		os.Exit(1)
+	}
+
+	var (
+		wg        sync.WaitGroup
+		sent      atomic.Int64
+		failed    atomic.Int64
+		latMu     sync.Mutex
+		latencies []time.Duration
+	)
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < *rounds; r++ {
+				for _, p := range programs {
+					recv := p.Size
+					if *warm {
+						recv = p.Warm
+					}
+					t0 := time.Now()
+					got, err := send(*addr, recv, p.Entry)
+					lat := time.Since(t0)
+					sent.Add(1)
+					latMu.Lock()
+					latencies = append(latencies, lat)
+					latMu.Unlock()
+					if err != nil {
+						failed.Add(1)
+						fmt.Fprintf(os.Stderr, "loadgen: client %d %s: %v\n", c, p.Name, err)
+						continue
+					}
+					if !*warm && got != p.Check {
+						failed.Add(1)
+						fmt.Fprintf(os.Stderr, "loadgen: client %d %s: checksum %d, want %d\n", c, p.Name, got, p.Check)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	n := sent.Load()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(q float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	fmt.Printf("requests: %d  failures: %d  wall: %v\n", n, failed.Load(), wall.Round(time.Millisecond))
+	fmt.Printf("throughput: %.1f req/s across %d clients\n", float64(n)/wall.Seconds(), *clients)
+	fmt.Printf("latency p50: %v  p90: %v  p99: %v  max: %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	if failed.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+func fetchPrograms(addr string) ([]program, error) {
+	resp, err := http.Get(addr + "/programs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /programs: status %d", resp.StatusCode)
+	}
+	var out []program
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decode /programs: %w", err)
+	}
+	return out, nil
+}
+
+func send(addr string, receiver int32, selector string) (int32, error) {
+	body, _ := json.Marshal(map[string]any{"receiver": receiver, "selector": selector})
+	resp, err := http.Post(addr+"/send", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var out sendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, fmt.Errorf("decode /send: %w", err)
+	}
+	if out.Error != "" {
+		return 0, fmt.Errorf("machine error: %s", out.Error)
+	}
+	f, ok := out.Result.(float64)
+	if !ok {
+		return 0, fmt.Errorf("non-numeric result %v", out.Result)
+	}
+	return int32(f), nil
+}

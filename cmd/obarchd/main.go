@@ -1,0 +1,256 @@
+// Command obarchd serves a Caltech Object Machine image over HTTP/JSON:
+// one compiled and loaded image is snapshotted and cloned into a sharded
+// pool of worker machines, each executing message sends on its own
+// goroutine.
+//
+//	obarchd -addr :8373 -workers 8            # serve the built-in workload suite
+//	obarchd -suite=false prog.st other.st     # serve custom source files
+//
+// Endpoints:
+//
+//	POST /send      {"receiver": 21, "selector": "double", "args": []}
+//	GET  /programs  the loaded workload programs (name, size, entry, check)
+//	GET  /stats     aggregated pool metrics (add ?format=text for a table)
+//	GET  /healthz   liveness probe
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+	"repro/internal/word"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8373", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker machines in the pool")
+	queue := flag.Int("queue", 256, "per-worker queue depth")
+	maxSteps := flag.Uint64("maxsteps", 0, "default per-request step budget (0: machine default)")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-request wall-clock timeout")
+	suite := flag.Bool("suite", true, "load the built-in workload suite")
+	gcEvery := flag.Int("gcevery", 0, "collect per worker every N requests (0: default, <0: never)")
+	flag.Parse()
+
+	sys := obarch.NewSystem(obarch.Options{})
+	var programs []workload.Program
+	if *suite {
+		var err error
+		if programs, err = workload.LoadSuite(sys.M); err != nil {
+			log.Fatalf("obarchd: %v", err)
+		}
+	}
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("obarchd: %v", err)
+		}
+		if err := sys.Load(string(src)); err != nil {
+			log.Fatalf("obarchd: load %s: %v", path, err)
+		}
+	}
+
+	pool, err := sys.ServePoolWith(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		MaxSteps:   *maxSteps,
+		Timeout:    *timeout,
+		GCEvery:    *gcEvery,
+	})
+	if err != nil {
+		log.Fatalf("obarchd: %v", err)
+	}
+	defer pool.Close()
+
+	log.Printf("obarchd: serving %d programs on %s with %d workers", len(programs), *addr, pool.Workers())
+	if err := http.ListenAndServe(*addr, newServer(pool, programs)); err != nil {
+		log.Fatalf("obarchd: %v", err)
+	}
+}
+
+// sendRequest is the wire form of one message send.
+type sendRequest struct {
+	Receiver  json.Number   `json:"receiver"`
+	Selector  string        `json:"selector"`
+	Args      []json.Number `json:"args,omitempty"`
+	Key       uint64        `json:"key,omitempty"`
+	MaxSteps  uint64        `json:"max_steps,omitempty"`
+	TimeoutMS int64         `json:"timeout_ms,omitempty"`
+}
+
+// sendResponse is the wire form of a result. Result is always present on
+// success — a method answering nil yields "result": null with no error —
+// so clients distinguish success from failure by the error field alone.
+type sendResponse struct {
+	Result    any    `json:"result"`
+	Error     string `json:"error,omitempty"`
+	Worker    int    `json:"worker"`
+	Steps     uint64 `json:"steps"`
+	Cycles    uint64 `json:"cycles"`
+	LatencyUS int64  `json:"latency_us"`
+}
+
+// programInfo describes one loaded workload program.
+type programInfo struct {
+	Name  string `json:"name"`
+	Entry string `json:"entry"`
+	Size  int32  `json:"size"`
+	Warm  int32  `json:"warm"`
+	Check int32  `json:"check"`
+}
+
+// server is the HTTP face of a pool. Split from main so tests can drive it
+// through net/http/httptest.
+type server struct {
+	pool     *serve.Pool
+	programs []workload.Program
+	mux      *http.ServeMux
+}
+
+func newServer(pool *serve.Pool, programs []workload.Program) *server {
+	s := &server{pool: pool, programs: programs, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /send", s.handleSend)
+	s.mux.HandleFunc("GET /programs", s.handlePrograms)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// wordOf converts a JSON number to a machine value: integer literals
+// become SmallInts (rejected when they exceed the 32-bit word, however
+// large), literals written as floats ("1.5", "1e3") become Floats.
+func wordOf(n json.Number) (word.Word, error) {
+	if strings.ContainsAny(n.String(), ".eE") {
+		f, err := n.Float64()
+		if err != nil {
+			return word.Word{}, fmt.Errorf("bad number %q", n.String())
+		}
+		return word.FromFloat(float32(f)), nil
+	}
+	i, err := n.Int64()
+	if err != nil {
+		return word.Word{}, fmt.Errorf("integer %q outside the 32-bit machine word", n.String())
+	}
+	if int64(int32(i)) != i {
+		return word.Word{}, fmt.Errorf("integer %d outside the 32-bit machine word", i)
+	}
+	return word.FromInt(int32(i)), nil
+}
+
+// jsonOf converts a machine value to its JSON form.
+func jsonOf(v word.Word) any {
+	if i, ok := v.IntOK(); ok {
+		return i
+	}
+	if f, ok := v.FloatOK(); ok {
+		return f
+	}
+	switch v {
+	case word.True:
+		return true
+	case word.False:
+		return false
+	case word.Nil:
+		return nil
+	}
+	return v.String()
+}
+
+func (s *server) handleSend(w http.ResponseWriter, r *http.Request) {
+	var req sendRequest
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, "bad request: "+err.Error()), http.StatusBadRequest)
+		return
+	}
+	if req.Selector == "" {
+		http.Error(w, `{"error":"missing selector"}`, http.StatusBadRequest)
+		return
+	}
+	recv, err := wordOf(req.Receiver)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, "receiver: "+err.Error()), http.StatusBadRequest)
+		return
+	}
+	args := make([]word.Word, len(req.Args))
+	for i, a := range req.Args {
+		if args[i], err = wordOf(a); err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, fmt.Sprintf("arg %d: %v", i, err)), http.StatusBadRequest)
+			return
+		}
+	}
+	res := s.pool.Do(serve.Request{
+		Receiver: recv,
+		Selector: req.Selector,
+		Args:     args,
+		Key:      req.Key,
+		MaxSteps: req.MaxSteps,
+		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	resp := sendResponse{
+		Worker:    res.Worker,
+		Steps:     res.Steps,
+		Cycles:    res.Cycles,
+		LatencyUS: res.Latency.Microseconds(),
+	}
+	status := http.StatusOK
+	if res.Err != nil {
+		resp.Error = res.Err.Error()
+		status = http.StatusUnprocessableEntity
+	} else {
+		resp.Result = jsonOf(res.Value)
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *server) handlePrograms(w http.ResponseWriter, _ *http.Request) {
+	out := make([]programInfo, len(s.programs))
+	for i, p := range s.programs {
+		out[i] = programInfo{Name: p.Name, Entry: p.Entry, Size: p.Size, Warm: p.Warm, Check: p.Check}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	met := s.pool.Metrics()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, met.Report().String())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"requests":        met.Requests,
+		"errors":          met.Errors,
+		"timeouts":        met.Timeouts,
+		"mean_latency_us": met.MeanLatency().Microseconds(),
+		"max_latency_us":  met.MaxLatency.Microseconds(),
+		"instructions":    met.Instructions,
+		"cycles":          met.Cycles,
+		"itlb_hit_ratio":  met.ITLB.Value(),
+		"gcs":             met.GCs,
+		"workers":         s.pool.Workers(),
+		"shards":          s.pool.ShardMetrics(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("obarchd: encode response: %v", err)
+	}
+}

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// newSuiteServer builds the handler over a pool serving the full workload
+// suite, exactly as `obarchd` with default flags would.
+func newSuiteServer(t *testing.T, workers int) (*server, *serve.Pool) {
+	t.Helper()
+	sys := obarch.NewSystem(obarch.Options{})
+	programs := workload.Suite()
+	for _, p := range programs {
+		if err := sys.Load(p.Src); err != nil {
+			t.Fatalf("load %s: %v", p.Name, err)
+		}
+	}
+	pool, err := sys.ServePoolWith(serve.Config{Workers: workers, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	return newServer(pool, programs), pool
+}
+
+func postSend(t *testing.T, ts *httptest.Server, body string) (int, sendResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/send", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /send: %v", err)
+	}
+	defer resp.Body.Close()
+	var out sendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode /send response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestServerEndToEndConcurrent is the acceptance run: 8 concurrent HTTP
+// clients replay the full workload suite and validate every checksum.
+func TestServerEndToEndConcurrent(t *testing.T) {
+	h, pool := newSuiteServer(t, 4)
+	defer pool.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, p := range workload.Suite() {
+				body := fmt.Sprintf(`{"receiver": %d, "selector": %q}`, p.Size, p.Entry)
+				status, out := postSend(t, ts, body)
+				if status != http.StatusOK {
+					t.Errorf("client %d: %s: status %d (%s)", g, p.Name, status, out.Error)
+					return
+				}
+				got, ok := out.Result.(float64)
+				if !ok {
+					t.Errorf("client %d: %s: non-numeric result %v", g, p.Name, out.Result)
+					return
+				}
+				if int32(got) != p.Check {
+					t.Errorf("client %d: %s checksum %d, want %d", g, p.Name, int32(got), p.Check)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The stats endpoint reflects the traffic.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Requests uint64  `json:"requests"`
+		Errors   uint64  `json:"errors"`
+		ITLB     float64 `json:"itlb_hit_ratio"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decode /stats: %v", err)
+	}
+	if want := uint64(clients * len(workload.Suite())); stats.Requests != want {
+		t.Fatalf("/stats saw %d requests, want %d", stats.Requests, want)
+	}
+	if stats.Errors != 0 {
+		t.Fatalf("/stats saw %d errors", stats.Errors)
+	}
+}
+
+func TestServerSendWithArgsAndErrors(t *testing.T) {
+	h, pool := newSuiteServer(t, 1)
+	defer pool.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// Primitive send with an argument.
+	status, out := postSend(t, ts, `{"receiver": 40, "selector": "+", "args": [2]}`)
+	if status != http.StatusOK {
+		t.Fatalf("40 + 2: status %d (%s)", status, out.Error)
+	}
+	if got, ok := out.Result.(float64); !ok || got != 42 {
+		t.Fatalf("40 + 2 = %v", out.Result)
+	}
+
+	// doesNotUnderstand surfaces as a machine error, not a transport one.
+	status, out = postSend(t, ts, `{"receiver": 1, "selector": "noSuchSelector"}`)
+	if status != http.StatusUnprocessableEntity || out.Error == "" {
+		t.Fatalf("unknown selector: status %d, error %q", status, out.Error)
+	}
+
+	// A per-request step budget bounds a heavy request.
+	status, out = postSend(t, ts, `{"receiver": 800, "selector": "benchArith", "max_steps": 50}`)
+	if status != http.StatusUnprocessableEntity || !strings.Contains(out.Error, "step limit") {
+		t.Fatalf("tiny budget: status %d, error %q", status, out.Error)
+	}
+
+	// Malformed JSON is a 400.
+	resp, err := http.Post(ts.URL+"/send", "application/json", bytes.NewReader([]byte(`{`)))
+	if err != nil {
+		t.Fatalf("POST bad JSON: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d", resp.StatusCode)
+	}
+}
+
+func TestServerProgramsAndHealth(t *testing.T) {
+	h, pool := newSuiteServer(t, 1)
+	defer pool.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/programs")
+	if err != nil {
+		t.Fatalf("GET /programs: %v", err)
+	}
+	var progs []programInfo
+	if err := json.NewDecoder(resp.Body).Decode(&progs); err != nil {
+		t.Fatalf("decode /programs: %v", err)
+	}
+	resp.Body.Close()
+	if len(progs) != len(workload.Suite()) {
+		t.Fatalf("/programs listed %d programs, want %d", len(progs), len(workload.Suite()))
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/stats?format=text")
+	if err != nil {
+		t.Fatalf("GET /stats?format=text: %v", err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(buf.String(), "serving pool") {
+		t.Fatalf("text stats missing table header:\n%s", buf.String())
+	}
+}

@@ -95,6 +95,32 @@ func New[V any](cfg Config) *Cache[V] {
 // Entries returns the total line count.
 func (c *Cache[V]) Entries() int { return c.cfg.Entries }
 
+// Config returns the configuration the cache was built with.
+func (c *Cache[V]) Config() Config { return c.cfg }
+
+// Clone returns an independent copy of the cache: same geometry, same
+// lines, same recency order and statistics. When mapVal is non-nil it is
+// applied to every valid line's value, letting callers rewrite pointers
+// into a cloned object graph (the machine snapshot facility does this for
+// ITLB method fields). A nil mapVal copies values as-is.
+func (c *Cache[V]) Clone(mapVal func(V) V) *Cache[V] {
+	nc := &Cache[V]{cfg: c.cfg, mask: c.mask, clock: c.clock, Stats: c.Stats}
+	nc.sets = make([][]line[V], len(c.sets))
+	for i, set := range c.sets {
+		ns := make([]line[V], len(set))
+		copy(ns, set)
+		if mapVal != nil {
+			for j := range ns {
+				if ns[j].valid {
+					ns[j].value = mapVal(ns[j].value)
+				}
+			}
+		}
+		nc.sets[i] = ns
+	}
+	return nc
+}
+
 // Assoc returns the effective associativity.
 func (c *Cache[V]) Assoc() int { return len(c.sets[0]) }
 

@@ -100,6 +100,30 @@ func (f *FreeList) Free(seg *memory.Segment) {
 // Contains reports whether the segment is currently pooled.
 func (f *FreeList) Contains(seg *memory.Segment) bool { return f.onList[seg] }
 
+// Clone returns an independent copy of the free list over a cloned space:
+// pooled segments are rewritten through segMap, statistics carry over. Part
+// of the machine snapshot facility.
+func (f *FreeList) Clone(space *memory.Space, segMap map[*memory.Segment]*memory.Segment) *FreeList {
+	nf := &FreeList{
+		space:      space,
+		words:      f.words,
+		class:      f.class,
+		free:       make([]*memory.Segment, len(f.free)),
+		onList:     make(map[*memory.Segment]bool, len(f.onList)),
+		Allocs:     f.Allocs,
+		Recycles:   f.Recycles,
+		Frees:      f.Frees,
+		MemoryRefs: f.MemoryRefs,
+	}
+	for i, seg := range f.free {
+		nf.free[i] = segMap[seg]
+	}
+	for seg := range f.onList {
+		nf.onList[segMap[seg]] = true
+	}
+	return nf
+}
+
 // Len returns the number of contexts waiting on the list.
 func (f *FreeList) Len() int { return len(f.free) }
 

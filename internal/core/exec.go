@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sync/atomic"
+	"time"
+
 	"repro/internal/context"
 	"repro/internal/fpa"
 	"repro/internal/isa"
@@ -82,18 +85,50 @@ func (m *Machine) Send(receiver word.Word, selector string, args ...word.Word) (
 	return m.result, nil
 }
 
+// pollMask sets how often Run polls the wall-clock deadline and the
+// asynchronous interrupt flag: every pollMask+1 steps.
+const pollMask = 1023
+
 // Run executes instructions until the root send returns, a trap surfaces,
-// or the step limit is reached.
+// the step limit is reached, or the deadline/interrupt poll fires.
 func (m *Machine) Run() error {
 	for steps := uint64(0); !m.halted; steps++ {
 		if steps >= m.Cfg.MaxSteps {
 			return trapf("resources", "step limit %d exceeded", m.Cfg.MaxSteps)
+		}
+		if steps&pollMask == pollMask {
+			if atomic.LoadInt32(&m.interrupt) != 0 {
+				return trapf("interrupt", "execution interrupted after %d steps", steps)
+			}
+			if !m.Deadline.IsZero() && time.Now().After(m.Deadline) {
+				return trapf("timeout", "deadline exceeded after %d steps", steps)
+			}
 		}
 		if err := m.Step(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// Interrupt requests that a running machine stop at its next poll point.
+// It is the only Machine method safe to call from another goroutine; Run
+// returns an "interrupt" trap shortly after. Idle machines are unaffected
+// until the flag is cleared.
+func (m *Machine) Interrupt() { atomic.StoreInt32(&m.interrupt, 1) }
+
+// ClearInterrupt rearms the machine after an interrupt.
+func (m *Machine) ClearInterrupt() { atomic.StoreInt32(&m.interrupt, 0) }
+
+// Abort abandons an in-flight send after a trap, returning the machine to
+// an idle, reusable state. The abandoned context chain stays allocated but
+// unreachable; the next garbage collection reclaims it. Calling Abort on
+// an idle machine is a no-op.
+func (m *Machine) Abort() {
+	m.Ctx.Deactivate()
+	m.CP, m.NCP = fpa.Addr{}, fpa.Addr{}
+	m.IP = CodePtr{}
+	m.halted = false
 }
 
 // Step interprets one instruction: the five-step sequence of §3.6

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/context"
@@ -136,6 +137,29 @@ type Stats struct {
 	LookupCycles uint64 // cycles spent in full method lookup (ITLB misses / NoITLB)
 }
 
+// Add accumulates another machine's counters into s — the serve pool's
+// cross-shard aggregation. Kept beside the struct so a new counter cannot
+// be forgotten by a distant hand-written sum.
+func (s *Stats) Add(o Stats) {
+	s.Instructions += o.Instructions
+	s.Cycles += o.Cycles
+	s.Sends += o.Sends
+	s.PrimOps += o.PrimOps
+	s.ControlOps += o.ControlOps
+	s.Returns += o.Returns
+	s.LIFOReturns += o.LIFOReturns
+	s.NonLIFO += o.NonLIFO
+	s.Branches += o.Branches
+	s.TakenBranches += o.TakenBranches
+	s.CtxOperandRefs += o.CtxOperandRefs
+	s.MemRefs += o.MemRefs
+	s.MemRefsToCtx += o.MemRefsToCtx
+	s.CtxAllocs += o.CtxAllocs
+	s.ObjAllocs += o.ObjAllocs
+	s.SendCycles += o.SendCycles
+	s.LookupCycles += o.LookupCycles
+}
+
 // RefsToContextShare returns the fraction of all memory references that hit
 // contexts — the paper's 91% claim (§2.3).
 func (s Stats) RefsToContextShare() float64 {
@@ -229,6 +253,15 @@ type Machine struct {
 
 	ctxNameCounter uint64
 	extraRoots     []word.Word
+
+	// Deadline, when nonzero, bounds Run by wall clock: execution traps
+	// with a timeout once it passes. It is checked every few hundred steps
+	// and must only be set by the goroutine driving the machine (the serve
+	// pool sets it per request).
+	Deadline time.Time
+	// interrupt is an asynchronous stop request, set from other goroutines
+	// via Interrupt and polled by Run at the deadline cadence.
+	interrupt int32
 
 	halted bool
 	result word.Word

@@ -19,13 +19,13 @@ type Opcode uint8
 
 const (
 	// Stack housekeeping.
-	OpNop Opcode = iota
-	OpLit         // push literal Arg
-	OpTemp        // push temporary Arg
-	OpSetTemp     // pop into temporary Arg
-	OpSelf        // push the receiver
-	OpDup         // duplicate TOS
-	OpDrop        // discard TOS
+	OpNop     Opcode = iota
+	OpLit            // push literal Arg
+	OpTemp           // push temporary Arg
+	OpSetTemp        // pop into temporary Arg
+	OpSelf           // push the receiver
+	OpDup            // duplicate TOS
+	OpDrop           // discard TOS
 
 	// Control.
 	OpJmp      // relative jump by Arg

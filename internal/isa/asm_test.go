@@ -126,15 +126,15 @@ func TestAssembleJumpDirectionErrors(t *testing.T) {
 
 func TestAssembleErrors(t *testing.T) {
 	cases := []string{
-		"frobnicate c1",           // unknown mnemonic
-		"add c1, c2, c3, c4",      // too many operands
-		"add c99, c1, c2",         // context offset out of range
-		"add c1, c1, #127",        // reserved constant index
-		"add c1, c1, =1.5.5",      // bad float
-		"fjmp c5, missing",        // undefined label
-		"x: ret c1\nx: ret c1",    // duplicate label
-		"move c1, elsewhere",      // label outside jump
-		"add c1, , c2",            // empty operand
+		"frobnicate c1",            // unknown mnemonic
+		"add c1, c2, c3, c4",       // too many operands
+		"add c99, c1, c2",          // context offset out of range
+		"add c1, c1, #127",         // reserved constant index
+		"add c1, c1, =1.5.5",       // bad float
+		"fjmp c5, missing",         // undefined label
+		"x: ret c1\nx: ret c1",     // duplicate label
+		"move c1, elsewhere",       // label outside jump
+		"add c1, , c2",             // empty operand
 		"add c1, c1, =99999999999", // integer overflow
 	}
 	for _, src := range cases {

@@ -1,0 +1,101 @@
+package memory
+
+import (
+	"repro/internal/cache"
+	"repro/internal/fpa"
+	"repro/internal/word"
+)
+
+// This file implements deep cloning of the memory system, the foundation
+// of the machine snapshot facility: a compiled and loaded image is built
+// once and cloned into N independent machines instead of being re-compiled
+// and re-loaded per machine.
+
+// Clone returns an independent deep copy of absolute space together with
+// the segment identity map (old segment → cloned segment) that callers use
+// to rewrite their own segment pointers (descriptor tables, free lists,
+// method indexes).
+func (s *Space) Clone() (*Space, map[*Segment]*Segment) {
+	segMap := make(map[*Segment]*Segment, len(s.order))
+	ns := &Space{
+		segs:     make(map[AbsAddr]*Segment, len(s.segs)),
+		order:    make([]*Segment, 0, len(s.order)),
+		nextBase: s.nextBase,
+		reuse:    make(map[uint64][]*Segment, len(s.reuse)),
+		Stats:    s.Stats,
+	}
+	for _, seg := range s.order {
+		cp := &Segment{
+			Base:  seg.Base,
+			Data:  make([]word.Word, len(seg.Data), cap(seg.Data)),
+			Class: seg.Class,
+			Kind:  seg.Kind,
+			Mark:  seg.Mark,
+			Freed: seg.Freed,
+		}
+		copy(cp.Data, seg.Data)
+		segMap[seg] = cp
+		ns.order = append(ns.order, cp)
+	}
+	for base, seg := range s.segs {
+		ns.segs[base] = segMap[seg]
+	}
+	for size, list := range s.reuse {
+		nl := make([]*Segment, len(list))
+		for i, seg := range list {
+			nl[i] = segMap[seg]
+		}
+		ns.reuse[size] = nl
+	}
+	return ns, segMap
+}
+
+// Clone returns an independent copy of the team space over the given
+// cloned absolute space. Descriptors are deep-copied (preserving aliasing:
+// a descriptor shared by several names stays shared in the clone) and
+// rewired through segMap; the ATLB starts cold, since its cached
+// descriptor pointers belong to the source machine and rewarming costs
+// only a handful of table walks.
+func (t *Team) Clone(space *Space, segMap map[*Segment]*Segment) *Team {
+	nt := &Team{
+		SN:      t.SN,
+		Format:  t.Format,
+		table:   make(map[fpa.SegKey]*Descriptor, len(t.table)),
+		atlb:    cache.New[*Descriptor](t.atlb.Config()),
+		space:   space,
+		Stats:   t.Stats,
+		nextSeg: make(map[uint8]uint64, len(t.nextSeg)),
+		bySeg:   make(map[*Segment][]fpa.SegKey, len(t.bySeg)),
+	}
+	for exp, num := range t.nextSeg {
+		nt.nextSeg[exp] = num
+	}
+	descMap := make(map[*Descriptor]*Descriptor, len(t.table))
+	for key, d := range t.table {
+		nd, ok := descMap[d]
+		if !ok {
+			nd = &Descriptor{Seg: segMap[d.Seg], Length: d.Length, Class: d.Class, Rights: d.Rights}
+			if d.Forward != nil {
+				fwd := *d.Forward
+				nd.Forward = &fwd
+			}
+			descMap[d] = nd
+		}
+		nt.table[key] = nd
+	}
+	for seg, keys := range t.bySeg {
+		nt.bySeg[segMap[seg]] = append([]fpa.SegKey(nil), keys...)
+	}
+	return nt
+}
+
+// Clone returns an independent copy of the hierarchy with every level's
+// residency state and statistics intact, so a cloned machine pays the same
+// physical-space costs it would have paid on the original.
+func (h *Hierarchy) Clone() *Hierarchy {
+	nh := &Hierarchy{Stats: h.Stats}
+	for _, lv := range h.levels {
+		nh.levels = append(nh.levels, &hlevel{Level: lv.Level, shift: lv.shift, c: lv.c.Clone(nil)})
+	}
+	return nh
+}

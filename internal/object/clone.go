@@ -1,0 +1,101 @@
+package object
+
+import "repro/internal/word"
+
+// This file implements deep cloning of the static world — atoms, classes
+// and method dictionaries — for the machine snapshot facility. Method code
+// and literal slices are immutable after loading, so clones share them;
+// everything that can be mutated by a later Load or Intern is copied.
+
+// Clone returns an independent copy of the intern table.
+func (a *Atoms) Clone() *Atoms {
+	na := &Atoms{
+		names: append([]string(nil), a.names...),
+		ids:   make(map[string]Selector, len(a.ids)),
+	}
+	for name, id := range a.ids {
+		na.ids[name] = id
+	}
+	return na
+}
+
+// Clone returns a deep copy of the method: the struct is copied and the
+// class pointer rewritten via classOf; code, literals and stack code are
+// shared, since they are immutable once compiled.
+func (m *Method) Clone(classOf func(*Class) *Class) *Method {
+	nm := *m
+	if nm.Class != nil && classOf != nil {
+		nm.Class = classOf(nm.Class)
+	}
+	return &nm
+}
+
+// Clone returns an independent copy of the image: atoms, every class with
+// its superclass chain, fields and message dictionary, and every installed
+// method. It also returns the class and method identity maps (old → new)
+// so callers can rewrite their own pointers into the cloned graph.
+func (img *Image) Clone() (*Image, map[*Class]*Class, map[*Method]*Method) {
+	ni := &Image{
+		Atoms:   img.Atoms.Clone(),
+		classes: make(map[word.Class]*Class, len(img.classes)),
+		byName:  make(map[string]*Class, len(img.byName)),
+		nextID:  img.nextID,
+	}
+	classMap := make(map[*Class]*Class, len(img.classes))
+	methMap := make(map[*Method]*Method)
+
+	var cloneClass func(c *Class) *Class
+	cloneClass = func(c *Class) *Class {
+		if c == nil {
+			return nil
+		}
+		if nc, ok := classMap[c]; ok {
+			return nc
+		}
+		nc := &Class{
+			ID:      c.ID,
+			Name:    c.Name,
+			Fields:  append([]string(nil), c.Fields...),
+			Indexed: c.Indexed,
+		}
+		classMap[c] = nc // before recursing: cycles through Super/Class resolve to nc
+		nc.Super = cloneClass(c.Super)
+		nc.dict = c.dict.clone(func(m *Method) *Method {
+			if nm, ok := methMap[m]; ok {
+				return nm
+			}
+			nm := m.Clone(cloneClass)
+			methMap[m] = nm
+			return nm
+		})
+		return nc
+	}
+
+	for id, c := range img.classes {
+		ni.classes[id] = cloneClass(c)
+	}
+	for name, c := range img.byName {
+		ni.byName[name] = classMap[c]
+	}
+	ni.Object = classMap[img.Object]
+	ni.SmallInt = classMap[img.SmallInt]
+	ni.Float = classMap[img.Float]
+	ni.Atom = classMap[img.Atom]
+	ni.Ctx = classMap[img.Ctx]
+	ni.Cls = classMap[img.Cls]
+	ni.Array = classMap[img.Array]
+	ni.Str = classMap[img.Str]
+	return ni, classMap, methMap
+}
+
+// clone copies the dictionary, rewriting each method through cloneMethod.
+// Slot layout (and so probe counts) is preserved exactly.
+func (d *dict) clone(cloneMethod func(*Method) *Method) *dict {
+	nd := &dict{slots: make([]slot, len(d.slots)), n: d.n}
+	for i, s := range d.slots {
+		if s.used {
+			nd.slots[i] = slot{sel: s.sel, m: cloneMethod(s.m), used: true}
+		}
+	}
+	return nd
+}

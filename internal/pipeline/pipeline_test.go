@@ -108,7 +108,7 @@ func TestAgreesWithCoreAccounting(t *testing.T) {
 		{Reads: 2, Writes: 1},                               // add: 2
 		{Reads: 2, TakenBranch: true},                       // fjmp taken: 3
 		{Reads: 2, Writes: 1, MethodCall: true, CallOps: 2}, // 2-op call: 6
-		{Reads: 1},                                          // ret: 2
+		{Reads: 1}, // ret: 2
 	}
 	var stream []Op
 	for i := 0; i < 128; i++ {

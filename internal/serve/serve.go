@@ -1,0 +1,395 @@
+// Package serve executes message sends concurrently against a sharded
+// pool of Caltech Object Machines. The COM of the paper is a single
+// processor; serving heavy traffic means many of them. A Pool stamps N
+// independent machines out of one core.Snapshot — compile and load once,
+// clone cheaply, warm ITLB included — and runs each behind its own work
+// queue on its own goroutine, so no lock is ever taken around machine
+// execution.
+//
+// Requests are routed to shards either by an explicit affinity key (same
+// key → same machine, keeping that key's (selector, class) working set hot
+// in one ITLB) or round-robin when no key is given. Each request carries
+// an optional step budget and wall-clock timeout; a request that traps,
+// times out or exhausts its budget is aborted and the machine is reused,
+// with the abandoned context chain reclaimed by a periodic per-shard
+// garbage collection.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/stats"
+	"repro/internal/word"
+)
+
+// Request is one message send to be executed by the pool.
+type Request struct {
+	Receiver word.Word
+	Selector string
+	Args     []word.Word
+
+	// Key, when nonzero, routes the request: equal keys always reach the
+	// same shard (machine affinity). Zero keys are spread round-robin.
+	Key uint64
+	// MaxSteps bounds the send's interpreted steps; 0 uses the pool default.
+	MaxSteps uint64
+	// Timeout bounds the send's wall-clock time; 0 uses the pool default.
+	Timeout time.Duration
+}
+
+// Result is the outcome of one request.
+type Result struct {
+	Value word.Word
+	Err   error
+
+	Worker  int           // shard that executed the request
+	Steps   uint64        // interpreted instructions spent
+	Cycles  uint64        // simulated machine cycles spent
+	Latency time.Duration // wall-clock service time, queueing excluded
+}
+
+// Int returns the result as an integer, folding machine errors and
+// non-integer answers into the error.
+func (r Result) Int() (int32, error) {
+	if r.Err != nil {
+		return 0, r.Err
+	}
+	v, ok := r.Value.IntOK()
+	if !ok {
+		return 0, fmt.Errorf("serve: non-integer answer %v", r.Value)
+	}
+	return v, nil
+}
+
+// Config sizes a pool.
+type Config struct {
+	// Workers is the number of shards (machines). Default 1.
+	Workers int
+	// QueueDepth is each shard's queue capacity. Default 64.
+	QueueDepth int
+	// MaxSteps is the default per-request step budget. 0 keeps the
+	// machine's own limit.
+	MaxSteps uint64
+	// Timeout is the default per-request wall-clock bound. 0 means none.
+	Timeout time.Duration
+	// GCEvery runs a garbage collection on a shard's machine after that
+	// many requests, bounding heap growth from request garbage. 0 uses
+	// the default of 512; negative disables collection.
+	GCEvery int
+}
+
+const defaultGCEvery = 512
+
+// ErrClosed is returned for requests submitted after Close.
+var ErrClosed = errors.New("serve: pool is closed")
+
+// Metrics aggregates what the pool has done. Latency totals count service
+// time only; queueing delay is visible to callers as Do latency instead.
+type Metrics struct {
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`   // requests answered with any error
+	Timeouts uint64 `json:"timeouts"` // ...of which deadline or interrupt traps
+
+	TotalLatency time.Duration `json:"total_latency_ns"`
+	MaxLatency   time.Duration `json:"max_latency_ns"`
+
+	Instructions uint64 `json:"instructions"` // interpreted instructions across all shards
+	Cycles       uint64 `json:"cycles"`       // simulated cycles across all shards
+
+	ITLB stats.Ratio `json:"itlb"` // aggregated ITLB hits across all shards
+	GCs  uint64      `json:"gcs"`  // per-shard collections run
+}
+
+// MeanLatency returns the average service time per request.
+func (m Metrics) MeanLatency() time.Duration {
+	if m.Requests == 0 {
+		return 0
+	}
+	return m.TotalLatency / time.Duration(m.Requests)
+}
+
+// add folds one request outcome into the metrics.
+func (m *Metrics) add(r Result, timeout bool) {
+	m.Requests++
+	if r.Err != nil {
+		m.Errors++
+		if timeout {
+			m.Timeouts++
+		}
+	}
+	m.TotalLatency += r.Latency
+	if r.Latency > m.MaxLatency {
+		m.MaxLatency = r.Latency
+	}
+	m.Instructions += r.Steps
+	m.Cycles += r.Cycles
+}
+
+// merge folds another shard's metrics in.
+func (m *Metrics) merge(o Metrics) {
+	m.Requests += o.Requests
+	m.Errors += o.Errors
+	m.Timeouts += o.Timeouts
+	m.TotalLatency += o.TotalLatency
+	if o.MaxLatency > m.MaxLatency {
+		m.MaxLatency = o.MaxLatency
+	}
+	m.Instructions += o.Instructions
+	m.Cycles += o.Cycles
+	m.ITLB.Hits += o.ITLB.Hits
+	m.ITLB.Total += o.ITLB.Total
+	m.GCs += o.GCs
+}
+
+// Report renders the metrics as a table, in the house style of the
+// experiment reports.
+func (m Metrics) Report() *stats.Table {
+	t := stats.NewTable("serving pool", "metric", "value")
+	t.AddRow("requests", fmt.Sprintf("%d", m.Requests))
+	t.AddRow("errors", fmt.Sprintf("%d", m.Errors))
+	t.AddRow("timeouts", fmt.Sprintf("%d", m.Timeouts))
+	t.AddRow("mean latency", m.MeanLatency().String())
+	t.AddRow("max latency", m.MaxLatency.String())
+	t.AddRow("instructions", fmt.Sprintf("%d", m.Instructions))
+	t.AddRow("simulated cycles", fmt.Sprintf("%d", m.Cycles))
+	t.AddRow("ITLB hit ratio", m.ITLB.String())
+	t.AddRow("collections", fmt.Sprintf("%d", m.GCs))
+	return t
+}
+
+// job pairs a request with its reply channel.
+type job struct {
+	req Request
+	res chan<- Result
+}
+
+// shard is one worker: a private machine behind a private queue. Only the
+// shard's goroutine touches the machine; metrics are the one shared field
+// and sit behind the mutex.
+type shard struct {
+	id    int
+	m     *core.Machine
+	queue chan job
+
+	mu           sync.Mutex
+	met          Metrics
+	sinceGC      int
+	itlbHitBase  uint64 // ITLB counters at pool start, so aggregates
+	itlbMissBase uint64 // report only traffic served by this pool
+}
+
+// Pool is a sharded serving pool over machines cloned from one snapshot.
+type Pool struct {
+	cfg    Config
+	shards []*shard
+
+	rr     atomic.Uint64 // round-robin cursor for keyless requests
+	mu     sync.RWMutex  // guards closed against in-flight enqueues
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPool builds and starts a pool of cfg.Workers machines cloned from the
+// snapshot.
+func NewPool(snap *core.Snapshot, cfg Config) *Pool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.GCEvery == 0 {
+		cfg.GCEvery = defaultGCEvery
+	}
+	p := &Pool{cfg: cfg}
+	for i := 0; i < cfg.Workers; i++ {
+		m := snap.NewMachine()
+		s := &shard{
+			id:    i,
+			m:     m,
+			queue: make(chan job, cfg.QueueDepth),
+		}
+		cs := m.ITLB.CacheStats()
+		s.itlbHitBase, s.itlbMissBase = cs.Hits, cs.Misses
+		p.shards = append(p.shards, s)
+	}
+	for _, s := range p.shards {
+		p.wg.Add(1)
+		go p.worker(s)
+	}
+	return p
+}
+
+// Workers returns the number of shards.
+func (p *Pool) Workers() int { return len(p.shards) }
+
+// shardFor routes a request.
+func (p *Pool) shardFor(req Request) *shard {
+	if req.Key != 0 {
+		return p.shards[req.Key%uint64(len(p.shards))]
+	}
+	return p.shards[p.rr.Add(1)%uint64(len(p.shards))]
+}
+
+// Go submits a request and returns a channel delivering its single result.
+// The channel is buffered: the result never blocks on a slow reader.
+func (p *Pool) Go(req Request) <-chan Result {
+	res := make(chan Result, 1)
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		res <- Result{Err: ErrClosed}
+		return res
+	}
+	s := p.shardFor(req)
+	s.queue <- job{req: req, res: res}
+	p.mu.RUnlock()
+	return res
+}
+
+// Do submits a request and waits for its result.
+func (p *Pool) Do(req Request) Result { return <-p.Go(req) }
+
+// DoAll submits a batch and waits for every result, preserving order.
+func (p *Pool) DoAll(reqs []Request) []Result {
+	chans := make([]<-chan Result, len(reqs))
+	for i, req := range reqs {
+		chans[i] = p.Go(req)
+	}
+	out := make([]Result, len(reqs))
+	for i, ch := range chans {
+		out[i] = <-ch
+	}
+	return out
+}
+
+// Close drains the queues, stops every worker and waits for them. Requests
+// already accepted are served; later submissions get ErrClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for _, s := range p.shards {
+		close(s.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Metrics returns the aggregated pool metrics.
+func (p *Pool) Metrics() Metrics {
+	var out Metrics
+	for _, s := range p.shards {
+		s.mu.Lock()
+		out.merge(s.met)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// ShardMetrics returns each shard's metrics, indexed by worker id.
+func (p *Pool) ShardMetrics() []Metrics {
+	out := make([]Metrics, len(p.shards))
+	for i, s := range p.shards {
+		s.mu.Lock()
+		out[i] = s.met
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// MachineStats sums the machine-level cycle accounting across shards.
+// Meaningful only while the pool is quiescent (e.g. after Close), since
+// workers mutate their machines without synchronisation.
+func (p *Pool) MachineStats() core.Stats {
+	var out core.Stats
+	for _, s := range p.shards {
+		out.Add(s.m.Stats)
+	}
+	return out
+}
+
+// worker drains one shard's queue.
+func (p *Pool) worker(s *shard) {
+	defer p.wg.Done()
+	for j := range s.queue {
+		j.res <- p.serveOne(s, j.req)
+	}
+}
+
+// serveOne executes a request on the shard's machine, restoring the
+// machine to an idle state whatever happens.
+func (p *Pool) serveOne(s *shard, req Request) Result {
+	m := s.m
+	budget := req.MaxSteps
+	if budget == 0 {
+		budget = p.cfg.MaxSteps
+	}
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = p.cfg.Timeout
+	}
+	savedMax := m.Cfg.MaxSteps
+	if budget != 0 {
+		m.Cfg.MaxSteps = budget
+	}
+	start := time.Now()
+	if timeout != 0 {
+		m.Deadline = start.Add(timeout)
+	}
+	steps0, cycles0 := m.Stats.Instructions, m.Stats.Cycles
+
+	v, err := m.Send(req.Receiver, req.Selector, req.Args...)
+
+	m.Cfg.MaxSteps = savedMax
+	m.Deadline = time.Time{}
+	res := Result{
+		Value:   v,
+		Err:     err,
+		Worker:  s.id,
+		Steps:   m.Stats.Instructions - steps0,
+		Cycles:  m.Stats.Cycles - cycles0,
+		Latency: time.Since(start),
+	}
+	timedOut := false
+	if err != nil {
+		var trap *core.Trap
+		if errors.As(err, &trap) {
+			timedOut = trap.Kind == "timeout" || trap.Kind == "interrupt"
+		}
+		// A trap mid-run leaves the context pair live; reset so the
+		// machine can serve the next request.
+		m.Abort()
+	}
+
+	s.mu.Lock()
+	s.met.add(res, timedOut)
+	cs := m.ITLB.CacheStats()
+	s.met.ITLB = stats.Ratio{
+		Hits:  cs.Hits - s.itlbHitBase,
+		Total: (cs.Hits - s.itlbHitBase) + (cs.Misses - s.itlbMissBase),
+	}
+	s.sinceGC++
+	runGC := p.cfg.GCEvery > 0 && (s.sinceGC >= p.cfg.GCEvery || err != nil)
+	if runGC {
+		s.sinceGC = 0
+	}
+	s.mu.Unlock()
+
+	if runGC {
+		gc.Collect(m)
+		s.mu.Lock()
+		s.met.GCs++
+		s.mu.Unlock()
+	}
+	return res
+}

@@ -1,0 +1,224 @@
+package serve_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/smalltalk"
+	"repro/internal/word"
+	"repro/internal/workload"
+)
+
+// suiteSnapshot compiles and loads the entire workload suite into one
+// machine, warms it, and captures a snapshot. Every pool in these tests is
+// stamped out of this single image — the serving model under test.
+func suiteSnapshot(t testing.TB) (*core.Snapshot, []workload.Program) {
+	t.Helper()
+	m := core.New(core.Config{})
+	progs, err := workload.LoadSuite(m)
+	if err != nil {
+		t.Fatalf("load suite: %v", err)
+	}
+	for _, p := range progs {
+		if _, err := m.Send(word.FromInt(p.Warm), p.Entry); err != nil {
+			t.Fatalf("warm %s: %v", p.Name, err)
+		}
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return snap, progs
+}
+
+func TestPoolServesSuiteConcurrently(t *testing.T) {
+	snap, progs := suiteSnapshot(t)
+	pool := serve.NewPool(snap, serve.Config{Workers: 4, GCEvery: 16})
+	defer pool.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 2; round++ {
+				for _, p := range progs {
+					res := pool.Do(serve.Request{
+						Receiver: word.FromInt(p.Size),
+						Selector: p.Entry,
+					})
+					got, err := res.Int()
+					if err != nil {
+						t.Errorf("client %d: %s: %v", g, p.Name, err)
+						return
+					}
+					if got != p.Check {
+						t.Errorf("client %d: %s checksum %d, want %d", g, p.Name, got, p.Check)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	met := pool.Metrics()
+	want := uint64(clients * 2 * len(progs))
+	if met.Requests != want {
+		t.Fatalf("metrics saw %d requests, want %d", met.Requests, want)
+	}
+	if met.Errors != 0 {
+		t.Fatalf("metrics saw %d errors", met.Errors)
+	}
+	if met.ITLB.Value() < 0.9 {
+		t.Fatalf("aggregate ITLB hit ratio %v too low for a warm-started pool", met.ITLB)
+	}
+	if met.Instructions == 0 || met.Cycles == 0 {
+		t.Fatalf("metrics lost the machine accounting: %+v", met)
+	}
+}
+
+func TestPoolAffinityKeyPinsShard(t *testing.T) {
+	snap, progs := suiteSnapshot(t)
+	pool := serve.NewPool(snap, serve.Config{Workers: 4})
+	defer pool.Close()
+
+	p := progs[0]
+	req := serve.Request{Receiver: word.FromInt(p.Warm), Selector: p.Entry, Key: 7}
+	first := pool.Do(req)
+	if first.Err != nil {
+		t.Fatalf("keyed request: %v", first.Err)
+	}
+	for i := 0; i < 8; i++ {
+		res := pool.Do(req)
+		if res.Err != nil {
+			t.Fatalf("keyed request %d: %v", i, res.Err)
+		}
+		if res.Worker != first.Worker {
+			t.Fatalf("key 7 moved from worker %d to %d", first.Worker, res.Worker)
+		}
+	}
+}
+
+func TestPoolStepBudgetAndRecovery(t *testing.T) {
+	snap, progs := suiteSnapshot(t)
+	pool := serve.NewPool(snap, serve.Config{Workers: 1})
+	defer pool.Close()
+
+	p := progs[0]
+	res := pool.Do(serve.Request{
+		Receiver: word.FromInt(p.Size),
+		Selector: p.Entry,
+		MaxSteps: 100, // far too small for the measured size
+	})
+	if res.Err == nil {
+		t.Fatalf("100-step budget did not trap")
+	}
+	// The same worker serves correctly afterwards: the abort left no
+	// residue and the default budget is restored.
+	res = pool.Do(serve.Request{Receiver: word.FromInt(p.Size), Selector: p.Entry})
+	got, err := res.Int()
+	if err != nil {
+		t.Fatalf("post-budget-trap request: %v", err)
+	}
+	if got != p.Check {
+		t.Fatalf("post-budget-trap checksum %d, want %d", got, p.Check)
+	}
+}
+
+func TestPoolTimeout(t *testing.T) {
+	m := core.New(core.Config{})
+	c, err := smalltalk.Compile(`
+extend SmallInt [
+	method spinForever [
+		| i |
+		i := 0.
+		[ i < self ] whileTrue: [ i := i * 1 ].
+		^i
+	]
+	method quick [ ^self + self ]
+]`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := smalltalk.LoadCOM(m, c); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	pool := serve.NewPool(snap, serve.Config{Workers: 1, Timeout: 30 * time.Millisecond})
+	defer pool.Close()
+
+	res := pool.Do(serve.Request{Receiver: word.FromInt(1), Selector: "spinForever"})
+	if res.Err == nil {
+		t.Fatalf("divergent request did not time out")
+	}
+	var trap *core.Trap
+	if !errors.As(res.Err, &trap) || trap.Kind != "timeout" {
+		t.Fatalf("expected a timeout trap, got %v", res.Err)
+	}
+	// The worker machine survives the abort.
+	got, err := pool.Do(serve.Request{Receiver: word.FromInt(21), Selector: "quick"}).Int()
+	if err != nil {
+		t.Fatalf("post-timeout request: %v", err)
+	}
+	if got != 42 {
+		t.Fatalf("post-timeout 21 quick = %d", got)
+	}
+	if met := pool.Metrics(); met.Timeouts != 1 {
+		t.Fatalf("metrics counted %d timeouts, want 1", met.Timeouts)
+	}
+}
+
+func TestPoolDoAllAndClose(t *testing.T) {
+	snap, progs := suiteSnapshot(t)
+	pool := serve.NewPool(snap, serve.Config{Workers: 2})
+
+	reqs := make([]serve.Request, len(progs))
+	for i, p := range progs {
+		reqs[i] = serve.Request{Receiver: word.FromInt(p.Warm), Selector: p.Entry}
+	}
+	results := pool.DoAll(reqs)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("DoAll %s: %v", progs[i].Name, res.Err)
+		}
+	}
+
+	pool.Close()
+	pool.Close() // idempotent
+	if res := pool.Do(reqs[0]); !errors.Is(res.Err, serve.ErrClosed) {
+		t.Fatalf("request after Close returned %v, want ErrClosed", res.Err)
+	}
+
+	// Quiescent after Close: machine stats are aggregated and consistent
+	// with the per-request accounting.
+	ms := pool.MachineStats()
+	met := pool.Metrics()
+	if ms.Instructions < met.Instructions {
+		t.Fatalf("machine instructions %d below metric total %d", ms.Instructions, met.Instructions)
+	}
+}
+
+func TestPoolGCBoundsHeapGrowth(t *testing.T) {
+	snap, progs := suiteSnapshot(t)
+	// Collect aggressively so allocation-heavy programs are reclaimed.
+	pool := serve.NewPool(snap, serve.Config{Workers: 1, GCEvery: 4})
+	p := progs[2] // points: allocates two objects per iteration
+	for i := 0; i < 12; i++ {
+		if res := pool.Do(serve.Request{Receiver: word.FromInt(p.Warm), Selector: p.Entry}); res.Err != nil {
+			t.Fatalf("request %d: %v", i, res.Err)
+		}
+	}
+	pool.Close()
+	if met := pool.Metrics(); met.GCs < 2 {
+		t.Fatalf("expected at least 2 collections, got %d", met.GCs)
+	}
+}

@@ -11,8 +11,8 @@ import (
 
 // Ratio is a hit/total pair, the unit of every cache experiment.
 type Ratio struct {
-	Hits  uint64
-	Total uint64
+	Hits  uint64 `json:"hits"`
+	Total uint64 `json:"total"`
 }
 
 // Add records one event, a hit or a miss.

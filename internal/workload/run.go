@@ -23,6 +23,23 @@ func NewCOM(p Program, cfg core.Config) (*core.Machine, error) {
 	return m, nil
 }
 
+// LoadSuite compiles and loads every suite program onto one machine — the
+// multi-tenant image the serving subsystem snapshots and clones. It
+// returns the programs loaded.
+func LoadSuite(m *core.Machine) ([]Program, error) {
+	progs := Suite()
+	for _, p := range progs {
+		c, err := smalltalk.Compile(p.Src)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", p.Name, err)
+		}
+		if err := smalltalk.LoadCOM(m, c); err != nil {
+			return nil, fmt.Errorf("workload %s: %w", p.Name, err)
+		}
+	}
+	return progs, nil
+}
+
 // RunCOM executes the program's measured entry on the machine and returns
 // the checksum.
 func RunCOM(m *core.Machine, p Program) (int32, error) {

@@ -11,6 +11,25 @@
 //	sys.Load(`extend SmallInt [ method double [ ^self + self ] ]`)
 //	v, _ := sys.SendInt(21, "double") // 42
 //
+// For serving, a loaded System is captured once with Snapshot and cheaply
+// cloned into a sharded pool of independent machines, each on its own
+// goroutine behind its own work queue — compile and load once, serve
+// concurrently:
+//
+//	sys := obarch.NewSystem(obarch.Options{})
+//	sys.Load(src)
+//	pool, _ := sys.ServePool(8) // 8 workers cloned from one image
+//	defer pool.Close()
+//	res := pool.Do(obarch.Request{Receiver: obarch.Int(21), Selector: "double"})
+//	v, _ := res.Int() // 42
+//
+// Requests carry optional step budgets, wall-clock timeouts, and affinity
+// keys (equal keys always reach the same worker machine, keeping its ITLB
+// working set hot); pool.Metrics() aggregates latency and machine
+// accounting across workers. cmd/obarchd wraps the pool as an HTTP/JSON
+// server and cmd/loadgen replays the workload suite against it as
+// concurrent traffic.
+//
 // The experiment harness regenerating every figure and table of the paper
 // is exposed through Experiments and RunExperiment; the cmd/ directory
 // wraps it all as executables.
@@ -24,6 +43,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fith"
 	"repro/internal/gc"
+	"repro/internal/serve"
 	"repro/internal/smalltalk"
 	"repro/internal/word"
 )
@@ -131,6 +151,42 @@ func (s *System) ClearRoots() { s.M.ClearRoots() }
 
 // Stats returns the machine's cycle and reference accounting.
 func (s *System) Stats() core.Stats { return s.M.Stats }
+
+// Snapshot is a frozen machine image: capture a compiled and loaded
+// System once, then stamp out any number of independent machines.
+type Snapshot = core.Snapshot
+
+// Request is one message send submitted to a serving pool.
+type Request = serve.Request
+
+// Result is the outcome of a pool request.
+type Result = serve.Result
+
+// Pool is a sharded concurrent serving pool; see package repro/internal/serve.
+type Pool = serve.Pool
+
+// ServeConfig sizes a serving pool built with ServePoolWith.
+type ServeConfig = serve.Config
+
+// Snapshot captures the system's current image. The machine must be idle
+// (between sends); the System remains fully usable afterwards.
+func (s *System) Snapshot() (*Snapshot, error) { return s.M.Snapshot() }
+
+// ServePool snapshots the system and starts a pool of n worker machines
+// cloned from the image, each serving requests on its own goroutine.
+func (s *System) ServePool(n int) (*Pool, error) {
+	return s.ServePoolWith(ServeConfig{Workers: n})
+}
+
+// ServePoolWith is ServePool with full control over queue depth, default
+// step budgets, timeouts and the collection cadence.
+func (s *System) ServePoolWith(cfg ServeConfig) (*Pool, error) {
+	snap, err := s.M.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewPool(snap, cfg), nil
+}
 
 // ITLBHitRatio reports the machine's instruction-translation hit ratio.
 func (s *System) ITLBHitRatio() float64 { return s.M.ITLB.HitRatio() }

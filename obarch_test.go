@@ -137,3 +137,32 @@ func TestLoadErrorsSurface(t *testing.T) {
 		t.Fatal("missing method answered")
 	}
 }
+
+func TestServePoolThroughFacade(t *testing.T) {
+	sys := NewSystem(Options{})
+	if err := sys.Load(`extend SmallInt [ method double [ ^self + self ] ]`); err != nil {
+		t.Fatal(err)
+	}
+	// The package-doc serving quickstart, verbatim.
+	pool, err := sys.ServePool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	res := pool.Do(Request{Receiver: Int(21), Selector: "double"})
+	v, err := res.Int()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("pool 21 double = %d", v)
+	}
+	// The System itself stays usable alongside the pool: the snapshot
+	// decoupled them.
+	if got, err := sys.SendInt(10, "double"); err != nil || got != 20 {
+		t.Fatalf("system after pool: %d, %v", got, err)
+	}
+	if met := pool.Metrics(); met.Requests != 1 || met.Errors != 0 {
+		t.Fatalf("pool metrics: %+v", met)
+	}
+}
