@@ -136,6 +136,35 @@ func BenchmarkCOMInterpreter(b *testing.B) {
 	b.ReportMetric(float64(instrs)/float64(b.N), "instrs/op")
 }
 
+// BenchmarkInterpreterInnerLoop measures the predecoded Step loop on a
+// warm machine: repeated sends of the arith program at warmup size, with
+// per-instruction cost and allocations reported. The acceptance bar for
+// the fast path is 0 allocs/op here — the inner loop must never touch the
+// Go heap.
+func BenchmarkInterpreterInnerLoop(b *testing.B) {
+	p := workload.Arith()
+	m, err := workload.NewCOM(p, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := workload.WarmCOM(m, p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	before := m.Stats.Instructions
+	for i := 0; i < b.N; i++ {
+		if err := workload.WarmCOM(m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	instrs := m.Stats.Instructions - before
+	if instrs > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instrs), "ns/instr")
+	}
+}
+
 func BenchmarkFithInterpreter(b *testing.B) {
 	p := workload.Arith()
 	vm, err := workload.NewFith(p, fith.Config{})
@@ -203,6 +232,38 @@ func BenchmarkPoolThroughput(b *testing.B) {
 			if met.Requests > 0 {
 				b.ReportMetric(float64(met.Instructions)/float64(met.Requests), "instrs/send")
 			}
+		})
+	}
+}
+
+// BenchmarkPoolBatchThroughput measures the sharded DoAll path: each op
+// submits one batch and waits for all its results, so ns/op divided by
+// the batch size is the amortised cost per send — the number to compare
+// against BenchmarkPoolThroughput's queue-and-reply round trips.
+func BenchmarkPoolBatchThroughput(b *testing.B) {
+	snap, p := poolSnapshot(b)
+	for _, batch := range []int{16, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			pool := serve.NewPool(snap, serve.Config{
+				Workers:    runtime.GOMAXPROCS(0),
+				QueueDepth: 256,
+				Batch:      batch,
+			})
+			defer pool.Close()
+			reqs := make([]serve.Request, batch)
+			for i := range reqs {
+				reqs[i] = serve.Request{Receiver: word.FromInt(p.Warm), Selector: p.Entry}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, res := range pool.DoAll(reqs) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/send")
 		})
 	}
 }

@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark report, so CI runs leave machine-readable performance data
+// points behind instead of scrollback:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -out BENCH_PR2.json
+//
+// Each benchmark line becomes one record carrying the benchmark name (the
+// -8 GOMAXPROCS suffix stripped), iteration count, ns/op, allocs/op and
+// B/op when -benchmem is on, and any custom metrics (instrs/send, ns/instr,
+// …) under "metrics". The goos/goarch/cpu header lines are captured into
+// "env" so reports from different hosts are distinguishable.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp *float64           `json:"bytes_per_op,omitempty"`
+	AllocsOp   *float64           `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Env        map[string]string `json:"env"`
+	Benchmarks []record          `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "output file")
+	flag.Parse()
+
+	rep := report{Env: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+":"); ok {
+				rep.Env[key] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the GOMAXPROCS suffix
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := record{Name: name, Iterations: iters}
+		// The remainder is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				b := v
+				r.BytesPerOp = &b
+			case "allocs/op":
+				a := v
+				r.AllocsOp = &a
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}

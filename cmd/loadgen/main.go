@@ -4,10 +4,14 @@
 //
 //	obarchd -addr :8373 &
 //	loadgen -addr http://localhost:8373 -clients 8 -rounds 4
+//	loadgen -addr http://localhost:8373 -clients 8 -rounds 4 -batch 16
 //
-// The program list (entry selectors, measured sizes, expected checksums)
-// is fetched from the server's /programs endpoint, so loadgen also works
-// against a server that loaded custom sources alongside the suite.
+// With -batch K each client groups K sends into one POST /batch request,
+// driving the pool's sharded DoAll fast path; the summary then reports
+// sends/s alongside request throughput so batched and unbatched runs
+// compare directly. The program list (entry selectors, measured sizes,
+// expected checksums) is fetched from the server's /programs endpoint, so
+// loadgen also works against a server that loaded custom sources.
 package main
 
 import (
@@ -31,6 +35,11 @@ type program struct {
 	Check int32  `json:"check"`
 }
 
+type sendRequest struct {
+	Receiver int32  `json:"receiver"`
+	Selector string `json:"selector"`
+}
+
 type sendResponse struct {
 	Result any    `json:"result"`
 	Error  string `json:"error"`
@@ -43,6 +52,7 @@ func main() {
 	rounds := flag.Int("rounds", 2, "suite replays per client")
 	name := flag.String("program", "", "restrict to one program by name")
 	warm := flag.Bool("warm", false, "use warmup sizes instead of measured sizes (no checksum validation)")
+	batch := flag.Int("batch", 1, "sends per POST /batch request (1: one POST /send per send)")
 	flag.Parse()
 
 	programs, err := fetchPrograms(*addr)
@@ -63,43 +73,90 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen: no programs to run")
 		os.Exit(1)
 	}
+	if *batch < 1 {
+		*batch = 1
+	}
 
 	var (
 		wg        sync.WaitGroup
-		sent      atomic.Int64
+		sent      atomic.Int64 // individual sends
+		posts     atomic.Int64 // HTTP requests
 		failed    atomic.Int64
 		latMu     sync.Mutex
 		latencies []time.Duration
 	)
+	record := func(lat time.Duration) {
+		latMu.Lock()
+		latencies = append(latencies, lat)
+		latMu.Unlock()
+	}
 	start := time.Now()
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			// pending accumulates sends until a full batch is flushed.
+			var pending []sendRequest
+			var expect []program
+			flush := func() {
+				if len(pending) == 0 {
+					return
+				}
+				t0 := time.Now()
+				got, err := sendBatch(*addr, pending)
+				record(time.Since(t0))
+				posts.Add(1)
+				sent.Add(int64(len(pending)))
+				if err != nil {
+					failed.Add(int64(len(pending)))
+					fmt.Fprintf(os.Stderr, "loadgen: client %d batch: %v\n", c, err)
+				} else {
+					for i, p := range expect {
+						switch {
+						case got[i].Error != "":
+							failed.Add(1)
+							fmt.Fprintf(os.Stderr, "loadgen: client %d %s: %s\n", c, p.Name, got[i].Error)
+						case !*warm:
+							if f, ok := got[i].Result.(float64); !ok || int32(f) != p.Check {
+								failed.Add(1)
+								fmt.Fprintf(os.Stderr, "loadgen: client %d %s: checksum %v, want %d\n", c, p.Name, got[i].Result, p.Check)
+							}
+						}
+					}
+				}
+				pending, expect = pending[:0], expect[:0]
+			}
 			for r := 0; r < *rounds; r++ {
 				for _, p := range programs {
 					recv := p.Size
 					if *warm {
 						recv = p.Warm
 					}
-					t0 := time.Now()
-					got, err := send(*addr, recv, p.Entry)
-					lat := time.Since(t0)
-					sent.Add(1)
-					latMu.Lock()
-					latencies = append(latencies, lat)
-					latMu.Unlock()
-					if err != nil {
-						failed.Add(1)
-						fmt.Fprintf(os.Stderr, "loadgen: client %d %s: %v\n", c, p.Name, err)
+					if *batch == 1 {
+						t0 := time.Now()
+						got, err := send(*addr, recv, p.Entry)
+						record(time.Since(t0))
+						posts.Add(1)
+						sent.Add(1)
+						if err != nil {
+							failed.Add(1)
+							fmt.Fprintf(os.Stderr, "loadgen: client %d %s: %v\n", c, p.Name, err)
+							continue
+						}
+						if !*warm && got != p.Check {
+							failed.Add(1)
+							fmt.Fprintf(os.Stderr, "loadgen: client %d %s: checksum %d, want %d\n", c, p.Name, got, p.Check)
+						}
 						continue
 					}
-					if !*warm && got != p.Check {
-						failed.Add(1)
-						fmt.Fprintf(os.Stderr, "loadgen: client %d %s: checksum %d, want %d\n", c, p.Name, got, p.Check)
+					pending = append(pending, sendRequest{Receiver: recv, Selector: p.Entry})
+					expect = append(expect, p)
+					if len(pending) >= *batch {
+						flush()
 					}
 				}
 			}
+			flush()
 		}(c)
 	}
 	wg.Wait()
@@ -114,9 +171,16 @@ func main() {
 		i := int(q * float64(len(latencies)-1))
 		return latencies[i]
 	}
-	fmt.Printf("requests: %d  failures: %d  wall: %v\n", n, failed.Load(), wall.Round(time.Millisecond))
-	fmt.Printf("throughput: %.1f req/s across %d clients\n", float64(n)/wall.Seconds(), *clients)
-	fmt.Printf("latency p50: %v  p90: %v  p99: %v  max: %v\n",
+	mode := "unbatched (POST /send)"
+	if *batch > 1 {
+		mode = fmt.Sprintf("batched ×%d (POST /batch)", *batch)
+	}
+	fmt.Printf("mode: %s\n", mode)
+	fmt.Printf("sends: %d  http requests: %d  failures: %d  wall: %v\n",
+		n, posts.Load(), failed.Load(), wall.Round(time.Millisecond))
+	fmt.Printf("throughput: %.1f sends/s (%.1f req/s) across %d clients\n",
+		float64(n)/wall.Seconds(), float64(posts.Load())/wall.Seconds(), *clients)
+	fmt.Printf("latency per request p50: %v  p90: %v  p99: %v  max: %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
 	if failed.Load() > 0 {
@@ -159,4 +223,24 @@ func send(addr string, receiver int32, selector string) (int32, error) {
 		return 0, fmt.Errorf("non-numeric result %v", out.Result)
 	}
 	return int32(f), nil
+}
+
+func sendBatch(addr string, reqs []sendRequest) ([]sendResponse, error) {
+	body, _ := json.Marshal(reqs)
+	resp, err := http.Post(addr+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST /batch: status %d", resp.StatusCode)
+	}
+	var out []sendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decode /batch: %w", err)
+	}
+	if len(out) != len(reqs) {
+		return nil, fmt.Errorf("batch returned %d results for %d sends", len(out), len(reqs))
+	}
+	return out, nil
 }

@@ -9,6 +9,9 @@
 // Endpoints:
 //
 //	POST /send      {"receiver": 21, "selector": "double", "args": []}
+//	POST /batch     [{"receiver": 21, "selector": "double"}, ...] — executed
+//	                through the pool's sharded DoAll fast path; the response
+//	                is the result array in request order
 //	GET  /programs  the loaded workload programs (name, size, entry, check)
 //	GET  /stats     aggregated pool metrics (add ?format=text for a table)
 //	GET  /healthz   liveness probe
@@ -119,6 +122,7 @@ type server struct {
 func newServer(pool *serve.Pool, programs []workload.Program) *server {
 	s := &server{pool: pool, programs: programs, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /send", s.handleSend)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("GET /programs", s.handlePrograms)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -177,44 +181,87 @@ func (s *server) handleSend(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf(`{"error":%q}`, "bad request: "+err.Error()), http.StatusBadRequest)
 		return
 	}
-	if req.Selector == "" {
-		http.Error(w, `{"error":"missing selector"}`, http.StatusBadRequest)
+	poolReq, err := toRequest(req)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)
 		return
+	}
+	res := s.pool.Do(poolReq)
+	status := http.StatusOK
+	if res.Err != nil {
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, toResponse(res))
+}
+
+// toRequest converts one wire send into a pool request.
+func toRequest(req sendRequest) (serve.Request, error) {
+	if req.Selector == "" {
+		return serve.Request{}, fmt.Errorf("missing selector")
 	}
 	recv, err := wordOf(req.Receiver)
 	if err != nil {
-		http.Error(w, fmt.Sprintf(`{"error":%q}`, "receiver: "+err.Error()), http.StatusBadRequest)
-		return
+		return serve.Request{}, fmt.Errorf("receiver: %v", err)
 	}
 	args := make([]word.Word, len(req.Args))
 	for i, a := range req.Args {
 		if args[i], err = wordOf(a); err != nil {
-			http.Error(w, fmt.Sprintf(`{"error":%q}`, fmt.Sprintf("arg %d: %v", i, err)), http.StatusBadRequest)
-			return
+			return serve.Request{}, fmt.Errorf("arg %d: %v", i, err)
 		}
 	}
-	res := s.pool.Do(serve.Request{
+	return serve.Request{
 		Receiver: recv,
 		Selector: req.Selector,
 		Args:     args,
 		Key:      req.Key,
 		MaxSteps: req.MaxSteps,
 		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
-	})
+	}, nil
+}
+
+// toResponse converts one pool result into its wire form.
+func toResponse(res serve.Result) sendResponse {
 	resp := sendResponse{
 		Worker:    res.Worker,
 		Steps:     res.Steps,
 		Cycles:    res.Cycles,
 		LatencyUS: res.Latency.Microseconds(),
 	}
-	status := http.StatusOK
 	if res.Err != nil {
 		resp.Error = res.Err.Error()
-		status = http.StatusUnprocessableEntity
 	} else {
 		resp.Result = jsonOf(res.Value)
 	}
-	writeJSON(w, status, resp)
+	return resp
+}
+
+// handleBatch executes an array of sends through the pool's sharded DoAll
+// path: one HTTP round-trip, one queue hand-off per shard sub-batch. The
+// response preserves request order; per-request failures are reported
+// inline, so the status is 200 whenever the batch itself was well-formed.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var wire []sendRequest
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	if err := dec.Decode(&wire); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, "bad request: "+err.Error()), http.StatusBadRequest)
+		return
+	}
+	reqs := make([]serve.Request, len(wire))
+	for i, wr := range wire {
+		req, err := toRequest(wr)
+		if err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, fmt.Sprintf("request %d: %v", i, err)), http.StatusBadRequest)
+			return
+		}
+		reqs[i] = req
+	}
+	results := s.pool.DoAll(reqs)
+	out := make([]sendResponse, len(results))
+	for i, res := range results {
+		out[i] = toResponse(res)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) handlePrograms(w http.ResponseWriter, _ *http.Request) {

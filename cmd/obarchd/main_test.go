@@ -182,3 +182,59 @@ func TestServerProgramsAndHealth(t *testing.T) {
 		t.Fatalf("text stats missing table header:\n%s", buf.String())
 	}
 }
+
+// TestServerBatchEndpoint replays the suite through POST /batch and
+// validates order preservation, per-request checksums, and inline error
+// reporting for a failing entry in the middle of an otherwise good batch.
+func TestServerBatchEndpoint(t *testing.T) {
+	h, pool := newSuiteServer(t, 2)
+	defer pool.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	programs := workload.Suite()
+	var batch []map[string]any
+	for _, p := range programs {
+		batch = append(batch, map[string]any{"receiver": p.Size, "selector": p.Entry})
+	}
+	batch = append(batch, map[string]any{"receiver": 1, "selector": "noSuchSelector"})
+	body, _ := json.Marshal(batch)
+
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /batch: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out []sendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode /batch response: %v", err)
+	}
+	if len(out) != len(batch) {
+		t.Fatalf("got %d results for %d requests", len(out), len(batch))
+	}
+	for i, p := range programs {
+		if out[i].Error != "" {
+			t.Fatalf("%s: %s", p.Name, out[i].Error)
+		}
+		got, ok := out[i].Result.(float64)
+		if !ok || int32(got) != p.Check {
+			t.Fatalf("%s: result %v, want %d", p.Name, out[i].Result, p.Check)
+		}
+	}
+	if last := out[len(out)-1]; last.Error == "" {
+		t.Fatalf("doesNotUnderstand request reported no error")
+	}
+
+	// Malformed batches are rejected wholesale.
+	resp2, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(`[{"receiver": 1}]`))
+	if err != nil {
+		t.Fatalf("POST bad /batch: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad batch status %d, want 400", resp2.StatusCode)
+	}
+}

@@ -60,7 +60,13 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits) / float64(t)
 }
 
-type line[V any] struct {
+// Line is one cache line. Lines are exposed (opaquely) so that callers can
+// hold stable references to them: the sets never reallocate, so a *Line
+// taken from LookupLine or InsertLine stays valid for the cache's lifetime
+// and can back an inline cache in front of the associative probe (see
+// HitLine). All fields stay private; a line's contents are only reachable
+// through cache methods.
+type Line[V any] struct {
 	key   uint64
 	value V
 	valid bool
@@ -71,7 +77,7 @@ type line[V any] struct {
 // The zero value is not usable; construct with New.
 type Cache[V any] struct {
 	cfg   Config
-	sets  [][]line[V]
+	sets  [][]Line[V]
 	mask  uint64
 	clock uint64
 	Stats Stats
@@ -85,9 +91,13 @@ func New[V any](cfg Config) *Cache[V] {
 		panic(err)
 	}
 	c := &Cache[V]{cfg: cfg, mask: uint64(sets - 1)}
-	c.sets = make([][]line[V], sets)
+	// One contiguous backing array for all lines: set slices are views
+	// into it, so probes and inline-cache line chases stay in one dense
+	// region instead of hopping across per-set heap allocations.
+	backing := make([]Line[V], sets*assoc)
+	c.sets = make([][]Line[V], sets)
 	for i := range c.sets {
-		c.sets[i] = make([]line[V], assoc)
+		c.sets[i] = backing[i*assoc : (i+1)*assoc : (i+1)*assoc]
 	}
 	return c
 }
@@ -105,9 +115,11 @@ func (c *Cache[V]) Config() Config { return c.cfg }
 // ITLB method fields). A nil mapVal copies values as-is.
 func (c *Cache[V]) Clone(mapVal func(V) V) *Cache[V] {
 	nc := &Cache[V]{cfg: c.cfg, mask: c.mask, clock: c.clock, Stats: c.Stats}
-	nc.sets = make([][]line[V], len(c.sets))
+	assoc := len(c.sets[0])
+	backing := make([]Line[V], len(c.sets)*assoc)
+	nc.sets = make([][]Line[V], len(c.sets))
 	for i, set := range c.sets {
-		ns := make([]line[V], len(set))
+		ns := backing[i*assoc : (i+1)*assoc : (i+1)*assoc]
 		copy(ns, set)
 		if mapVal != nil {
 			for j := range ns {
@@ -138,7 +150,7 @@ func mix(x uint64) uint64 {
 	return x
 }
 
-func (c *Cache[V]) setFor(key uint64) []line[V] {
+func (c *Cache[V]) setFor(key uint64) []Line[V] {
 	idx := key
 	if c.cfg.HashSets {
 		idx = mix(key)
@@ -201,20 +213,124 @@ func (c *Cache[V]) Insert(key uint64, v V) (evictedKey uint64, evictedVal V, evi
 		evictedKey, evictedVal, evicted = set[victim].key, set[victim].value, true
 		c.Stats.Evictions++
 	}
-	set[victim] = line[V]{key: key, value: v, valid: true, stamp: c.clock}
+	set[victim] = Line[V]{key: key, value: v, valid: true, stamp: c.clock}
 	return evictedKey, evictedVal, evicted
 }
 
 // Touch performs the standard cache-simulation access: look up the key,
 // and on a miss insert it. It returns whether the access hit. This is the
 // single operation driving the trace simulations of §5.
+//
+// Touch probes the set once: the scan that detects the hit also selects
+// the victim, so a miss does not re-hash and re-scan the same set the way
+// a Lookup-then-Insert pair would. Counters advance exactly as that pair
+// would advance them (hit: Hits; miss: Misses, Inserts, and Evictions when
+// a valid line is displaced), and the relative recency order — all the LRU
+// replacement ever consults — is identical.
 func (c *Cache[V]) Touch(key uint64) bool {
-	if _, ok := c.Lookup(key); ok {
-		return true
+	set := c.setFor(key)
+	c.clock++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			set[i].stamp = c.clock
+			c.Stats.Hits++
+			return true
+		}
+		if !set[victim].valid {
+			continue
+		}
+		if !set[i].valid || set[i].stamp < set[victim].stamp {
+			victim = i
+		}
 	}
-	var zero V
-	c.Insert(key, zero)
+	c.Stats.Misses++
+	c.Stats.Inserts++
+	if set[victim].valid {
+		c.Stats.Evictions++
+	}
+	set[victim] = Line[V]{key: key, valid: true, stamp: c.clock}
 	return false
+}
+
+// TouchLine is Touch returning also the line now holding the key, so the
+// caller can service later accesses to the same key through HitLine
+// without re-probing the set.
+func (c *Cache[V]) TouchLine(key uint64) (*Line[V], bool) {
+	set := c.setFor(key)
+	c.clock++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			set[i].stamp = c.clock
+			c.Stats.Hits++
+			return &set[i], true
+		}
+		if !set[victim].valid {
+			continue
+		}
+		if !set[i].valid || set[i].stamp < set[victim].stamp {
+			victim = i
+		}
+	}
+	c.Stats.Misses++
+	c.Stats.Inserts++
+	if set[victim].valid {
+		c.Stats.Evictions++
+	}
+	set[victim] = Line[V]{key: key, valid: true, stamp: c.clock}
+	return &set[victim], false
+}
+
+// LookupLine is Lookup returning also a stable reference to the hit line.
+// Sets never reallocate, so the pointer stays valid for the cache's
+// lifetime; pair it with HitLine to build an inline cache in front of the
+// associative probe.
+func (c *Cache[V]) LookupLine(key uint64) (V, *Line[V], bool) {
+	set := c.setFor(key)
+	c.clock++
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			set[i].stamp = c.clock
+			c.Stats.Hits++
+			return set[i].value, &set[i], true
+		}
+	}
+	c.Stats.Misses++
+	var zero V
+	return zero, nil, false
+}
+
+// InsertLine is Insert returning the line now holding the key (and
+// discarding the eviction report).
+func (c *Cache[V]) InsertLine(key uint64, v V) *Line[V] {
+	c.Insert(key, v)
+	set := c.setFor(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			return &set[i]
+		}
+	}
+	return nil // unreachable: Insert always places the key
+}
+
+// HitLine replays the hit bookkeeping on a line previously returned by
+// LookupLine, TouchLine or InsertLine, provided the line still caches the
+// given key. On a match it performs exactly what Lookup performs on a hit
+// — clock advance, recency stamp, Hits counter — without hashing or
+// scanning the set; modelled statistics and future replacement decisions
+// are therefore indistinguishable from a full probe. When the line has
+// been evicted or rebound the call does nothing and reports false, and the
+// caller falls back to the associative path (which then counts the access).
+func (c *Cache[V]) HitLine(ln *Line[V], key uint64) (V, bool) {
+	if !ln.valid || ln.key != key {
+		var zero V
+		return zero, false
+	}
+	c.clock++
+	ln.stamp = c.clock
+	c.Stats.Hits++
+	return ln.value, true
 }
 
 // Invalidate removes a key if present and reports whether it was found.
@@ -222,7 +338,7 @@ func (c *Cache[V]) Invalidate(key uint64) bool {
 	set := c.setFor(key)
 	for i := range set {
 		if set[i].valid && set[i].key == key {
-			set[i] = line[V]{}
+			set[i] = Line[V]{}
 			return true
 		}
 	}
@@ -236,7 +352,7 @@ func (c *Cache[V]) InvalidateIf(drop func(key uint64, v V) bool) int {
 	for _, set := range c.sets {
 		for i := range set {
 			if set[i].valid && drop(set[i].key, set[i].value) {
-				set[i] = line[V]{}
+				set[i] = Line[V]{}
 				n++
 			}
 		}
@@ -248,7 +364,7 @@ func (c *Cache[V]) InvalidateIf(drop func(key uint64, v V) bool) int {
 func (c *Cache[V]) Flush() {
 	for _, set := range c.sets {
 		for i := range set {
-			set[i] = line[V]{}
+			set[i] = Line[V]{}
 		}
 	}
 	c.Stats.Flushes++

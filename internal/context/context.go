@@ -162,6 +162,18 @@ type Cache struct {
 	freeVec uint64 // set of unused blocks
 	match   uint64 // singleton set: last directory match
 
+	// curBlk and nxtBlk mirror the current and next vectors as plain
+	// indexes (-1 when the vector is empty), and curW/nxtW mirror the
+	// selected blocks' word slices, so the per-instruction operand reads
+	// resolve a register-file index instead of running a find-first-set
+	// with a singleton check and a double slice load. In hardware the
+	// vectors ARE the select lines; the mirrors are the software
+	// equivalent. setCur/setNxt keep all four in lockstep.
+	curBlk int
+	nxtBlk int
+	curW   []word.Word
+	nxtW   []word.Word
+
 	Stats Stats
 }
 
@@ -184,6 +196,8 @@ func NewCache(space *memory.Space, cfg Config) *Cache {
 		valid:  make([]bool, cfg.Blocks),
 		dirty:  make([]bool, cfg.Blocks),
 		lru:    make([]uint64, cfg.Blocks),
+		curBlk: -1,
+		nxtBlk: -1,
 	}
 	for i := range c.blocks {
 		c.blocks[i] = make([]word.Word, cfg.BlockWords)
@@ -216,6 +230,26 @@ func (c *Cache) touch(blk int) {
 	c.lru[blk] = c.clock
 }
 
+// setCur points the current vector (and its mirrors) at blk; -1 clears it.
+func (c *Cache) setCur(blk int) {
+	c.curBlk = blk
+	if blk < 0 {
+		c.current, c.curW = 0, nil
+		return
+	}
+	c.current, c.curW = 1<<blk, c.blocks[blk]
+}
+
+// setNxt points the next vector (and its mirrors) at blk; -1 clears it.
+func (c *Cache) setNxt(blk int) {
+	c.nxtBlk = blk
+	if blk < 0 {
+		c.next, c.nxtW = 0, nil
+		return
+	}
+	c.next, c.nxtW = 1<<blk, c.blocks[blk]
+}
+
 func singleton(v uint64) (int, bool) {
 	if v == 0 || v&(v-1) != 0 {
 		return 0, false
@@ -224,26 +258,24 @@ func singleton(v uint64) (int, bool) {
 }
 
 func (c *Cache) currentBlock() int {
-	b, ok := singleton(c.current)
-	if !ok {
+	if c.curBlk < 0 {
 		panic("context: no current context")
 	}
-	return b
+	return c.curBlk
 }
 
 func (c *Cache) nextBlock() int {
-	b, ok := singleton(c.next)
-	if !ok {
+	if c.nxtBlk < 0 {
 		panic("context: no next context")
 	}
-	return b
+	return c.nxtBlk
 }
 
 // HasCurrent reports whether a current context is selected.
-func (c *Cache) HasCurrent() bool { _, ok := singleton(c.current); return ok }
+func (c *Cache) HasCurrent() bool { return c.curBlk >= 0 }
 
 // HasNext reports whether a next context is selected.
-func (c *Cache) HasNext() bool { _, ok := singleton(c.next); return ok }
+func (c *Cache) HasNext() bool { return c.nxtBlk >= 0 }
 
 // CurrentBase returns the absolute address of the current context.
 func (c *Cache) CurrentBase() memory.AbsAddr { return c.dir[c.currentBlock()] }
@@ -307,7 +339,7 @@ func (c *Cache) evict(blk int) {
 // block clear — so the new context never touches memory, and the RCP slot
 // is immediately initialised with the given current context pointer word.
 func (c *Cache) AllocNext(seg *memory.Segment, rcp word.Word) {
-	if _, ok := singleton(c.next); ok {
+	if c.nxtBlk >= 0 {
 		panic("context: next context already allocated")
 	}
 	blk := c.takeFreeBlock()
@@ -319,7 +351,7 @@ func (c *Cache) AllocNext(seg *memory.Segment, rcp word.Word) {
 	c.segs[blk] = seg
 	c.valid[blk] = true
 	c.dirty[blk] = true
-	c.next = 1 << blk
+	c.setNxt(blk)
 	c.touch(blk)
 	c.blocks[blk][SlotRCP] = rcp
 }
@@ -328,8 +360,8 @@ func (c *Cache) AllocNext(seg *memory.Segment, rcp word.Word) {
 // current vector"). The caller must then allocate a new next context.
 func (c *Cache) Call() {
 	blk := c.nextBlock()
-	c.current = 1 << blk
-	c.next = 0
+	c.setCur(blk)
+	c.setNxt(-1)
 	c.touch(blk)
 }
 
@@ -348,7 +380,7 @@ func (c *Cache) ReturnLIFO(callerBase memory.AbsAddr) (staging *memory.Segment, 
 	c.Stats.Releases++
 
 	cblk := c.currentBlock()
-	c.next = 1 << cblk
+	c.setNxt(cblk)
 	c.touch(cblk)
 
 	hit = c.activateCurrent(callerBase)
@@ -362,7 +394,7 @@ func (c *Cache) ReturnLIFO(callerBase memory.AbsAddr) (staging *memory.Segment, 
 // context is made current as in ReturnLIFO.
 func (c *Cache) ReturnNonLIFO(callerBase memory.AbsAddr) (hit bool) {
 	cblk := c.currentBlock()
-	c.current = 0
+	c.setCur(-1)
 	c.touch(cblk) // remains a valid plain block
 	nblk := c.nextBlock()
 	_ = nblk
@@ -374,13 +406,13 @@ func (c *Cache) ReturnNonLIFO(callerBase memory.AbsAddr) (hit bool) {
 // no match.
 func (c *Cache) activateCurrent(callerBase memory.AbsAddr) bool {
 	if blk, ok := c.lookup(callerBase); ok {
-		c.current = 1 << blk
+		c.setCur(blk)
 		c.touch(blk)
 		c.Stats.Hits++
 		return true
 	}
 	blk := c.faultIn(callerBase)
-	c.current = 1 << blk
+	c.setCur(blk)
 	c.touch(blk)
 	return false
 }
@@ -417,48 +449,54 @@ func (c *Cache) faultIn(base memory.AbsAddr) int {
 // instruction's context transfer.
 func (c *Cache) SwapCurrentNext() {
 	c.current, c.next = c.next, c.current
+	c.curBlk, c.nxtBlk = c.nxtBlk, c.curBlk
+	c.curW, c.nxtW = c.nxtW, c.curW
 }
 
 // Deactivate clears the current and next vectors, leaving their blocks as
 // plain cached contexts. The machine uses this when the root send returns
 // and the context pair is dissolved.
 func (c *Cache) Deactivate() {
-	c.current, c.next = 0, 0
+	c.setCur(-1)
+	c.setNxt(-1)
 }
 
 // ReadCur reads word off of the current context, bypassing the directory
-// via the current vector.
+// via the current vector. With no current context selected the nil mirror
+// slice panics, as the vector decode would.
 func (c *Cache) ReadCur(off int) word.Word {
 	c.Stats.Reads++
-	blk := c.currentBlock()
-	c.touch(blk)
-	return c.blocks[blk][off]
+	c.clock++
+	c.lru[c.curBlk] = c.clock
+	return c.curW[off]
 }
 
 // WriteCur writes word off of the current context.
 func (c *Cache) WriteCur(off int, w word.Word) {
 	c.Stats.Writes++
-	blk := c.currentBlock()
-	c.touch(blk)
+	c.clock++
+	blk := c.curBlk
+	c.lru[blk] = c.clock
 	c.dirty[blk] = true
-	c.blocks[blk][off] = w
+	c.curW[off] = w
 }
 
 // ReadNext reads word off of the next context via the next vector.
 func (c *Cache) ReadNext(off int) word.Word {
 	c.Stats.Reads++
-	blk := c.nextBlock()
-	c.touch(blk)
-	return c.blocks[blk][off]
+	c.clock++
+	c.lru[c.nxtBlk] = c.clock
+	return c.nxtW[off]
 }
 
 // WriteNext writes word off of the next context.
 func (c *Cache) WriteNext(off int, w word.Word) {
 	c.Stats.Writes++
-	blk := c.nextBlock()
-	c.touch(blk)
+	c.clock++
+	blk := c.nxtBlk
+	c.lru[blk] = c.clock
 	c.dirty[blk] = true
-	c.blocks[blk][off] = w
+	c.nxtW[off] = w
 }
 
 // ReadAbs reads a context word by absolute address — the path taken when

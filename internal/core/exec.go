@@ -2,7 +2,6 @@ package core
 
 import (
 	"sync/atomic"
-	"time"
 
 	"repro/internal/context"
 	"repro/internal/fpa"
@@ -86,21 +85,24 @@ func (m *Machine) Send(receiver word.Word, selector string, args ...word.Word) (
 }
 
 // pollMask sets how often Run polls the wall-clock deadline and the
-// asynchronous interrupt flag: every pollMask+1 steps.
+// asynchronous interrupt flag: at step 0 and then every pollMask+1 steps.
+// Polling before the first step means an already-exhausted budget traps
+// immediately instead of after a poll interval's worth of work.
 const pollMask = 1023
 
 // Run executes instructions until the root send returns, a trap surfaces,
 // the step limit is reached, or the deadline/interrupt poll fires.
 func (m *Machine) Run() error {
+	maxSteps := m.Cfg.MaxSteps
 	for steps := uint64(0); !m.halted; steps++ {
-		if steps >= m.Cfg.MaxSteps {
-			return trapf("resources", "step limit %d exceeded", m.Cfg.MaxSteps)
+		if steps >= maxSteps {
+			return trapf("resources", "step limit %d exceeded", maxSteps)
 		}
-		if steps&pollMask == pollMask {
+		if steps&pollMask == 0 {
 			if atomic.LoadInt32(&m.interrupt) != 0 {
 				return trapf("interrupt", "execution interrupted after %d steps", steps)
 			}
-			if !m.Deadline.IsZero() && time.Now().After(m.Deadline) {
+			if m.Deadline != 0 && Monotonic() > m.Deadline {
 				return trapf("timeout", "deadline exceeded after %d steps", steps)
 			}
 		}
@@ -133,100 +135,230 @@ func (m *Machine) Abort() {
 
 // Step interprets one instruction: the five-step sequence of §3.6
 // (fetch, operand read, ITLB, op, write), charged at the paper's rate of
-// one instruction per two clocks plus any stall penalties.
+// one instruction per two clocks plus any stall penalties. Code executes
+// in its predecoded form (fast.go): no isa.Decode, no operand-kind
+// derivation, and the per-site inline caches in front of the instruction
+// cache and the ITLB — all without touching the modelled accounting.
 func (m *Machine) Step() error {
-	if !m.IP.Valid() {
+	meth := m.IP.Method
+	if meth == nil {
 		return trapf("control", "no method to execute")
 	}
-	meth := m.IP.Method
-	if m.IP.PC < 0 || m.IP.PC >= len(meth.Code) {
-		return trapf("control", "PC %d fell off method %v", m.IP.PC, meth)
+	sites := m.ipSites
+	if meth != m.ipMeth {
+		sites = m.siteArray(meth)
 	}
+	pc := m.IP.PC
+	if pc < 0 || pc >= len(sites) {
+		return trapf("control", "PC %d fell off method %v", pc, meth)
+	}
+	s := &sites[pc]
 
-	// Step 1: fetch through the instruction cache.
-	iaddr := uint64(meth.CodeBase) + uint64(m.IP.PC)
-	if !m.IC.Touch(iaddr) {
+	// Step 1: fetch through the instruction cache — the site's inline
+	// line handle first, one associative probe when it has gone stale.
+	ihit := false
+	if !m.Cfg.NoInlineCache {
+		if s.iline != nil {
+			_, ihit = m.IC.HitLine(s.iline, s.iaddr)
+		}
+		if !ihit {
+			s.iline, ihit = m.IC.TouchLine(s.iaddr)
+		}
+	} else {
+		ihit = m.IC.Touch(s.iaddr)
+	}
+	if !ihit {
 		m.Stats.Cycles += uint64(m.Cfg.Penalties.ICacheMiss)
 	}
-	in := isa.Decode(meth.Code[m.IP.PC])
 	m.IP.PC++
 	m.Stats.Instructions++
 	m.Stats.Cycles += 2 // base issue rate: one instruction per two clocks
 
-	// Step 2: operand read happens inside the handlers; classes for the
-	// ITLB key are resolved here for dispatch opcodes.
-	if in.Op.Kind() == isa.KindControl {
+	if s.ctrl {
 		m.Stats.ControlOps++
 		if m.Cfg.OnEvent != nil {
-			m.Cfg.OnEvent(Event{IAddr: iaddr, Op: in.Op})
+			m.Cfg.OnEvent(Event{IAddr: s.iaddr, Op: s.in.Op})
 		}
-		return m.execControl(in)
+		// The three control opcodes that dominate compiled code — moves,
+		// conditional jumps, nop — execute inline; the rest (movea, as,
+		// tag, xfer, ret) take the execControl call.
+		switch s.in.Op {
+		case isa.Move:
+			var v word.Word
+			switch s.b.mode {
+			case pCur:
+				m.Stats.CtxOperandRefs++
+				v = m.Ctx.ReadCur(int(s.b.off))
+			case pNext:
+				m.Stats.CtxOperandRefs++
+				v = m.Ctx.ReadNext(int(s.b.off))
+			case pConst:
+				v = s.b.lit
+			default:
+				var err error
+				if v, err = m.readPlan(&s.b); err != nil {
+					return err
+				}
+			}
+			switch s.a.mode {
+			case pCur:
+				m.Stats.CtxOperandRefs++
+				m.Ctx.WriteCur(int(s.a.off), v)
+				return nil
+			case pNext:
+				m.Stats.CtxOperandRefs++
+				m.Ctx.WriteNext(int(s.a.off), v)
+				return nil
+			}
+			return m.writePlan(&s.a, v)
+		case isa.FJmp, isa.RJmp:
+			return m.execJump(s)
+		case isa.Nop:
+			return nil
+		}
+		return m.execControl(s)
 	}
 
-	// Zero-operand format (§3.5): with no B operand, the receiver has
-	// been staged in the next context by earlier instructions.
-	implicit := in.B.IsNone()
+	// Step 2: operand read; classes for the ITLB key are resolved here
+	// for dispatch opcodes. Zero-operand format (§3.5): with no B
+	// operand, the receiver has been staged in the next context by
+	// earlier instructions. The common plan modes are unrolled here;
+	// readPlan keeps the full story (and the trap messages).
 	var b word.Word
 	var err error
-	if implicit {
+	switch {
+	case s.implicit:
 		m.Stats.CtxOperandRefs++
 		b = m.Ctx.ReadNext(context.SlotReceiver)
-	} else if b, err = m.readOperand(in.B); err != nil {
-		return err
-	}
-	var c word.Word
-	if !in.C.IsNone() {
-		if c, err = m.readOperand(in.C); err != nil {
+	case s.b.mode == pCur:
+		m.Stats.CtxOperandRefs++
+		b = m.Ctx.ReadCur(int(s.b.off))
+	case s.b.mode == pConst:
+		b = s.b.lit
+	default:
+		if b, err = m.readPlan(&s.b); err != nil {
 			return err
 		}
 	}
-	bClass, err := m.classOfWord(b)
-	if err != nil {
+	var c word.Word
+	hasC := s.c.mode != pNone
+	switch s.c.mode {
+	case pCur:
+		m.Stats.CtxOperandRefs++
+		c = m.Ctx.ReadCur(int(s.c.off))
+	case pConst:
+		c = s.c.lit
+	case pNone:
+	default:
+		if c, err = m.readPlan(&s.c); err != nil {
+			return err
+		}
+	}
+	var bClass word.Class
+	if b.Tag != word.TagPointer {
+		bClass = b.PrimitiveClass()
+	} else if bClass, err = m.classOfWord(b); err != nil {
 		return err
 	}
 	cClass := word.ClassNone
-	if !in.C.IsNone() {
-		if cClass, err = m.classOfWord(c); err != nil {
+	if hasC {
+		if c.Tag != word.TagPointer {
+			cClass = c.PrimitiveClass()
+		} else if cClass, err = m.classOfWord(c); err != nil {
 			return err
 		}
 	}
 	if m.Cfg.OnEvent != nil {
-		m.Cfg.OnEvent(Event{IAddr: iaddr, Op: in.Op, B: bClass, C: cClass})
+		m.Cfg.OnEvent(Event{IAddr: s.iaddr, Op: s.in.Op, B: bClass, C: cClass})
 	}
 
-	// Step 3: instruction translation.
-	entry, err := m.translate(in.Op, bClass, cClass)
-	if err != nil {
-		return err
+	// Step 3: instruction translation — through the site's inline cache
+	// when it still names the same classes and its ITLB line survives.
+	var entry itlb.Entry
+	hit := false
+	if s.icOK && s.icGen == m.icGen && s.icB == bClass && s.icC == cClass && !m.Cfg.NoITLB && !m.Cfg.NoInlineCache {
+		entry, hit = m.ITLB.HitLine(s.icLine, s.icKey)
+	}
+	if !hit {
+		var ln *itlb.Line
+		var packed uint64
+		entry, ln, packed, err = m.translateLine(s.in.Op, bClass, cClass)
+		if err != nil {
+			return err
+		}
+		if ln != nil && !m.Cfg.NoInlineCache {
+			s.icB, s.icC, s.icKey, s.icLine = bClass, cClass, packed, ln
+			s.icGen, s.icOK = m.icGen, true
+		}
 	}
 
-	// Steps 4–5: primitive op + write, or the method call sequence.
+	// Steps 4–5: primitive op + write, or the method call sequence. The
+	// three register-to-register function units are dispatched directly;
+	// everything else stages arguments in the machine's scratch buffer
+	// (fixed capacity — the hot loop never heap-allocates) and goes
+	// through primApply.
 	if entry.Primitive {
 		m.Stats.PrimOps++
-		var args []word.Word
+		var res word.Word
+		if !s.implicit && s.in.Op != isa.AtPut {
+			cv := c
+			if !hasC {
+				cv = word.Uninit
+			}
+			switch entry.PrimID {
+			case PrimArith:
+				// Integer pairs go straight to the integer unit; mixed
+				// and float modes take primArith's full path.
+				if bi, iok := b.IntOK(); iok {
+					if ci, iok2 := cv.IntOK(); iok2 {
+						res, err = m.intArith(s.in.Op, bi, ci)
+						break
+					}
+				}
+				res, err = m.primArith(s.in.Op, b, cv)
+			case PrimCompare:
+				res, err = m.primCompare(s.in.Op, b, cv)
+			case PrimBits:
+				res, err = m.primBits(s.in.Op, b, cv)
+			default:
+				args := m.argBuf[:0]
+				if hasC {
+					args = append(args, c)
+				}
+				res, err = m.primApply(entry.PrimID, s.in.Op, b, args)
+			}
+			if err != nil {
+				return err
+			}
+			if s.a.mode == pCur {
+				m.Stats.CtxOperandRefs++
+				m.Ctx.WriteCur(int(s.a.off), res)
+				return nil
+			}
+			return m.writePlan(&s.a, res)
+		}
+		args := m.argBuf[:0]
 		switch {
-		case implicit:
+		case s.implicit:
 			// Arguments were staged in the next context.
 			for i := 0; i < entry.Method.NumArgs; i++ {
 				m.Stats.CtxOperandRefs++
 				args = append(args, m.Ctx.ReadNext(context.SlotArg2+i))
 			}
-		case in.Op == isa.AtPut:
+		default:
 			// at:put: carries value, receiver, index (§3.4): the A
 			// operand is the stored value, not a destination.
-			aVal, err := m.readOperand(in.A)
+			aVal, err := m.readPlan(&s.a)
 			if err != nil {
 				return err
 			}
-			args = []word.Word{c, aVal}
-		case !in.C.IsNone():
-			args = []word.Word{c}
+			args = append(args, c, aVal)
 		}
-		res, err := m.primApply(entry.PrimID, in.Op, b, args)
+		res, err = m.primApply(entry.PrimID, s.in.Op, b, args)
 		if err != nil {
 			return err
 		}
-		if implicit {
+		if s.implicit {
 			// Deliver through the staged result pointer, if any.
 			m.Stats.CtxOperandRefs++
 			if ptr := m.Ctx.ReadNext(context.SlotResult); ptr.Tag == word.TagPointer {
@@ -234,50 +366,76 @@ func (m *Machine) Step() error {
 			}
 			return nil
 		}
-		if in.Op == isa.AtPut {
+		if s.in.Op == isa.AtPut {
 			return nil // no destination operand
 		}
-		return m.writeOperand(in.A, res)
+		if s.a.mode == pCur {
+			m.Stats.CtxOperandRefs++
+			m.Ctx.WriteCur(int(s.a.off), res)
+			return nil
+		}
+		return m.writePlan(&s.a, res)
 	}
-	return m.callMethod(entry.Method, in, b, c, implicit)
+	return m.callMethod(entry.Method, s, b, c)
 }
 
-// translate resolves (opcode, classes) through the ITLB, or with a full
-// lookup every time under the NoITLB ablation.
-func (m *Machine) translate(op isa.Opcode, bClass, cClass word.Class) (itlb.Entry, error) {
-	miss := func() (itlb.Entry, int, error) {
-		sel, ok := m.opSel[op]
-		if !ok {
-			return itlb.Entry{}, 0, trapf("dispatch", "opcode %v has no selector", op)
-		}
-		cls := m.classFor(bClass)
-		meth, cost, found := object.Lookup(cls, sel)
-		if !found {
-			return itlb.Entry{}, cost.Cycles(), trapf("doesNotUnderstand",
-				"%s does not understand %s", cls.Name, m.Image.Atoms.Name(sel))
-		}
-		if meth.Primitive != PrimNone {
-			return itlb.Entry{Primitive: true, PrimID: meth.Primitive, Method: meth}, cost.Cycles(), nil
-		}
-		return itlb.Entry{Method: meth}, cost.Cycles(), nil
+// fullLookup performs the complete method lookup a TLB miss pays for: the
+// selector bound to the opcode, searched through the receiver class's
+// dictionary chain, priced in cycles.
+func (m *Machine) fullLookup(op isa.Opcode, bClass word.Class) (itlb.Entry, int, error) {
+	sel, ok := m.opSel[op]
+	if !ok {
+		return itlb.Entry{}, 0, trapf("dispatch", "opcode %v has no selector", op)
 	}
+	cls := m.classFor(bClass)
+	meth, cost, found := object.Lookup(cls, sel)
+	if !found {
+		return itlb.Entry{}, cost.Cycles(), trapf("doesNotUnderstand",
+			"%s does not understand %s", cls.Name, m.Image.Atoms.Name(sel))
+	}
+	if meth.Primitive != PrimNone {
+		return itlb.Entry{Primitive: true, PrimID: meth.Primitive, Method: meth}, cost.Cycles(), nil
+	}
+	return itlb.Entry{Method: meth}, cost.Cycles(), nil
+}
+
+// translateLine resolves (opcode, classes) through the ITLB — or with a
+// full lookup every time under the NoITLB ablation — returning also the
+// ITLB line and packed key for the call site's inline cache (nil line
+// under NoITLB and on failed lookups, which are never cached).
+func (m *Machine) translateLine(op isa.Opcode, bClass, cClass word.Class) (itlb.Entry, *itlb.Line, uint64, error) {
 	if m.Cfg.NoITLB {
-		e, cycles, err := miss()
+		e, cycles, err := m.fullLookup(op, bClass)
 		m.Stats.Cycles += uint64(cycles)
 		m.Stats.LookupCycles += uint64(cycles)
-		return e, err
+		return e, nil, 0, err
 	}
-	before := m.ITLB.Stats.LookupCycles
-	e, _, err := m.ITLB.Translate(itlb.Key{Op: op, B: bClass, C: cClass}, miss)
-	spent := m.ITLB.Stats.LookupCycles - before
-	m.Stats.Cycles += spent
-	m.Stats.LookupCycles += spent
+	key := itlb.Key{Op: op, B: bClass, C: cClass}
+	if e, ln, ok := m.ITLB.LookupLine(key); ok {
+		return e, ln, key.Pack(), nil
+	}
+	e, cycles, err := m.fullLookup(op, bClass)
+	ln := m.ITLB.FillMiss(key, e, cycles, err)
+	m.Stats.Cycles += uint64(cycles)
+	m.Stats.LookupCycles += uint64(cycles)
+	if err != nil {
+		return itlb.Entry{}, nil, 0, err
+	}
+	return e, ln, key.Pack(), nil
+}
+
+// translate is translateLine for callers with no instruction site to fill
+// (the root send).
+func (m *Machine) translate(op isa.Opcode, bClass, cClass word.Class) (itlb.Entry, error) {
+	e, _, _, err := m.translateLine(op, bClass, cClass)
 	return e, err
 }
 
 // readOperand fetches an operand value: context words through the context
 // cache, constants from the current method's table (the constant
-// generator, which is free).
+// generator, which is free). The interpreter itself runs on predecoded
+// plans (readPlan); this descriptor-driven form serves the tools and
+// tests that feed raw operands.
 func (m *Machine) readOperand(o isa.Operand) (word.Word, error) {
 	switch {
 	case o.IsNone():
@@ -345,7 +503,7 @@ func (m *Machine) effAddr(o isa.Operand) (fpa.Addr, error) {
 // instruction's base, so 2 + operands are added here. Zero-operand sends
 // (implicit) copy nothing: their arguments were staged by earlier
 // instructions, and the call costs exactly 4 cycles.
-func (m *Machine) callMethod(meth *object.Method, in isa.Instr, b, c word.Word, implicit bool) error {
+func (m *Machine) callMethod(meth *object.Method, s *site, b, c word.Word) error {
 	m.Stats.Sends++
 	// One cycle "for performing the operations listed below"; the
 	// pipeline-flush cycle is charged by enterMethod.
@@ -355,14 +513,14 @@ func (m *Machine) callMethod(meth *object.Method, in isa.Instr, b, c word.Word, 
 	// A's effective address is the result pointer; B is the receiver.
 	// at:put: is the special case whose three operands are value,
 	// receiver, index (§3.4), with no result destination.
-	if implicit {
+	if s.implicit {
 		// Nothing to copy.
-	} else if in.Op == isa.AtPut {
+	} else if s.in.Op == isa.AtPut {
 		m.Ctx.WriteNext(context.SlotResult, word.Nil)
 		m.Ctx.WriteNext(context.SlotReceiver, b)
 		m.Ctx.WriteNext(context.SlotArg2, c)
-		if !in.A.IsNone() {
-			a, err := m.readOperand(in.A)
+		if s.a.mode != pNone {
+			a, err := m.readPlan(&s.a)
 			if err != nil {
 				return err
 			}
@@ -371,8 +529,8 @@ func (m *Machine) callMethod(meth *object.Method, in isa.Instr, b, c word.Word, 
 		}
 		extra += 2
 	} else {
-		if !in.A.IsNone() {
-			resAddr, err := m.effAddr(in.A)
+		if s.a.mode != pNone {
+			resAddr, err := m.effAddr(s.in.A)
 			if err != nil {
 				return err
 			}
@@ -383,7 +541,7 @@ func (m *Machine) callMethod(meth *object.Method, in isa.Instr, b, c word.Word, 
 		}
 		m.Ctx.WriteNext(context.SlotReceiver, b)
 		extra++
-		if !in.C.IsNone() {
+		if s.c.mode != pNone {
 			m.Ctx.WriteNext(context.SlotArg2, c)
 			extra++
 		}
@@ -413,35 +571,70 @@ func (m *Machine) enterMethod(meth *object.Method, flushCycles uint64) error {
 	return nil
 }
 
-// execControl interprets the control opcodes, which bypass dispatch.
-func (m *Machine) execControl(in isa.Instr) error {
-	switch in.Op {
+// execJump interprets the two conditional jumps: forward on false,
+// reverse on true, with the branch penalty charged only when taken.
+func (m *Machine) execJump(s *site) error {
+	var cond word.Word
+	var err error
+	if s.a.mode == pCur {
+		m.Stats.CtxOperandRefs++
+		cond = m.Ctx.ReadCur(int(s.a.off))
+	} else if cond, err = m.readPlan(&s.a); err != nil {
+		return err
+	}
+	var dispw word.Word
+	if s.b.mode == pConst {
+		dispw = s.b.lit
+	} else if dispw, err = m.readPlan(&s.b); err != nil {
+		return err
+	}
+	disp, ok := dispw.IntOK()
+	if !ok {
+		return trapf("decode", "jump displacement %v is not an integer", dispw)
+	}
+	m.Stats.Branches++
+	taken := !cond.Truthy()
+	if s.in.Op == isa.RJmp {
+		taken = cond.Truthy()
+	}
+	if taken {
+		m.Stats.TakenBranches++
+		m.Stats.Cycles += uint64(m.Cfg.Penalties.Branch)
+		if s.in.Op == isa.FJmp {
+			m.IP.PC += int(disp)
+		} else {
+			m.IP.PC -= int(disp)
+		}
+		if m.IP.PC < 0 || m.IP.PC > len(m.IP.Method.Code) {
+			return trapf("control", "jump to %d outside method %v", m.IP.PC, m.IP.Method)
+		}
+	}
+	return nil
+}
+
+// execControl interprets the control opcodes that Step does not handle
+// inline (moves, jumps and nop never reach here).
+func (m *Machine) execControl(s *site) error {
+	switch s.in.Op {
 	case isa.Nop:
 		return nil
 
-	case isa.Move:
-		v, err := m.readOperand(in.B)
-		if err != nil {
-			return err
-		}
-		return m.writeOperand(in.A, v)
-
 	case isa.Movea:
-		a, err := m.effAddr(in.B)
+		a, err := m.effAddr(s.in.B)
 		if err != nil {
 			return err
 		}
-		return m.writeOperand(in.A, m.pointerWord(a))
+		return m.writePlan(&s.a, m.pointerWord(a))
 
 	case isa.As:
 		if !m.PS.Privileged {
 			return trapf("privilege", "as requires privileged status")
 		}
-		v, err := m.readOperand(in.B)
+		v, err := m.readPlan(&s.b)
 		if err != nil {
 			return err
 		}
-		tagw, err := m.readOperand(in.C)
+		tagw, err := m.readPlan(&s.c)
 		if err != nil {
 			return err
 		}
@@ -449,64 +642,33 @@ func (m *Machine) execControl(in isa.Instr) error {
 		if !ok || tv < 0 || tv >= word.NumTags {
 			return trapf("decode", "bad tag value %v", tagw)
 		}
-		return m.writeOperand(in.A, word.Word{Tag: word.Tag(tv), Bits: v.Bits})
+		return m.writePlan(&s.a, word.Word{Tag: word.Tag(tv), Bits: v.Bits})
 
 	case isa.TagOf:
-		v, err := m.readOperand(in.B)
+		v, err := m.readPlan(&s.b)
 		if err != nil {
 			return err
 		}
-		return m.writeOperand(in.A, word.FromInt(int32(v.Tag)))
+		return m.writePlan(&s.a, word.FromInt(int32(v.Tag)))
 
 	case isa.FJmp, isa.RJmp:
-		cond, err := m.readOperand(in.A)
-		if err != nil {
-			return err
-		}
-		dispw, err := m.readOperand(in.B)
-		if err != nil {
-			return err
-		}
-		disp, ok := dispw.IntOK()
-		if !ok {
-			return trapf("decode", "jump displacement %v is not an integer", dispw)
-		}
-		m.Stats.Branches++
-		taken := !cond.Truthy()
-		if in.Op == isa.RJmp {
-			taken = cond.Truthy()
-		}
-		if taken {
-			m.Stats.TakenBranches++
-			m.Stats.Cycles += uint64(m.Cfg.Penalties.Branch)
-			if in.Op == isa.FJmp {
-				m.IP.PC += int(disp)
-			} else {
-				m.IP.PC -= int(disp)
-			}
-			if m.IP.PC < 0 || m.IP.PC > len(m.IP.Method.Code) {
-				return trapf("control", "jump to %d outside method %v", m.IP.PC, m.IP.Method)
-			}
-		}
-		return nil
+		return m.execJump(s)
 
 	case isa.Xfer:
 		return m.execXfer()
 
 	case isa.Ret:
-		return m.execReturn(in)
+		return m.execReturn(s)
 	}
-	return trapf("decode", "unimplemented control opcode %v", in.Op)
+	return trapf("decode", "unimplemented control opcode %v", s.in.Op)
 }
 
 // execXfer implements the general control transfer of §3.3: the current
 // and next contexts exchange roles, with the IP saved into and restored
 // from the RIP slots. Both contexts escape LIFO discipline.
 func (m *Machine) execXfer() error {
-	curBase := m.Ctx.CurrentBase()
-	nextBase := m.Ctx.NextBase()
-	m.captured[curBase] = true
-	m.captured[nextBase] = true
+	m.Ctx.CurrentSegment().Captured = true
+	m.Ctx.NextSegment().Captured = true
 	m.Ctx.WriteCur(context.SlotRIP, m.ripWord(m.IP))
 	m.Ctx.SwapCurrentNext()
 	m.CP, m.NCP = m.NCP, m.CP
@@ -525,11 +687,11 @@ func (m *Machine) execXfer() error {
 // execReturn implements the 2-cycle return of §3.6: deliver the result
 // through the caller-supplied result pointer, recycle the context when it
 // is LIFO, reactivate the caller and restore its continuation.
-func (m *Machine) execReturn(in isa.Instr) error {
+func (m *Machine) execReturn(s *site) error {
 	m.Stats.Returns++
 	var result word.Word = word.Nil
-	if !in.A.IsNone() {
-		v, err := m.readOperand(in.A)
+	if s.a.mode != pNone {
+		v, err := m.readPlan(&s.a)
 		if err != nil {
 			return err
 		}
@@ -547,7 +709,7 @@ func (m *Machine) execReturn(in isa.Instr) error {
 	}
 
 	curBase := m.Ctx.CurrentBase()
-	if m.captured[curBase] {
+	if m.Ctx.CurrentSegment().Captured {
 		m.Stats.NonLIFO++
 		m.Ctx.ReturnNonLIFO(callerSeg.Base)
 		// The surviving staging context's RCP must now name the new

@@ -70,7 +70,7 @@ func (m *Machine) Writeback() { m.Ctx.WritebackAll() }
 // list and drops its cache block and captured flag.
 func (m *Machine) RecycleContext(seg *memory.Segment) {
 	m.Ctx.Release(seg.Base)
-	delete(m.captured, seg.Base)
+	seg.Captured = false
 	m.Free.Free(seg)
 }
 

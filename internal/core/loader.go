@@ -15,6 +15,9 @@ import (
 func (m *Machine) InstallMethod(cls *object.Class, meth *object.Method) error {
 	if old, _, ok := cls.LocalLookup(meth.Selector); ok {
 		m.ITLB.InvalidateMethod(old)
+		// Drop every per-site inline cache with the ITLB entries: a site
+		// still naming the displaced method must re-probe and re-learn.
+		m.icGen++
 	}
 	if _, err := m.OpcodeFor(meth.Selector); err != nil {
 		return err
@@ -47,6 +50,9 @@ func (m *Machine) InstallMethod(cls *object.Class, meth *object.Method) error {
 	meth.CodeBase = enc32
 	m.methodsByBase[seg.Base] = meth
 	cls.Install(meth)
+	if len(meth.Code) > 0 {
+		m.predecode(meth) // needs CodeBase; Step would do it lazily anyway
+	}
 	return nil
 }
 
@@ -97,7 +103,7 @@ func (m *Machine) allocContext() (*memory.Segment, fpa.Addr) {
 	m.Stats.CtxAllocs++
 	seg := m.Free.Alloc()
 	if a, ok := m.ctxAddrs[seg.Base]; ok {
-		delete(m.captured, seg.Base)
+		seg.Captured = false
 		return seg, a
 	}
 	// First use: bind a virtual name covering the whole context.

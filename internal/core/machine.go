@@ -8,6 +8,27 @@
 // (floating point addresses), memory (three address spaces + ATLB), itlb
 // (instruction translation), context (free list + context cache), object
 // (classes and method dictionaries) and isa (encoding).
+//
+// # The interpreter fast path
+//
+// Step executes predecoded code: each method's instruction words are
+// decoded once into a per-machine site array (see fast.go), and every
+// site carries two monomorphic inline caches — one in front of the
+// instruction cache, one in front of the ITLB — holding the cache line
+// that served the site last. This is the software analogue of the paper's
+// own argument: the ITLB turns a costly method lookup into a one-cycle
+// translation (§2.1), and the inline caches turn the simulator's hash-
+// and-scan model of that translation into one pointer chase.
+//
+// Modelled cycles and statistics are unaffected, by construction: an
+// inline-cache hit replays exactly the bookkeeping of the associative
+// probe it short-circuits (recency stamp, clock advance, hit counter; see
+// cache.HitLine), and a stale site falls back to the probe, which then
+// counts the access. The machine simulated is therefore bit-identical
+// whether the fast path is on or off — Config.NoInlineCache disables it,
+// and the accounting-parity tests in package workload run the full suite
+// both ways (ITLB enabled and the NoITLB ablation) asserting identical
+// Stats, ITLB counters and checksums.
 package core
 
 import (
@@ -75,6 +96,13 @@ type Config struct {
 	MaxSteps   uint64 // safety limit per Run; 0 means the default
 	NoITLB     bool   // ablation: perform full method lookup on every dispatch
 	Privileged bool   // initial PS privilege (allows the as instruction)
+
+	// NoInlineCache disables the per-site inline caches in front of the
+	// ITLB and the instruction cache, forcing every access down the
+	// associative-probe path. Semantics and modelled statistics are
+	// identical either way (the parity tests prove it); the flag exists
+	// for those tests and for timing ablations of the simulator itself.
+	NoInlineCache bool
 
 	// OnEvent, when set, receives every executed instruction.
 	OnEvent func(Event)
@@ -248,23 +276,50 @@ type Machine struct {
 	// Virtual names of recycled context segments.
 	ctxAddrs map[memory.AbsAddr]fpa.Addr
 
-	// Contexts that escaped (non-LIFO); cleared when recycled.
-	captured map[memory.AbsAddr]bool
-
 	ctxNameCounter uint64
 	extraRoots     []word.Word
 
 	// Deadline, when nonzero, bounds Run by wall clock: execution traps
-	// with a timeout once it passes. It is checked every few hundred steps
-	// and must only be set by the goroutine driving the machine (the serve
-	// pool sets it per request).
-	Deadline time.Time
+	// with a timeout once the monotonic clock (see Monotonic) passes it.
+	// Polls then compare one int64 instead of calling time.Now().After.
+	// It is checked at every poll point, including before the first step,
+	// and must only be set by the goroutine driving the machine (the
+	// serve pool sets it per request via SetDeadline).
+	Deadline int64
 	// interrupt is an asynchronous stop request, set from other goroutines
 	// via Interrupt and polled by Run at the deadline cadence.
 	interrupt int32
 
+	// Interpreter fast-path state: the method whose predecoded sites are
+	// bound (with the sites themselves), the inline-cache generation that
+	// invalidates every site at once, and the scratch buffer primitive
+	// dispatch stages arguments in (fixed capacity, so the hot loop never
+	// heap-allocates).
+	ipMeth  *object.Method
+	ipSites []site
+	icGen   uint64
+	argBuf  []word.Word
+
 	halted bool
 	result word.Word
+}
+
+// procEpoch anchors the process monotonic clock.
+var procEpoch = time.Now()
+
+// Monotonic returns the current reading of the process monotonic clock in
+// nanoseconds — the unit Machine.Deadline is expressed in.
+func Monotonic() int64 { return int64(time.Since(procEpoch)) }
+
+// SetDeadline arms the wall-clock bound d from now; non-positive d clears
+// it. Like Deadline itself it may only be called by the goroutine driving
+// the machine.
+func (m *Machine) SetDeadline(d time.Duration) {
+	if d <= 0 {
+		m.Deadline = 0
+		return
+	}
+	m.Deadline = Monotonic() + int64(d)
 }
 
 // Status is the PS register.
@@ -306,7 +361,7 @@ func New(cfg Config) *Machine {
 		classObjs:     make(map[memory.AbsAddr]*object.Class),
 		classAddr:     make(map[*object.Class]fpa.Addr),
 		ctxAddrs:      make(map[memory.AbsAddr]fpa.Addr),
-		captured:      make(map[memory.AbsAddr]bool),
+		argBuf:        make([]word.Word, 0, cfg.CtxWords),
 	}
 	m.Free = context.NewFreeList(space, cfg.CtxWords, img.Ctx.ID)
 	m.bindFixedSelectors()

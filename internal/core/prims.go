@@ -280,7 +280,7 @@ func (m *Machine) primAtPut(recv, idx, val word.Word) (word.Word, error) {
 	}
 	if val.Tag == word.TagPointer {
 		if seg, _, _, fault := m.Team.Translate(m.addrOf(val), 0); fault == nil && seg.Kind == memory.KindContext {
-			m.captured[seg.Base] = true
+			seg.Captured = true
 		}
 	}
 	if err := m.storeVirtual(a, val); err != nil {

@@ -97,7 +97,13 @@ func (m *Machine) clone() *Machine {
 		classObjs:     make(map[memory.AbsAddr]*object.Class, len(m.classObjs)),
 		classAddr:     make(map[*object.Class]fpa.Addr, len(m.classAddr)),
 		ctxAddrs:      make(map[memory.AbsAddr]fpa.Addr, len(m.ctxAddrs)),
-		captured:      make(map[memory.AbsAddr]bool, len(m.captured)),
+
+		// Fast-path state stays machine-local: cloned methods carry no
+		// predecoded sites (Method.Clone drops them), so the clone
+		// predecodes and re-learns its inline caches against its own
+		// ITLB. The context segments' Captured flags travelled with the
+		// space clone above.
+		argBuf: make([]word.Word, 0, m.Cfg.CtxWords),
 
 		ctxNameCounter: m.ctxNameCounter,
 		extraRoots:     append([]word.Word(nil), m.extraRoots...),
@@ -121,9 +127,6 @@ func (m *Machine) clone() *Machine {
 	}
 	for base, addr := range m.ctxAddrs {
 		n.ctxAddrs[base] = addr
-	}
-	for base, escaped := range m.captured {
-		n.captured[base] = escaped
 	}
 	return n
 }

@@ -168,9 +168,9 @@ func TestDeadlineTrapsAndAbortRecovers(t *testing.T) {
 		add c4, c3, c3
 		ret c4
 	`)
-	m.Deadline = time.Now().Add(20 * time.Millisecond)
+	m.SetDeadline(20 * time.Millisecond)
 	_, err := m.Send(word.FromInt(1), "spin")
-	m.Deadline = time.Time{}
+	m.Deadline = 0
 	if err == nil {
 		t.Fatalf("spin returned without a deadline trap")
 	}

@@ -89,17 +89,50 @@ func (t *ITLB) HitRatio() float64 { return t.c.Stats.HitRatio() }
 // A nil error with a zero entry never occurs: failed lookups return an
 // error from miss, are counted, and are not cached.
 func (t *ITLB) Translate(key Key, miss func() (Entry, int, error)) (Entry, bool, error) {
-	if e, ok := t.c.Lookup(key.Pack()); ok {
+	if e, _, ok := t.LookupLine(key); ok {
 		return e, true, nil
 	}
 	e, cycles, err := miss()
-	t.Stats.LookupCycles += uint64(cycles)
-	if err != nil {
-		t.Stats.Failures++
+	if t.FillMiss(key, e, cycles, err) == nil {
 		return Entry{}, false, err
 	}
-	t.c.Insert(key.Pack(), e)
 	return e, false, nil
+}
+
+// Line is a stable reference to one ITLB line, the token a per-site inline
+// cache holds. See cache.Line.
+type Line = cache.Line[Entry]
+
+// LookupLine probes the buffer and, on a hit, also returns the line
+// holding the translation so the call site can cache it. Statistics and
+// recency advance exactly as Translate's probe would advance them.
+func (t *ITLB) LookupLine(key Key) (Entry, *Line, bool) {
+	return t.c.LookupLine(key.Pack())
+}
+
+// HitLine services a translation through a line previously returned by
+// LookupLine or FillMiss, provided the line still caches the packed key.
+// A successful HitLine is accounting-identical to a Translate hit; a false
+// return did not touch any counter, and the caller must fall back to
+// LookupLine (which then counts the access). This is the fast path behind
+// the interpreter's per-site inline caches: one pointer chase and one
+// compare instead of hash, set scan and key match.
+func (t *ITLB) HitLine(ln *Line, packed uint64) (Entry, bool) {
+	return t.c.HitLine(ln, packed)
+}
+
+// FillMiss records the outcome of the full method lookup run after
+// LookupLine missed: the lookup cycles are charged, failures counted, and
+// successful translations cached. It returns the line now holding the
+// entry, nil when the lookup failed. Translate is LookupLine+miss+FillMiss
+// in one call; split callers get the line for their inline caches.
+func (t *ITLB) FillMiss(key Key, e Entry, cycles int, lookupErr error) *Line {
+	t.Stats.LookupCycles += uint64(cycles)
+	if lookupErr != nil {
+		t.Stats.Failures++
+		return nil
+	}
+	return t.c.InsertLine(key.Pack(), e)
 }
 
 // Clone returns an independent copy of the buffer with every cached

@@ -26,12 +26,13 @@ func (s *Space) Clone() (*Space, map[*Segment]*Segment) {
 	}
 	for _, seg := range s.order {
 		cp := &Segment{
-			Base:  seg.Base,
-			Data:  make([]word.Word, len(seg.Data), cap(seg.Data)),
-			Class: seg.Class,
-			Kind:  seg.Kind,
-			Mark:  seg.Mark,
-			Freed: seg.Freed,
+			Base:     seg.Base,
+			Data:     make([]word.Word, len(seg.Data), cap(seg.Data)),
+			Class:    seg.Class,
+			Kind:     seg.Kind,
+			Mark:     seg.Mark,
+			Freed:    seg.Freed,
+			Captured: seg.Captured,
 		}
 		copy(cp.Data, seg.Data)
 		segMap[seg] = cp

@@ -64,6 +64,12 @@ type Segment struct {
 	// Freed marks segments returned to the allocator; accesses to them
 	// are dangling-reference errors.
 	Freed bool
+	// Captured marks a context segment that escaped LIFO discipline
+	// (§2.3): its address was stored, or it took part in an xfer. The
+	// flag lives on the segment so the interpreter's return path reads
+	// one field instead of probing a side table; the machine clears it
+	// when the context is recycled.
+	Captured bool
 }
 
 // Size returns the segment length in words.

@@ -24,6 +24,7 @@ func (a *Atoms) Clone() *Atoms {
 // shared, since they are immutable once compiled.
 func (m *Method) Clone(classOf func(*Class) *Class) *Method {
 	nm := *m
+	nm.Fast = nil // machine-local predecode + inline caches; never shared
 	if nm.Class != nil && classOf != nil {
 		nm.Class = classOf(nm.Class)
 	}

@@ -94,6 +94,12 @@ type Method struct {
 	// CodeBase is assigned by the loader: the virtual address of the
 	// first code word once the method object is installed in memory.
 	CodeBase uint32
+	// Fast caches the interpreter's predecoded form of Code, including
+	// its per-site inline caches. It is owned by package core (which is
+	// the only writer) and holds machine-local state, so Clone drops it:
+	// every machine predecodes its own copy and no inline-cache line
+	// pointer ever crosses a snapshot boundary.
+	Fast any
 }
 
 // String identifies the method as Class>>selector for diagnostics.

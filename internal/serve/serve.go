@@ -2,17 +2,23 @@
 // pool of Caltech Object Machines. The COM of the paper is a single
 // processor; serving heavy traffic means many of them. A Pool stamps N
 // independent machines out of one core.Snapshot — compile and load once,
-// clone cheaply, warm ITLB included — and runs each behind its own work
-// queue on its own goroutine, so no lock is ever taken around machine
-// execution.
+// clone cheaply, warm ITLB included — each fronted by its own work queue
+// and worker goroutine. The machine, not the goroutine, is the unit of
+// sharding: a per-shard mutex serialises execution, normally held by the
+// worker, but a caller hitting an idle shard drives the machine inline on
+// its own goroutine (Do's fast path), skipping the queue's two scheduler
+// round-trips entirely.
 //
 // Requests are routed to shards either by an explicit affinity key (same
 // key → same machine, keeping that key's (selector, class) working set hot
-// in one ITLB) or round-robin when no key is given. Each request carries
-// an optional step budget and wall-clock timeout; a request that traps,
-// times out or exhausts its budget is aborted and the machine is reused,
-// with the abandoned context chain reclaimed by a periodic per-shard
-// garbage collection.
+// in one ITLB) or round-robin when no key is given. Under load, workers
+// drain up to Config.Batch queued requests per wakeup, and DoAll submits
+// whole request slices as per-shard sub-batches that pipeline across
+// shards (one wait-group signal per sub-batch instead of one channel
+// round-trip per request). Each request carries an optional step budget
+// and wall-clock timeout; a request that traps, times out or exhausts its
+// budget is aborted and the machine is reused, with the abandoned context
+// chain reclaimed by a periodic per-shard garbage collection.
 package serve
 
 import (
@@ -82,9 +88,19 @@ type Config struct {
 	// many requests, bounding heap growth from request garbage. 0 uses
 	// the default of 512; negative disables collection.
 	GCEvery int
+	// Batch bounds how many queued requests one worker drains per wakeup
+	// and how large the per-shard sub-batches DoAll enqueues are. Larger
+	// batches amortise channel and scheduling overhead under load while
+	// sub-batching keeps a big burst from monopolising a shard's queue
+	// against interleaved single requests. 0 uses the default of 16; 1
+	// disables batching.
+	Batch int
 }
 
-const defaultGCEvery = 512
+const (
+	defaultGCEvery = 512
+	defaultBatch   = 16
+)
 
 // ErrClosed is returned for requests submitted after Close.
 var ErrClosed = errors.New("serve: pool is closed")
@@ -163,19 +179,33 @@ func (m Metrics) Report() *stats.Table {
 	return t
 }
 
-// job pairs a request with its reply channel.
+// job is one unit of queued work: either a single request with its reply
+// channel, or a DoAll sub-batch — a set of indexes into a shared request
+// slice whose results land in the shared result slice, signalled through
+// the batch's wait group.
 type job struct {
 	req Request
 	res chan<- Result
+
+	// Batch mode (wg != nil): serve reqs[i] into out[i] for i in batch.
+	batch []int
+	reqs  []Request
+	out   []Result
+	wg    *sync.WaitGroup
 }
 
-// shard is one worker: a private machine behind a private queue. Only the
-// shard's goroutine touches the machine; metrics are the one shared field
-// and sit behind the mutex.
+// shard is one worker: a private machine behind a private queue. Machine
+// execution is serialised by execMu — normally held by the shard's worker
+// goroutine, but an idle shard's machine may be driven directly by a
+// caller (see Do's inline fast path). pending counts queued-but-unfinished
+// jobs so the inline path never overtakes work the same caller already
+// submitted. Metrics sit behind their own mutex.
 type shard struct {
-	id    int
-	m     *core.Machine
-	queue chan job
+	id      int
+	m       *core.Machine
+	queue   chan job
+	execMu  sync.Mutex
+	pending atomic.Int64
 
 	mu           sync.Mutex
 	met          Metrics
@@ -206,6 +236,9 @@ func NewPool(snap *core.Snapshot, cfg Config) *Pool {
 	}
 	if cfg.GCEvery == 0 {
 		cfg.GCEvery = defaultGCEvery
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = defaultBatch
 	}
 	p := &Pool{cfg: cfg}
 	for i := 0; i < cfg.Workers; i++ {
@@ -248,24 +281,92 @@ func (p *Pool) Go(req Request) <-chan Result {
 		return res
 	}
 	s := p.shardFor(req)
+	s.pending.Add(1)
 	s.queue <- job{req: req, res: res}
 	p.mu.RUnlock()
 	return res
 }
 
 // Do submits a request and waits for its result.
-func (p *Pool) Do(req Request) Result { return <-p.Go(req) }
+//
+// When the destination shard is idle — its machine free and no queued work
+// outstanding — Do executes the request inline on the caller's goroutine
+// instead of bouncing it through the shard's queue, saving two scheduler
+// round-trips per request. The machine, not the goroutine, is the unit of
+// sharding: execMu keeps exactly one driver on it at a time, and the
+// pending check (made after the lock is won) ensures the inline path never
+// runs ahead of work the same caller already queued with Go.
+func (p *Pool) Do(req Request) Result {
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return Result{Err: ErrClosed}
+	}
+	s := p.shardFor(req)
+	if s.execMu.TryLock() {
+		if s.pending.Load() == 0 {
+			// p.mu stays read-held for the whole inline execution, so
+			// Close (which takes the write lock before returning) still
+			// guarantees a quiescent pool: no machine is running once
+			// Close returns, inline drivers included.
+			res := p.serveOne(s, req)
+			s.execMu.Unlock()
+			p.mu.RUnlock()
+			return res
+		}
+		s.execMu.Unlock()
+	}
+	res := make(chan Result, 1)
+	s.pending.Add(1)
+	s.queue <- job{req: req, res: res}
+	p.mu.RUnlock()
+	return <-res
+}
 
-// DoAll submits a batch and waits for every result, preserving order.
+// DoAll executes a batch and waits for every result, preserving request
+// order. The batch is sharded: requests are grouped by destination worker
+// (affinity keys respected, keyless requests spread round-robin) and each
+// group is enqueued as sub-batches of at most cfg.Batch requests,
+// interleaved round-robin across shards so every worker starts its share
+// immediately and sub-batches pipeline behind one another instead of one
+// result channel round-trip per request.
 func (p *Pool) DoAll(reqs []Request) []Result {
-	chans := make([]<-chan Result, len(reqs))
-	for i, req := range reqs {
-		chans[i] = p.Go(req)
-	}
 	out := make([]Result, len(reqs))
-	for i, ch := range chans {
-		out[i] = <-ch
+	if len(reqs) == 0 {
+		return out
 	}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		for i := range out {
+			out[i] = Result{Err: ErrClosed}
+		}
+		return out
+	}
+	groups := make([][]int, len(p.shards))
+	for i, req := range reqs {
+		s := p.shardFor(req)
+		groups[s.id] = append(groups[s.id], i)
+	}
+	var wg sync.WaitGroup
+	for remaining := true; remaining; {
+		remaining = false
+		for si, idxs := range groups {
+			if len(idxs) == 0 {
+				continue
+			}
+			n := min(p.cfg.Batch, len(idxs))
+			wg.Add(1)
+			p.shards[si].pending.Add(1)
+			p.shards[si].queue <- job{reqs: reqs, out: out, batch: idxs[:n], wg: &wg}
+			groups[si] = idxs[n:]
+			if len(groups[si]) > 0 {
+				remaining = true
+			}
+		}
+	}
+	p.mu.RUnlock()
+	wg.Wait()
 	return out
 }
 
@@ -318,12 +419,43 @@ func (p *Pool) MachineStats() core.Stats {
 	return out
 }
 
-// worker drains one shard's queue.
+// worker drains one shard's queue. Each wakeup serves the job that woke
+// it and then drains up to Batch-1 more without blocking, amortising the
+// channel receive and scheduler round-trip across queued work.
 func (p *Pool) worker(s *shard) {
 	defer p.wg.Done()
 	for j := range s.queue {
-		j.res <- p.serveOne(s, j.req)
+		s.execMu.Lock()
+		p.serveJob(s, j)
+		for n := 1; n < p.cfg.Batch; n++ {
+			select {
+			case j2, ok := <-s.queue:
+				if !ok {
+					s.execMu.Unlock()
+					return // closed and drained
+				}
+				p.serveJob(s, j2)
+			default:
+				n = p.cfg.Batch // queue momentarily empty; block in range again
+			}
+		}
+		s.execMu.Unlock()
 	}
+}
+
+// serveJob dispatches one queue entry — a single request or a sub-batch —
+// and retires its pending count. Callers hold the shard's execMu.
+func (p *Pool) serveJob(s *shard, j job) {
+	if j.wg != nil {
+		for _, i := range j.batch {
+			j.out[i] = p.serveOne(s, j.reqs[i])
+		}
+		s.pending.Add(-1)
+		j.wg.Done()
+		return
+	}
+	j.res <- p.serveOne(s, j.req)
+	s.pending.Add(-1)
 }
 
 // serveOne executes a request on the shard's machine, restoring the
@@ -344,14 +476,14 @@ func (p *Pool) serveOne(s *shard, req Request) Result {
 	}
 	start := time.Now()
 	if timeout != 0 {
-		m.Deadline = start.Add(timeout)
+		m.SetDeadline(timeout)
 	}
 	steps0, cycles0 := m.Stats.Instructions, m.Stats.Cycles
 
 	v, err := m.Send(req.Receiver, req.Selector, req.Args...)
 
 	m.Cfg.MaxSteps = savedMax
-	m.Deadline = time.Time{}
+	m.Deadline = 0
 	res := Result{
 		Value:   v,
 		Err:     err,

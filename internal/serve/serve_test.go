@@ -222,3 +222,156 @@ func TestPoolGCBoundsHeapGrowth(t *testing.T) {
 		t.Fatalf("expected at least 2 collections, got %d", met.GCs)
 	}
 }
+
+// TestPoolDoAllShardedBatches drives a large mixed batch — keyed and
+// keyless requests across every suite program — through the sub-batched
+// DoAll path and validates that every result lands at its request's index
+// with the right checksum, and that keyed requests respected affinity.
+func TestPoolDoAllShardedBatches(t *testing.T) {
+	snap, progs := suiteSnapshot(t)
+	pool := serve.NewPool(snap, serve.Config{Workers: 4, Batch: 8})
+	defer pool.Close()
+
+	const n = 96
+	reqs := make([]serve.Request, n)
+	for i := range reqs {
+		p := progs[i%len(progs)]
+		reqs[i] = serve.Request{Receiver: word.FromInt(p.Warm), Selector: p.Entry}
+		if i%3 == 0 {
+			reqs[i].Key = uint64(i%5 + 1)
+		}
+	}
+	results := pool.DoAll(reqs)
+	if len(results) != n {
+		t.Fatalf("got %d results for %d requests", len(results), n)
+	}
+	keyWorker := map[uint64]int{}
+	for i, res := range results {
+		p := progs[i%len(progs)]
+		if res.Err != nil {
+			t.Fatalf("request %d (%s): %v", i, p.Name, res.Err)
+		}
+		if got, _ := res.Int(); got == 0 && p.Check != 0 {
+			t.Fatalf("request %d (%s): zero checksum", i, p.Name)
+		}
+		if k := reqs[i].Key; k != 0 {
+			if w, seen := keyWorker[k]; seen && w != res.Worker {
+				t.Fatalf("key %d served by workers %d and %d", k, w, res.Worker)
+			} else {
+				keyWorker[k] = res.Worker
+			}
+		}
+	}
+	met := pool.Metrics()
+	if met.Requests != n {
+		t.Fatalf("metrics counted %d requests, want %d", met.Requests, n)
+	}
+}
+
+// TestPoolDoAllMatchesDo asserts the batched path computes exactly what
+// the single-request path computes, program by program at measured size.
+func TestPoolDoAllMatchesDo(t *testing.T) {
+	snap, progs := suiteSnapshot(t)
+	pool := serve.NewPool(snap, serve.Config{Workers: 2, Batch: 4})
+	defer pool.Close()
+
+	reqs := make([]serve.Request, len(progs))
+	for i, p := range progs {
+		reqs[i] = serve.Request{Receiver: word.FromInt(p.Size), Selector: p.Entry}
+	}
+	batched := pool.DoAll(reqs)
+	for i, p := range progs {
+		single := pool.Do(reqs[i])
+		bGot, bErr := batched[i].Int()
+		sGot, sErr := single.Int()
+		if bErr != nil || sErr != nil {
+			t.Fatalf("%s: batched err %v, single err %v", p.Name, bErr, sErr)
+		}
+		if bGot != sGot || bGot != p.Check {
+			t.Fatalf("%s: batched %d, single %d, want %d", p.Name, bGot, sGot, p.Check)
+		}
+	}
+}
+
+// TestPoolDoAllAfterClose fills every slot with ErrClosed.
+func TestPoolDoAllAfterClose(t *testing.T) {
+	snap, progs := suiteSnapshot(t)
+	pool := serve.NewPool(snap, serve.Config{Workers: 1})
+	pool.Close()
+	results := pool.DoAll([]serve.Request{
+		{Receiver: word.FromInt(progs[0].Warm), Selector: progs[0].Entry},
+		{Receiver: word.FromInt(progs[1].Warm), Selector: progs[1].Entry},
+	})
+	for i, res := range results {
+		if !errors.Is(res.Err, serve.ErrClosed) {
+			t.Fatalf("result %d after Close: %v, want ErrClosed", i, res.Err)
+		}
+	}
+}
+
+// TestPoolMixedDoGoDoAll hammers one pool with all three submission paths
+// from concurrent clients; run under -race this exercises the inline
+// fast-path handoff between callers and workers.
+func TestPoolMixedDoGoDoAll(t *testing.T) {
+	snap, progs := suiteSnapshot(t)
+	pool := serve.NewPool(snap, serve.Config{Workers: 2, Batch: 4})
+	defer pool.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := progs[g%len(progs)]
+			req := serve.Request{Receiver: word.FromInt(p.Warm), Selector: p.Entry}
+			for round := 0; round < 5; round++ {
+				switch g % 3 {
+				case 0:
+					if res := pool.Do(req); res.Err != nil {
+						t.Errorf("Do: %v", res.Err)
+					}
+				case 1:
+					ch := pool.Go(req)
+					if res := pool.Do(req); res.Err != nil {
+						t.Errorf("Do after Go: %v", res.Err)
+					}
+					if res := <-ch; res.Err != nil {
+						t.Errorf("Go: %v", res.Err)
+					}
+				default:
+					for _, res := range pool.DoAll([]serve.Request{req, req, req}) {
+						if res.Err != nil {
+							t.Errorf("DoAll: %v", res.Err)
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCloseWaitsForInlineDo pins the shutdown invariant the inline fast
+// path must preserve: Close returns only once no machine is executing —
+// including machines driven inline on caller goroutines — so reading
+// MachineStats after Close is race-free. Run under -race this fails if
+// Close stops waiting for inline drivers.
+func TestCloseWaitsForInlineDo(t *testing.T) {
+	snap, progs := suiteSnapshot(t)
+	pool := serve.NewPool(snap, serve.Config{Workers: 1})
+	p := progs[1] // recurse at measured size: long enough to straddle Close
+	done := make(chan serve.Result, 1)
+	go func() {
+		done <- pool.Do(serve.Request{Receiver: word.FromInt(p.Size), Selector: p.Entry})
+	}()
+	time.Sleep(2 * time.Millisecond) // let the inline execution start
+	pool.Close()
+	stats := pool.MachineStats() // must not race with the inline driver
+	res := <-done
+	if got, err := res.Int(); err != nil || got != p.Check {
+		t.Fatalf("inline request across Close: %v %v, want %d", got, err, p.Check)
+	}
+	if stats.Instructions == 0 {
+		t.Fatalf("machine stats empty after Close")
+	}
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/itlb"
+)
+
+// The interpreter fast path (predecoded code, per-site inline caches in
+// front of the instruction cache and the ITLB, zero-allocation dispatch)
+// must be a pure simulator acceleration: the machine modelled is
+// bit-identical with the caches on or off. These tests run the full
+// workload suite both ways — with the ITLB enabled and under the NoITLB
+// ablation — and assert identical checksums, identical core.Stats and
+// identical ITLB counters. Any divergence in cycles, hit ratios or
+// replacement behaviour fails loudly.
+
+// runAccounted executes one program on a fresh machine and returns every
+// accounting surface the fast path could plausibly disturb.
+func runAccounted(t *testing.T, p Program, cfg core.Config) (int32, core.Stats, cache.Stats, itlb.Stats) {
+	t.Helper()
+	m, err := NewCOM(p, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	if err := WarmCOM(m, p); err != nil {
+		t.Fatalf("%s warmup: %v", p.Name, err)
+	}
+	sum, err := RunCOM(m, p)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	return sum, m.Stats, m.ITLB.CacheStats(), m.ITLB.Stats
+}
+
+func TestFastPathStatsParity(t *testing.T) {
+	for _, noITLB := range []bool{false, true} {
+		for _, p := range Suite() {
+			name := p.Name
+			if noITLB {
+				name += "/noitlb"
+			}
+			t.Run(name, func(t *testing.T) {
+				fastSum, fastStats, fastCache, fastITLB := runAccounted(t, p, core.Config{NoITLB: noITLB})
+				seedSum, seedStats, seedCache, seedITLB := runAccounted(t, p, core.Config{NoITLB: noITLB, NoInlineCache: true})
+				if fastSum != p.Check || seedSum != p.Check {
+					t.Fatalf("checksums: fast %d, seed %d, want %d", fastSum, seedSum, p.Check)
+				}
+				if fastStats != seedStats {
+					t.Errorf("core.Stats diverge:\n fast %+v\n seed %+v", fastStats, seedStats)
+				}
+				if fastCache != seedCache {
+					t.Errorf("ITLB cache stats diverge:\n fast %+v\n seed %+v", fastCache, seedCache)
+				}
+				if fastITLB != seedITLB {
+					t.Errorf("ITLB lookup stats diverge:\n fast %+v\n seed %+v", fastITLB, seedITLB)
+				}
+			})
+		}
+	}
+}
+
+// TestFastPathZeroAllocs pins the zero-allocation claim for the
+// interpreter inner loop: a warm machine serving repeated sends of every
+// suite program must not allocate per send.
+func TestFastPathZeroAllocs(t *testing.T) {
+	for _, p := range Suite() {
+		switch p.Name {
+		case "points", "sort", "tree", "dispatch":
+			continue // these programs allocate machine objects by design (new)
+		}
+		t.Run(p.Name, func(t *testing.T) {
+			m, err := NewCOM(p, core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := WarmCOM(m, p); err != nil {
+				t.Fatal(err)
+			}
+			avg := testing.AllocsPerRun(10, func() {
+				if err := WarmCOM(m, p); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Fatalf("%s: %v allocs per warm send, want 0", p.Name, avg)
+			}
+		})
+	}
+}

@@ -26,9 +26,12 @@
 // Requests carry optional step budgets, wall-clock timeouts, and affinity
 // keys (equal keys always reach the same worker machine, keeping its ITLB
 // working set hot); pool.Metrics() aggregates latency and machine
-// accounting across workers. cmd/obarchd wraps the pool as an HTTP/JSON
-// server and cmd/loadgen replays the workload suite against it as
-// concurrent traffic.
+// accounting across workers. Batches go through pool.DoAll, which shards
+// the request slice across workers and pipelines per-shard sub-batches —
+// one wait-group signal per sub-batch instead of a channel round-trip per
+// request. cmd/obarchd wraps the pool as an HTTP/JSON server (POST /send,
+// POST /batch) and cmd/loadgen replays the workload suite against it as
+// concurrent traffic, batched or unbatched (-batch K).
 //
 // The experiment harness regenerating every figure and table of the paper
 // is exposed through Experiments and RunExperiment; the cmd/ directory
