@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fith"
+	"repro/internal/memory"
 	"repro/internal/serve"
 	"repro/internal/word"
 	"repro/internal/workload"
@@ -176,6 +177,93 @@ func BenchmarkFithInterpreter(b *testing.B) {
 		if _, err := workload.RunFith(vm, p); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Memory-system benches: the slab-backed absolute space against the
+// legacy map-backed path it replaced. The acceptance bars for PR 3 are
+// ≥2× on the allocation path and ≥3× on the clone.
+
+// newSpace builds a slab or legacy absolute space.
+func newSpace(legacy bool) *memory.Space {
+	if legacy {
+		return memory.NewLegacySpace()
+	}
+	return memory.NewSpace()
+}
+
+// BenchmarkAlloc measures steady-state allocator churn in the paper's
+// dominant shape: context-sized segments recycled through the free lists
+// (§2.3 — 85% of allocations are contexts), with a sprinkling of object
+// allocations on the side. Both sub-benches run the identical sequence;
+// the slab path differs only in host-level representation.
+func BenchmarkAlloc(b *testing.B) {
+	run := func(b *testing.B, space *memory.Space) {
+		const depth = 64
+		segs := make([]*memory.Segment, 0, depth)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			kind := memory.KindContext
+			if i%8 == 7 {
+				kind = memory.KindObject
+			}
+			segs = append(segs, space.Alloc(32, 0, kind))
+			if len(segs) == depth {
+				for _, seg := range segs {
+					space.Free(seg)
+				}
+				segs = segs[:0]
+			}
+		}
+	}
+	b.Run("slab", func(b *testing.B) { run(b, newSpace(false)) })
+	b.Run("legacy", func(b *testing.B) { run(b, newSpace(true)) })
+}
+
+// BenchmarkClone measures Space.Clone on an image-shaped heap: thousands
+// of live segments of mixed sizes and kinds plus pooled free segments.
+// The measured space is itself a clone, exactly as in serving — a
+// snapshot freezes one clone and workers are stamped from it — which is
+// the layout the slab path is built for: whole-slab memcpy, verbatim page
+// table, one bulk copy of the contiguous segment-header arena. The legacy
+// path deep-copies segment by segment through a pointer map either way.
+func BenchmarkClone(b *testing.B) {
+	build := func(legacy bool) *memory.Space {
+		space := newSpace(legacy)
+		// A served heap's shape: pooled contexts (32 words), a majority
+		// of small live objects (the suite's Points are 2 words, its
+		// arrays 8), and method/table segments.
+		sizes := []uint64{2, 32, 4, 8, 2, 32, 8, 16, 2, 64}
+		kinds := []memory.Kind{
+			memory.KindObject, memory.KindContext, memory.KindObject,
+			memory.KindObject, memory.KindObject, memory.KindContext,
+			memory.KindObject, memory.KindMethod, memory.KindObject,
+			memory.KindTable,
+		}
+		var dead []*memory.Segment
+		for i := 0; i < 16384; i++ {
+			seg := space.Alloc(sizes[i%len(sizes)], 0, kinds[i%len(kinds)])
+			if i%5 == 4 {
+				dead = append(dead, seg)
+			}
+		}
+		for _, seg := range dead {
+			space.Free(seg)
+		}
+		return space
+	}
+	for _, path := range []string{"slab", "legacy"} {
+		b.Run(path, func(b *testing.B) {
+			snap, _ := build(path == "legacy").Clone()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ns, _ := snap.Clone(); ns == nil {
+					b.Fatal("nil clone")
+				}
+			}
+		})
 	}
 }
 

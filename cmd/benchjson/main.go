@@ -2,13 +2,26 @@
 // benchmark report, so CI runs leave machine-readable performance data
 // points behind instead of scrollback:
 //
-//	go test -run '^$' -bench . -benchmem . | benchjson -out BENCH_PR2.json
+//	go test -run '^$' -bench . -benchmem . | benchjson -out BENCH_PR3.json
 //
 // Each benchmark line becomes one record carrying the benchmark name (the
 // -8 GOMAXPROCS suffix stripped), iteration count, ns/op, allocs/op and
 // B/op when -benchmem is on, and any custom metrics (instrs/send, ns/instr,
 // …) under "metrics". The goos/goarch/cpu header lines are captured into
 // "env" so reports from different hosts are distinguishable.
+//
+// With -baseline it additionally diffs headline metrics against an earlier
+// report and exits non-zero on regression, which is how CI gates a PR on
+// its predecessor's numbers:
+//
+//	... | benchjson -out BENCH_PR3.json -baseline BENCH_PR2.json \
+//	        -compare InterpreterInnerLoop:ns/instr \
+//	        -compare PoolThroughput/workers=1:ns_per_op
+//
+// Each -compare takes name:metric, where metric is ns_per_op or a custom
+// metric's unit; the check fails when the new value exceeds the baseline by
+// more than -tolerance (default 10%). Lower is assumed better — these are
+// all time-per-work metrics.
 package main
 
 import (
@@ -35,8 +48,37 @@ type report struct {
 	Benchmarks []record          `json:"benchmarks"`
 }
 
+// find returns the record with the given name.
+func (r *report) find(name string) (record, bool) {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return record{}, false
+}
+
+// metric extracts a metric from a record: "ns_per_op" or a custom unit.
+func (b record) metric(name string) (float64, bool) {
+	if name == "ns_per_op" {
+		return b.NsPerOp, true
+	}
+	v, ok := b.Metrics[name]
+	return v, ok
+}
+
+// compareList collects repeated -compare name:metric flags.
+type compareList []string
+
+func (c *compareList) String() string     { return strings.Join(*c, ",") }
+func (c *compareList) Set(v string) error { *c = append(*c, v); return nil }
+
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "output file")
+	out := flag.String("out", "BENCH_PR3.json", "output file")
+	baseline := flag.String("baseline", "", "baseline report to diff headline metrics against")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression vs the baseline")
+	var compares compareList
+	flag.Var(&compares, "compare", "name:metric to gate against the baseline (repeatable)")
 	flag.Parse()
 
 	rep := report{Env: map[string]string{}}
@@ -110,4 +152,62 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+
+	if *baseline == "" {
+		return
+	}
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+		os.Exit(1)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+		os.Exit(1)
+	}
+	failed := false
+	for _, spec := range compares {
+		name, metric, ok := strings.Cut(spec, ":")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -compare %q (want name:metric)\n", spec)
+			os.Exit(1)
+		}
+		oldRec, ok := base.find(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: not in baseline %s, skipping\n", name, *baseline)
+			continue
+		}
+		newRec, ok := rep.find(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: missing from this run\n", name)
+			failed = true
+			continue
+		}
+		oldV, okOld := oldRec.metric(metric)
+		if !okOld || oldV <= 0 {
+			// A baseline predating the metric cannot gate it.
+			fmt.Fprintf(os.Stderr, "benchjson: %s: metric %s not in baseline, skipping\n", name, metric)
+			continue
+		}
+		newV, okNew := newRec.metric(metric)
+		if !okNew {
+			// The gated metric vanished from this run — that is a broken
+			// gate, not a pass.
+			fmt.Fprintf(os.Stderr, "benchjson: %s: metric %s missing from this run\n", name, metric)
+			failed = true
+			continue
+		}
+		change := newV/oldV - 1
+		status := "ok"
+		if change > *tolerance {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-40s %-10s %12.2f -> %12.2f  (%+.1f%%)  %s\n",
+			name, metric, oldV, newV, change*100, status)
+	}
+	if failed {
+		os.Exit(1)
+	}
 }

@@ -289,7 +289,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cycles":          met.Cycles,
 		"itlb_hit_ratio":  met.ITLB.Value(),
 		"gcs":             met.GCs,
+		"gc_pause_us":     met.GCPause.Microseconds(),
 		"workers":         s.pool.Workers(),
+		"queue_depths":    s.pool.QueueDepths(),
 		"shards":          s.pool.ShardMetrics(),
 	})
 }

@@ -103,7 +103,7 @@ func (f *FreeList) Contains(seg *memory.Segment) bool { return f.onList[seg] }
 // Clone returns an independent copy of the free list over a cloned space:
 // pooled segments are rewritten through segMap, statistics carry over. Part
 // of the machine snapshot facility.
-func (f *FreeList) Clone(space *memory.Space, segMap map[*memory.Segment]*memory.Segment) *FreeList {
+func (f *FreeList) Clone(space *memory.Space, segMap memory.SegMap) *FreeList {
 	nf := &FreeList{
 		space:      space,
 		words:      f.words,
@@ -116,10 +116,10 @@ func (f *FreeList) Clone(space *memory.Space, segMap map[*memory.Segment]*memory
 		MemoryRefs: f.MemoryRefs,
 	}
 	for i, seg := range f.free {
-		nf.free[i] = segMap[seg]
+		nf.free[i] = segMap.Of(seg)
 	}
 	for seg := range f.onList {
-		nf.onList[segMap[seg]] = true
+		nf.onList[segMap.Of(seg)] = true
 	}
 	return nf
 }

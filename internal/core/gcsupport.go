@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"repro/internal/memory"
 	"repro/internal/word"
 )
@@ -23,7 +25,10 @@ func (m *Machine) ClearRoots() { m.extraRoots = nil }
 
 // Roots returns the absolute bases of the root set: the active context
 // pair (the RCP chain is followed by marking through the pointer words in
-// the contexts themselves), every class object, and host-held roots.
+// the contexts themselves), every class object, and host-held roots. The
+// class bases are sorted so the mark order — and everything downstream of
+// it, like ATLB recency during pointer resolution — is deterministic run
+// to run rather than following Go's map iteration order.
 func (m *Machine) Roots() []memory.AbsAddr {
 	var roots []memory.AbsAddr
 	if m.Ctx.HasCurrent() {
@@ -32,9 +37,12 @@ func (m *Machine) Roots() []memory.AbsAddr {
 	if m.Ctx.HasNext() {
 		roots = append(roots, m.Ctx.NextBase())
 	}
+	classes := make([]memory.AbsAddr, 0, len(m.classObjs))
 	for base := range m.classObjs {
-		roots = append(roots, base)
+		classes = append(classes, base)
 	}
+	slices.Sort(classes)
+	roots = append(roots, classes...)
 	for _, w := range m.extraRoots {
 		if base, ok := m.ResolvePointer(w); ok {
 			roots = append(roots, base)

@@ -104,6 +104,20 @@ type Config struct {
 	// for those tests and for timing ablations of the simulator itself.
 	NoInlineCache bool
 
+	// LegacySpace selects the PR 2 map-backed absolute space (map
+	// segment lookup, by-size reuse map, unconditional zero-fill,
+	// per-segment clone) instead of the slab-backed allocator. Base
+	// addresses and every modelled statistic are identical either way —
+	// the memory stats-parity tests prove it; the flag exists for those
+	// tests and for host-level timing ablations.
+	LegacySpace bool
+
+	// ZeroFillContexts restores zero-filling of recycled context
+	// segments on the slab path (which elides it: a fresh context is
+	// initialised by clearing its context-cache block, never by reading
+	// the segment). The legacy path always fills.
+	ZeroFillContexts bool
+
 	// OnEvent, when set, receives every executed instruction.
 	OnEvent func(Event)
 }
@@ -341,7 +355,13 @@ func (p CodePtr) Valid() bool { return p.Method != nil }
 // New builds a machine with a fresh image and bootstrapped primitives.
 func New(cfg Config) *Machine {
 	cfg = cfg.withDefaults()
-	space := memory.NewSpace()
+	var space *memory.Space
+	if cfg.LegacySpace {
+		space = memory.NewLegacySpace()
+	} else {
+		space = memory.NewSpace()
+		space.ZeroFillContexts = cfg.ZeroFillContexts
+	}
 	img := object.NewImage()
 	m := &Machine{
 		Cfg:           cfg,

@@ -5,6 +5,16 @@
 // return by the machine itself, and the collector reclaims only the
 // non-LIFO residue, which is what keeps the paper's one-third-of-runtime
 // collection cost off the common path.
+//
+// Collection is mark–sweep with an incremental sweep: Start runs the mark
+// phase and snapshots the live-segment list, then Step retires the
+// snapshot in bounded slices, so a serving shard spreads the sweep across
+// requests instead of pausing for a full-heap walk. The mutator may run
+// between steps: segments it allocates are born marked (allocate-black,
+// see memory.Space.SetGCActive) and segments it frees are skipped by the
+// sweep, so an interleaved cycle reclaims exactly what a stop-the-world
+// cycle started at the same moment would have. Collect runs a whole cycle
+// in one call and is bit-identical to the PR 2 collector.
 package gc
 
 import (
@@ -37,7 +47,8 @@ type Heap interface {
 	IsContextFree(seg *memory.Segment) bool
 }
 
-// Stats reports one collection.
+// Stats reports one collection cycle. During an incremental cycle the
+// counters accumulate as Step retires sweep slices.
 type Stats struct {
 	Marked           int
 	SweptObjects     int
@@ -45,8 +56,34 @@ type Stats struct {
 	Live             int
 }
 
-// Collect runs a full mark–sweep collection.
-func Collect(h Heap) Stats {
+// DefaultSweepChunk is the sweep slice an incremental Step covers by
+// default: about one slab's worth of context-sized segments.
+const DefaultSweepChunk = memory.SlabWords / 32
+
+// Collector runs mark–sweep cycles with an incremental sweep. The zero
+// value is ready; a Collector is single-owner (the goroutine driving the
+// machine) and must not be shared.
+type Collector struct {
+	h      Heap
+	sweep  []*memory.Segment
+	cursor int
+	cur    Stats
+	active bool
+
+	mark []memory.AbsAddr // mark-stack buffer, reused across cycles
+
+	// Cycles counts completed collection cycles.
+	Cycles uint64
+}
+
+// Active reports whether a cycle is in progress (mark done, sweep pending).
+func (c *Collector) Active() bool { return c.active }
+
+// Start writes back the context cache, runs the mark phase, and arms the
+// incremental sweep over a snapshot of the live-segment list. The heap's
+// space is flipped to allocate-black until the sweep completes.
+func (c *Collector) Start(h Heap) {
+	c.h = h
 	h.Writeback()
 	space := h.AbsSpace()
 
@@ -54,10 +91,8 @@ func Collect(h Heap) Stats {
 	space.Live(func(seg *memory.Segment) { seg.Mark = false })
 
 	// Mark from roots.
-	var stack []memory.AbsAddr
-	for _, r := range h.Roots() {
-		stack = append(stack, r)
-	}
+	stack := c.mark[:0]
+	stack = append(stack, h.Roots()...)
 	marked := 0
 	for len(stack) > 0 {
 		base := stack[len(stack)-1]
@@ -77,38 +112,71 @@ func Collect(h Heap) Stats {
 			}
 		}
 	}
+	c.mark = stack[:0]
 
-	// Sweep: unmarked objects are freed; unmarked contexts not already
-	// on the free list are recycled to it (the non-LIFO residue).
-	var st Stats
-	st.Marked = marked
-	var deadObjs, deadCtxs []*memory.Segment
-	space.Live(func(seg *memory.Segment) {
+	c.cur = Stats{Marked: marked}
+	c.sweep = space.AppendLive(c.sweep[:0])
+	c.cursor = 0
+	space.SetGCActive(true)
+	c.active = true
+}
+
+// Step retires up to n segments of the pending sweep (all of them when
+// n <= 0) and reports the cycle's statistics so far plus whether it
+// completed. Unmarked objects are freed; unmarked contexts not already on
+// the free list are recycled to it (the non-LIFO residue). Segments the
+// mutator freed since the mark phase are skipped.
+func (c *Collector) Step(n int) (Stats, bool) {
+	if !c.active {
+		return c.cur, true
+	}
+	end := len(c.sweep)
+	if n > 0 && c.cursor+n < end {
+		end = c.cursor + n
+	}
+	h := c.h
+	for _, seg := range c.sweep[c.cursor:end] {
+		if seg.Freed {
+			continue
+		}
 		if seg.Mark {
-			st.Live++
-			return
+			c.cur.Live++
+			continue
 		}
 		switch seg.Kind {
 		case memory.KindObject:
-			deadObjs = append(deadObjs, seg)
+			h.ReleaseObject(seg)
+			c.cur.SweptObjects++
 		case memory.KindContext:
 			if !h.IsContextFree(seg) {
-				deadCtxs = append(deadCtxs, seg)
+				h.RecycleContext(seg)
+				c.cur.RecycledContexts++
 			} else {
-				st.Live++ // pooled, not garbage
+				c.cur.Live++ // pooled, not garbage
 			}
 		default:
 			// Methods and tables are immortal.
-			st.Live++
+			c.cur.Live++
 		}
-	})
-	for _, seg := range deadObjs {
-		h.ReleaseObject(seg)
-		st.SweptObjects++
 	}
-	for _, seg := range deadCtxs {
-		h.RecycleContext(seg)
-		st.RecycledContexts++
+	c.cursor = end
+	if c.cursor < len(c.sweep) {
+		return c.cur, false
 	}
+	for i := range c.sweep {
+		c.sweep[i] = nil // don't pin dead segments until the next cycle
+	}
+	c.sweep = c.sweep[:0]
+	h.AbsSpace().SetGCActive(false)
+	c.active = false
+	c.Cycles++
+	return c.cur, true
+}
+
+// Collect runs a full mark–sweep collection in one call.
+func Collect(h Heap) Stats {
+	var c Collector
+	c.Start(h)
+	st, _ := c.Step(0)
 	return st
 }

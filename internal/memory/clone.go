@@ -11,32 +11,140 @@ import (
 // once and cloned into N independent machines instead of being re-compiled
 // and re-loaded per machine.
 
+// SegMap maps segments of a cloned space's source to their clones, so
+// callers (descriptor tables, free lists, method indexes) can rewrite
+// their own segment pointers. On the slab path the mapping is an O(1)
+// slice lookup through the position-stable segment id; the legacy path
+// keeps the PR 2 pointer map.
+type SegMap struct {
+	arena []Segment
+	m     map[*Segment]*Segment
+}
+
+// Of returns the clone of a source segment; nil maps to nil.
+func (sm SegMap) Of(seg *Segment) *Segment {
+	if seg == nil {
+		return nil
+	}
+	if sm.m != nil {
+		return sm.m[seg]
+	}
+	return &sm.arena[seg.id]
+}
+
 // Clone returns an independent deep copy of absolute space together with
-// the segment identity map (old segment → cloned segment) that callers use
-// to rewrite their own segment pointers (descriptor tables, free lists,
-// method indexes).
-func (s *Space) Clone() (*Space, map[*Segment]*Segment) {
+// the segment map callers use to rewrite their own segment pointers.
+//
+// On the slab path the clone is a bulk operation: each slab is copied with
+// one allocation and one memcpy, the dense page table and window index are
+// copied verbatim (segment ids are position-stable across the clone), and
+// the segment headers are rebuilt into one contiguous array whose entries
+// re-point their Data at the cloned slabs by offset — no per-segment
+// allocation, no pointer-map probes. The legacy path keeps the PR 2
+// per-segment deep copy.
+func (s *Space) Clone() (*Space, SegMap) {
+	if s.legacy {
+		return s.cloneLegacy()
+	}
+	// The page table's doubling slack past the base high-water mark is
+	// all zeros; the clone re-grows on demand instead of copying it.
+	hw := uint64(s.nextBase)
+	if hw > uint64(len(s.table)) {
+		hw = uint64(len(s.table))
+	}
+	ns := &Space{
+		windows:          append([]int32(nil), s.windows...),
+		table:            append([]int32(nil), s.table[:hw]...),
+		live:             s.live,
+		orderDead:        s.orderDead,
+		nextBase:         s.nextBase,
+		ZeroFillContexts: s.ZeroFillContexts,
+		Stats:            s.Stats,
+	}
+	ns.slabs = make([]slab, len(s.slabs))
+	for i, sl := range s.slabs {
+		// Words at or past nextBase were never carved, so they are still
+		// zero in the source; only the used prefix needs the memcpy. A
+		// fully used slab goes through append, which skips the redundant
+		// pre-zeroing make would do (word.Word is pointer-free).
+		used := uint64(len(sl.data))
+		if end := sl.base + AbsAddr(len(sl.data)); s.nextBase < end {
+			if s.nextBase <= sl.base {
+				used = 0
+			} else {
+				used = uint64(s.nextBase - sl.base)
+			}
+		}
+		var data []word.Word
+		if used == uint64(len(sl.data)) {
+			data = append([]word.Word(nil), sl.data...)
+		} else {
+			data = make([]word.Word, len(sl.data))
+			copy(data, sl.data[:used])
+		}
+		ns.slabs[i] = slab{base: sl.base, data: data}
+	}
+	// Segment headers: the source's arena (laid down when it was itself
+	// cloned — a snapshot's space always was) is copied with one bulk
+	// copy; only post-clone stragglers need chasing. Ids are positions,
+	// so the whole arena lands in the clone with identity preserved.
+	arr := make([]Segment, s.numSegs())
+	copy(arr, s.headers)
+	for i, seg := range s.extra {
+		arr[len(s.headers)+i] = *seg
+	}
+	// Re-point every header's Data at the cloned slab, by offset.
+	for i := range arr {
+		cp := &arr[i]
+		sl := &ns.slabs[cp.slab]
+		off := uint64(cp.Base - sl.base)
+		cp.Data = sl.data[off : off+uint64(len(cp.Data)) : off+uint64(cap(cp.Data))]
+	}
+	ns.headers = arr
+	ns.compacted = s.compacted
+	if s.compacted {
+		ns.order = make([]*Segment, len(s.order))
+		for i, seg := range s.order {
+			ns.order[i] = &arr[seg.id]
+		}
+	}
+	for cls, list := range s.free {
+		if len(list) == 0 {
+			continue
+		}
+		nl := make([]*Segment, len(list))
+		for i, seg := range list {
+			nl[i] = &arr[seg.id]
+		}
+		ns.free[cls] = nl
+	}
+	return ns, SegMap{arena: arr}
+}
+
+// cloneLegacy is the PR 2 per-segment deep copy through a pointer map.
+func (s *Space) cloneLegacy() (*Space, SegMap) {
 	segMap := make(map[*Segment]*Segment, len(s.order))
 	ns := &Space{
-		segs:     make(map[AbsAddr]*Segment, len(s.segs)),
-		order:    make([]*Segment, 0, len(s.order)),
-		nextBase: s.nextBase,
-		reuse:    make(map[uint64][]*Segment, len(s.reuse)),
-		Stats:    s.Stats,
+		legacy:           true,
+		segs:             make(map[AbsAddr]*Segment, len(s.segs)),
+		order:            make([]*Segment, 0, len(s.order)),
+		orderDead:        s.orderDead,
+		compacted:        true,
+		nextBase:         s.nextBase,
+		reuse:            make(map[uint64][]*Segment, len(s.reuse)),
+		ZeroFillContexts: s.ZeroFillContexts,
+		Stats:            s.Stats,
 	}
-	for _, seg := range s.order {
-		cp := &Segment{
-			Base:     seg.Base,
-			Data:     make([]word.Word, len(seg.Data), cap(seg.Data)),
-			Class:    seg.Class,
-			Kind:     seg.Kind,
-			Mark:     seg.Mark,
-			Freed:    seg.Freed,
-			Captured: seg.Captured,
-		}
+	cloneSeg := func(seg *Segment) *Segment {
+		cp := &Segment{}
+		*cp = *seg
+		cp.Data = make([]word.Word, len(seg.Data), cap(seg.Data))
 		copy(cp.Data, seg.Data)
 		segMap[seg] = cp
-		ns.order = append(ns.order, cp)
+		return cp
+	}
+	for _, seg := range s.order {
+		ns.order = append(ns.order, cloneSeg(seg))
 	}
 	for base, seg := range s.segs {
 		ns.segs[base] = segMap[seg]
@@ -44,11 +152,17 @@ func (s *Space) Clone() (*Space, map[*Segment]*Segment) {
 	for size, list := range s.reuse {
 		nl := make([]*Segment, len(list))
 		for i, seg := range list {
-			nl[i] = segMap[seg]
+			cp, ok := segMap[seg]
+			if !ok {
+				// Freed and compacted out of the scan list; reachable
+				// only through the reuse map.
+				cp = cloneSeg(seg)
+			}
+			nl[i] = cp
 		}
 		ns.reuse[size] = nl
 	}
-	return ns, segMap
+	return ns, SegMap{m: segMap}
 }
 
 // Clone returns an independent copy of the team space over the given
@@ -57,7 +171,7 @@ func (s *Space) Clone() (*Space, map[*Segment]*Segment) {
 // rewired through segMap; the ATLB starts cold, since its cached
 // descriptor pointers belong to the source machine and rewarming costs
 // only a handful of table walks.
-func (t *Team) Clone(space *Space, segMap map[*Segment]*Segment) *Team {
+func (t *Team) Clone(space *Space, segMap SegMap) *Team {
 	nt := &Team{
 		SN:      t.SN,
 		Format:  t.Format,
@@ -75,7 +189,7 @@ func (t *Team) Clone(space *Space, segMap map[*Segment]*Segment) *Team {
 	for key, d := range t.table {
 		nd, ok := descMap[d]
 		if !ok {
-			nd = &Descriptor{Seg: segMap[d.Seg], Length: d.Length, Class: d.Class, Rights: d.Rights}
+			nd = &Descriptor{Seg: segMap.Of(d.Seg), Length: d.Length, Class: d.Class, Rights: d.Rights}
 			if d.Forward != nil {
 				fwd := *d.Forward
 				nd.Forward = &fwd
@@ -85,7 +199,7 @@ func (t *Team) Clone(space *Space, segMap map[*Segment]*Segment) *Team {
 		nt.table[key] = nd
 	}
 	for seg, keys := range t.bySeg {
-		nt.bySeg[segMap[seg]] = append([]fpa.SegKey(nil), keys...)
+		nt.bySeg[segMap.Of(seg)] = append([]fpa.SegKey(nil), keys...)
 	}
 	return nt
 }

@@ -12,10 +12,48 @@
 // table, the offset is bounds-checked against the descriptor length, and —
 // because segments are aligned on multiples of their size — the absolute
 // address is formed by OR-ing base and offset, no add required.
+//
+// # Slab layout of absolute space
+//
+// Absolute space is backed by slabs: contiguous []word.Word arrays of
+// SlabWords words each, aligned on SlabWords boundaries of the absolute
+// address range. A segment of rounded (power of two) size r ≤ SlabWords is
+// carved as a three-index subslice of the slab covering its base — the §3.1
+// alignment rule guarantees an r-aligned segment never straddles a larger
+// power-of-two boundary, so one slab always suffices. Segments with
+// r > SlabWords get a dedicated slab of exactly r words at an r-aligned
+// base. Around the slabs sit three O(1) indexes:
+//
+//   - a dense page table ([]int32 keyed by absolute base address, sized to
+//     the base high-water mark) mapping a base to its segment id, replacing
+//     the map[AbsAddr]*Segment — ByBase, context-cache fault-in and GC
+//     pointer resolution are one bounds check and one load;
+//   - size-class free lists (one LIFO stack per power-of-two class)
+//     replacing the map[uint64][]*Segment reuse map;
+//   - segment headers addressed by a per-space id: a contiguous arena laid
+//     down by Clone plus an individually allocated tail for segments carved
+//     afterwards. That split is what makes Clone a bulk operation — copy
+//     each slab with one memcpy, copy the page table verbatim (ids are
+//     position-stable), bulk-copy the header arena and re-point each
+//     header's Data by offset — and since a snapshot's space is itself a
+//     clone, the serving warm-start path always gets the bulk copy.
+//
+// Context segments recycled through the free lists skip the zero-fill the
+// allocator otherwise performs: the machine initialises a fresh context by
+// clearing its context-cache block (§2.3), never by reading the segment, so
+// the fill is pure host-side overhead on the hottest allocation path. The
+// ZeroFillContexts switch restores it for ablations.
+//
+// NewLegacySpace builds the PR 2 map-backed allocator instead. Both paths
+// assign identical base addresses and recycle segments in an identical
+// order, so every modelled statistic (AllocStats, ATLB/hierarchy counters,
+// GC stats) is bit-identical between them — the stats-parity suite in
+// package workload proves it on the full workload suite.
 package memory
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/fpa"
@@ -59,7 +97,10 @@ type Segment struct {
 	Class word.Class
 	Kind  Kind
 
-	// Mark is the garbage collector's mark bit.
+	// Mark is the garbage collector's mark bit. Segments allocated while
+	// an incremental collection is sweeping are born marked
+	// (allocate-black), so the sweep cannot reclaim objects created after
+	// the mark phase ran.
 	Mark bool
 	// Freed marks segments returned to the allocator; accesses to them
 	// are dangling-reference errors.
@@ -70,6 +111,14 @@ type Segment struct {
 	// one field instead of probing a side table; the machine clears it
 	// when the context is recycled.
 	Captured bool
+
+	// id is the segment's index in the space's all-segments slice (slab
+	// path only); slab is the index of the slab backing Data. inOrder
+	// records membership in the allocation-order scan list, so a segment
+	// compacted out after a Free is re-listed when it is recycled.
+	id      int32
+	slab    int32
+	inOrder bool
 }
 
 // Size returns the segment length in words.
@@ -107,25 +156,114 @@ func (s AllocStats) ContextShare() float64 {
 	return float64(s.Allocs[KindContext]) / float64(t)
 }
 
-// Space is absolute space: an aligned segment allocator plus the global
-// segment index. Segments are aligned on multiples of their (power of two
-// rounded) size, as §3.1 requires, so base|offset == base+offset.
-type Space struct {
-	segs     map[AbsAddr]*Segment // live segments by base
-	order    []*Segment           // allocation order, for scans
-	nextBase AbsAddr
-	reuse    map[uint64][]*Segment // freed segments by rounded size
-	Stats    AllocStats
+const (
+	slabShift = 12
+	// SlabWords is the capacity of one slab of absolute space: segments
+	// with rounded size up to this are carved from shared slabs; larger
+	// ones get a dedicated slab. The quantum is deliberately modest so a
+	// small image's clone cost tracks its heap, not the slab size.
+	SlabWords = 1 << slabShift
+
+	// compactMin is the scan-list length below which dead-entry
+	// compaction is not worth running.
+	compactMin = 64
+)
+
+// slab is one contiguous stretch of backing store, covering absolute
+// addresses [base, base+len(data)).
+type slab struct {
+	base AbsAddr
+	data []word.Word
 }
 
-// NewSpace returns an empty absolute space. Address 0 is never allocated so
-// it can serve as a null of sorts in tables.
+// numFreeClasses bounds the size-class array: class = log2(rounded size).
+const numFreeClasses = 64
+
+// Space is absolute space: an aligned segment allocator plus the global
+// segment index. Segments are aligned on multiples of their (power of two
+// rounded) size, as §3.1 requires, so base|offset == base+offset. See the
+// package comment for the slab layout; a Space built by NewLegacySpace uses
+// the PR 2 map-backed representation instead (retained as an ablation and
+// as the baseline the stats-parity suite compares against).
+type Space struct {
+	legacy bool
+
+	// Slab representation. Segment headers live in two stores: headers,
+	// a contiguous arena laid down by Clone (position == id), and extra,
+	// individually allocated headers for segments carved after the space
+	// was cloned (ids continue past the arena). A snapshot's space is
+	// itself a clone, so the serving-path clone copies the whole arena
+	// with one bulk copy instead of chasing per-segment pointers.
+	slabs   []slab
+	windows []int32 // SlabWords-window → slabs index + 1; 0 = no slab yet
+	table   []int32 // absolute base address → segment id + 1; 0 = no live segment
+	headers []Segment
+	extra   []*Segment
+	free    [numFreeClasses][]*Segment
+	live    int
+
+	// Legacy representation.
+	segs  map[AbsAddr]*Segment  // live segments by base
+	reuse map[uint64][]*Segment // freed segments by rounded size
+
+	// order is the scan list: every listed segment in allocation order,
+	// freed entries included until compaction removes them. orderDead
+	// counts the freed entries still listed; when they outnumber the
+	// live ones the list is compacted (amortised O(1) per Free), fixing
+	// the unbounded dead-entry walk of the PR 2 scan path. On the slab
+	// path the list stays implicit — id order IS allocation order — and
+	// is only materialised by the first compaction (compacted flag); the
+	// legacy path always keeps it explicit, as PR 2 did.
+	order     []*Segment
+	orderDead int
+	compacted bool
+
+	nextBase AbsAddr
+
+	// gcActive is set by an incremental collector between mark and the
+	// end of sweep: allocations are born marked and compaction is
+	// deferred so the sweep's snapshot stays valid.
+	gcActive bool
+
+	// ZeroFillContexts restores the zero-fill of recycled context
+	// segments that the slab path elides (ablation switch; the legacy
+	// path always fills, as PR 2 did).
+	ZeroFillContexts bool
+
+	Stats AllocStats
+}
+
+// NewSpace returns an empty slab-backed absolute space. Address 0 is never
+// allocated so it can serve as a null of sorts in tables.
 func NewSpace() *Space {
+	return &Space{nextBase: 1} // keep 0 unused; first alloc aligns past it
+}
+
+// NewLegacySpace returns an empty absolute space using the PR 2 map-backed
+// allocator: segment lookup through a map, reuse through a by-size map,
+// per-word zero-fill on every allocation, and per-segment deep clone. It
+// exists as the baseline of the stats-parity suite and for ablations.
+func NewLegacySpace() *Space {
 	return &Space{
-		segs:     make(map[AbsAddr]*Segment),
-		reuse:    make(map[uint64][]*Segment),
-		nextBase: 1, // keep 0 unused; first alloc aligns past it
+		legacy:           true,
+		segs:             make(map[AbsAddr]*Segment),
+		reuse:            make(map[uint64][]*Segment),
+		nextBase:         1,
+		compacted:        true, // the legacy scan list is always explicit
+		ZeroFillContexts: true,
 	}
+}
+
+// numSegs returns how many segments the space has ever carved.
+func (s *Space) numSegs() int { return len(s.headers) + len(s.extra) }
+
+// segByID returns the segment with the given id: arena first, then the
+// individually allocated tail.
+func (s *Space) segByID(id int32) *Segment {
+	if n := int32(len(s.headers)); id < n {
+		return &s.headers[id]
+	}
+	return s.extra[id-int32(len(s.headers))]
 }
 
 func pow2ceil(n uint64) uint64 {
@@ -141,7 +279,8 @@ func pow2ceil(n uint64) uint64 {
 
 // Alloc carves a new aligned segment of the given size (at least 1 word),
 // class and kind. Freed segments of the same rounded size are reused —
-// this is the "single free list" fast path for contexts.
+// this is the "single free list" fast path for contexts. Recycled context
+// segments are handed back without zero-fill (see ZeroFillContexts).
 func (s *Space) Alloc(size uint64, class word.Class, kind Kind) *Segment {
 	if size == 0 {
 		size = 1
@@ -149,31 +288,144 @@ func (s *Space) Alloc(size uint64, class word.Class, kind Kind) *Segment {
 	rounded := pow2ceil(size)
 	s.Stats.Allocs[kind]++
 	s.Stats.Words[kind] += size
-	if free := s.reuse[rounded]; len(free) > 0 {
-		seg := free[len(free)-1]
-		s.reuse[rounded] = free[:len(free)-1]
+	if seg := s.popFree(rounded); seg != nil {
 		seg.Freed = false
 		seg.Class = class
 		seg.Kind = kind
-		seg.Mark = false
+		seg.Mark = s.gcActive
 		seg.Data = seg.Data[:size]
-		for i := range seg.Data {
-			seg.Data[i] = word.Uninit
+		if s.legacy || s.ZeroFillContexts || kind != KindContext {
+			for i := range seg.Data {
+				seg.Data[i] = word.Uninit
+			}
 		}
-		s.segs[seg.Base] = seg
+		s.install(seg)
 		return seg
 	}
 	base := (s.nextBase + AbsAddr(rounded) - 1) &^ (AbsAddr(rounded) - 1)
 	s.nextBase = base + AbsAddr(rounded)
-	seg := &Segment{
-		Base:  base,
-		Data:  make([]word.Word, size, rounded),
-		Class: class,
-		Kind:  kind,
+	var seg *Segment
+	if s.legacy {
+		seg = &Segment{
+			Base:  base,
+			Data:  make([]word.Word, size, rounded),
+			Class: class,
+			Kind:  kind,
+		}
+	} else {
+		// carve first: it creates the slab and its window entry, which
+		// the slab index below reads.
+		data := s.carve(base, size, rounded)
+		seg = &Segment{
+			Base:  base,
+			Data:  data,
+			Class: class,
+			Kind:  kind,
+			id:    int32(s.numSegs()),
+			slab:  s.windows[base>>slabShift] - 1,
+		}
+		s.extra = append(s.extra, seg)
 	}
-	s.segs[base] = seg
-	s.order = append(s.order, seg)
+	seg.Mark = s.gcActive
+	s.install(seg)
 	return seg
+}
+
+// popFree pops the most recently freed segment of the rounded size, if any.
+// Both representations recycle LIFO per size class, so the sequence of
+// bases an allocation pattern observes is identical between them.
+func (s *Space) popFree(rounded uint64) *Segment {
+	if s.legacy {
+		free := s.reuse[rounded]
+		if n := len(free); n > 0 {
+			seg := free[n-1]
+			s.reuse[rounded] = free[:n-1]
+			return seg
+		}
+		return nil
+	}
+	cls := bits.TrailingZeros64(rounded)
+	list := s.free[cls]
+	if n := len(list); n > 0 {
+		seg := list[n-1]
+		s.free[cls] = list[:n-1]
+		return seg
+	}
+	return nil
+}
+
+// install indexes a (re)allocated segment and lists it for scans.
+func (s *Space) install(seg *Segment) {
+	if s.legacy {
+		s.segs[seg.Base] = seg
+	} else {
+		if uint64(seg.Base) >= uint64(len(s.table)) {
+			s.growTable(uint64(seg.Base) + 1)
+		}
+		s.table[seg.Base] = seg.id + 1
+		s.live++
+	}
+	if seg.inOrder {
+		s.orderDead-- // was listed as a dead entry; live again
+	} else {
+		seg.inOrder = true
+		if s.compacted {
+			s.order = append(s.order, seg)
+		}
+	}
+}
+
+// carve returns the backing store for a fresh segment, creating the slab
+// covering it on first touch.
+func (s *Space) carve(base AbsAddr, size, rounded uint64) []word.Word {
+	sl := &s.slabs[s.ensureSlab(base, rounded)]
+	off := uint64(base - sl.base)
+	return sl.data[off : off+size : off+rounded]
+}
+
+// ensureSlab returns the index of the slab covering [base, base+rounded),
+// creating it if needed. Alignment guarantees the range never straddles
+// slabs: rounded ≤ SlabWords fits inside one SlabWords window, larger
+// segments get a dedicated slab spanning whole windows.
+func (s *Space) ensureSlab(base AbsAddr, rounded uint64) int32 {
+	win := int(base >> slabShift)
+	if rounded >= SlabWords {
+		idx := int32(len(s.slabs))
+		s.slabs = append(s.slabs, slab{base: base, data: make([]word.Word, rounded)})
+		endWin := int((uint64(base) + rounded) >> slabShift)
+		s.growWindows(endWin)
+		for w := win; w < endWin; w++ {
+			s.windows[w] = idx + 1
+		}
+		return idx
+	}
+	s.growWindows(win + 1)
+	if s.windows[win] == 0 {
+		idx := int32(len(s.slabs))
+		s.slabs = append(s.slabs, slab{base: AbsAddr(win) << slabShift, data: make([]word.Word, SlabWords)})
+		s.windows[win] = idx + 1
+	}
+	return s.windows[win] - 1
+}
+
+func (s *Space) growWindows(n int) {
+	for len(s.windows) < n {
+		s.windows = append(s.windows, 0)
+	}
+}
+
+// growTable extends the page table to cover n entries, doubling so the
+// amortised cost per fresh base stays O(1). The table tracks the base-
+// address high-water mark, not the slab extent, so a small image keeps a
+// small table (and a cheap clone).
+func (s *Space) growTable(n uint64) {
+	grown := uint64(len(s.table)) * 2
+	if grown < n {
+		grown = n
+	}
+	nt := make([]int32, grown)
+	copy(nt, s.table)
+	s.table = nt
 }
 
 // Free returns a segment to the allocator for reuse.
@@ -183,20 +435,103 @@ func (s *Space) Free(seg *Segment) {
 	}
 	seg.Freed = true
 	s.Stats.Frees[seg.Kind]++
-	delete(s.segs, seg.Base)
-	rounded := pow2ceil(uint64(cap(seg.Data)))
 	seg.Data = seg.Data[:cap(seg.Data)]
-	s.reuse[rounded] = append(s.reuse[rounded], seg)
+	rounded := pow2ceil(uint64(cap(seg.Data)))
+	if s.legacy {
+		delete(s.segs, seg.Base)
+		s.reuse[rounded] = append(s.reuse[rounded], seg)
+	} else {
+		s.table[seg.Base] = 0
+		s.live--
+		cls := bits.TrailingZeros64(rounded)
+		s.free[cls] = append(s.free[cls], seg)
+	}
+	s.orderDead++
+	s.maybeCompact()
 }
 
-// ByBase returns the live segment with the given base address.
+// maybeCompact drops freed entries from the scan list once they outnumber
+// the live ones, so long-running servers do not walk dead entries forever.
+// Deferred while an incremental collection is sweeping (the sweep snapshot
+// holds its own references). On the slab path the first compaction
+// materialises the until-then implicit (id-ordered) list.
+func (s *Space) maybeCompact() {
+	n := s.scanLen()
+	if s.gcActive || n < compactMin || s.orderDead*2 <= n {
+		return
+	}
+	if !s.compacted {
+		order := make([]*Segment, 0, s.live)
+		for id := 0; id < s.numSegs(); id++ {
+			seg := s.segByID(int32(id))
+			if seg.Freed {
+				seg.inOrder = false
+				continue
+			}
+			order = append(order, seg)
+		}
+		s.order = order
+		s.compacted = true
+		s.orderDead = 0
+		return
+	}
+	kept := s.order[:0]
+	for _, seg := range s.order {
+		if seg.Freed {
+			seg.inOrder = false
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	for i := len(kept); i < len(s.order); i++ {
+		s.order[i] = nil
+	}
+	s.order = kept
+	s.orderDead = 0
+}
+
+// SetGCActive brackets an incremental collection's sweep phase: while
+// active, allocations are born marked (allocate-black) and scan-list
+// compaction is deferred. The collector in package gc drives this.
+func (s *Space) SetGCActive(on bool) {
+	s.gcActive = on
+	if !on {
+		s.maybeCompact()
+	}
+}
+
+// GCActive reports whether an incremental collection is in progress.
+func (s *Space) GCActive() bool { return s.gcActive }
+
+// ByBase returns the live segment with the given base address. On the slab
+// path this is one bounds check and one dense-table load — the O(1)
+// resolution the context cache's fault-in and the collector's marking lean
+// on.
 func (s *Space) ByBase(base AbsAddr) (*Segment, bool) {
-	seg, ok := s.segs[base]
-	return seg, ok
+	if s.legacy {
+		seg, ok := s.segs[base]
+		return seg, ok
+	}
+	if uint64(base) >= uint64(len(s.table)) {
+		return nil, false
+	}
+	id := s.table[base]
+	if id == 0 {
+		return nil, false
+	}
+	return s.segByID(id - 1), true
 }
 
-// Live calls fn for every live segment.
+// Live calls fn for every live segment, in allocation order.
 func (s *Space) Live(fn func(*Segment)) {
+	if !s.compacted {
+		for id := 0; id < s.numSegs(); id++ {
+			if seg := s.segByID(int32(id)); !seg.Freed {
+				fn(seg)
+			}
+		}
+		return
+	}
 	for _, seg := range s.order {
 		if !seg.Freed {
 			fn(seg)
@@ -204,8 +539,30 @@ func (s *Space) Live(fn func(*Segment)) {
 	}
 }
 
+// AppendLive appends every live segment to dst in allocation order and
+// returns it — the collector's sweep snapshot, taken once per cycle so the
+// incremental sweep iterates stable storage while the mutator runs.
+func (s *Space) AppendLive(dst []*Segment) []*Segment {
+	s.Live(func(seg *Segment) { dst = append(dst, seg) })
+	return dst
+}
+
 // LiveCount returns the number of live segments.
-func (s *Space) LiveCount() int { return len(s.segs) }
+func (s *Space) LiveCount() int {
+	if s.legacy {
+		return len(s.segs)
+	}
+	return s.live
+}
+
+// scanLen reports the scan-list length including dead entries (tests and
+// the compaction trigger).
+func (s *Space) scanLen() int {
+	if !s.compacted {
+		return s.numSegs()
+	}
+	return len(s.order)
+}
 
 // Rights are the capability bits of a virtual name (§3.1: "A name within
 // this space is a capability to access an object").
@@ -470,7 +827,13 @@ func (t *Team) Grow(a fpa.Addr, newSize uint64) (fpa.Addr, error) {
 	if err != nil {
 		return fpa.Addr{}, err
 	}
-	copy(newSeg.Data, d.Seg.Data)
+	n := copy(newSeg.Data, d.Seg.Data)
+	// A recycled segment may carry stale words past the copied prefix
+	// (zero-fill elision); a grown object's fresh tail must read as
+	// uninitialised either way.
+	for i := n; i < len(newSeg.Data); i++ {
+		newSeg.Data[i] = word.Uninit
+	}
 	old := d.Seg
 	// Both old and new descriptors point at the new segment; the old
 	// name keeps its old length bound and forwards past it.

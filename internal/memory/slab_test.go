@@ -1,0 +1,317 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fpa"
+	"repro/internal/word"
+)
+
+// The slab-backed and legacy map-backed allocators must be observationally
+// identical apart from host-level speed: same base addresses, same reuse
+// order, same statistics. These tests drive both representations through
+// the same sequences and compare them, plus cover the slab-only machinery
+// (dedicated slabs, page-table growth, scan-list compaction, bulk clone).
+
+// step is one allocator operation in a generated sequence: allocate a
+// segment of Size words, or free the (Index mod live)th live segment.
+type step struct {
+	Size  uint16
+	Kind  uint8
+	Free  bool
+	Index uint8
+}
+
+func drive(s *Space, steps []step) []AbsAddr {
+	var live []*Segment
+	var bases []AbsAddr
+	for _, st := range steps {
+		if st.Free && len(live) > 0 {
+			i := int(st.Index) % len(live)
+			s.Free(live[i])
+			live = append(live[:i], live[i+1:]...)
+			continue
+		}
+		size := uint64(st.Size%2048) + 1
+		seg := s.Alloc(size, 0, Kind(st.Kind%uint8(NumKinds)))
+		live = append(live, seg)
+		bases = append(bases, seg.Base)
+	}
+	return bases
+}
+
+func TestSlabLegacyBaseParity(t *testing.T) {
+	prop := func(steps []step) bool {
+		slabBases := drive(NewSpace(), steps)
+		legacyBases := drive(NewLegacySpace(), steps)
+		if len(slabBases) != len(legacyBases) {
+			return false
+		}
+		for i := range slabBases {
+			if slabBases[i] != legacyBases[i] {
+				t.Logf("alloc %d: slab base %#x, legacy base %#x", i, slabBases[i], legacyBases[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlabLegacyStatsParity(t *testing.T) {
+	prop := func(steps []step) bool {
+		sl, lg := NewSpace(), NewLegacySpace()
+		drive(sl, steps)
+		drive(lg, steps)
+		return sl.Stats == lg.Stats && sl.LiveCount() == lg.LiveCount()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeClassRecycling(t *testing.T) {
+	s := NewSpace()
+	// Two size classes; frees recycle LIFO within a class and never
+	// across classes.
+	a1 := s.Alloc(8, 0, KindObject)
+	a2 := s.Alloc(8, 0, KindObject)
+	b1 := s.Alloc(100, 0, KindObject) // class 128
+	s.Free(a1)
+	s.Free(a2)
+	s.Free(b1)
+	if got := s.Alloc(7, 0, KindObject); got.Base != a2.Base {
+		t.Fatalf("reuse not LIFO: got %#x, want %#x", got.Base, a2.Base)
+	}
+	if got := s.Alloc(5, 0, KindObject); got.Base != a1.Base {
+		t.Fatalf("second pop = %#x, want %#x", got.Base, a1.Base)
+	}
+	if got := s.Alloc(65, 0, KindObject); got.Base != b1.Base {
+		t.Fatalf("large class pop = %#x, want %#x", got.Base, b1.Base)
+	}
+	// The classes are now empty: the next allocation carves fresh space.
+	if got := s.Alloc(8, 0, KindObject); got.Base == a1.Base || got.Base == a2.Base {
+		t.Fatalf("empty free list handed out a stale segment at %#x", got.Base)
+	}
+}
+
+func TestSegmentsShareSlabs(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(8, 0, KindObject)
+	b := s.Alloc(8, 0, KindObject)
+	if len(s.slabs) != 1 {
+		t.Fatalf("two small segments built %d slabs, want 1", len(s.slabs))
+	}
+	if a.slab != 0 || b.slab != 0 {
+		t.Fatalf("slab indexes %d, %d, want 0, 0", a.slab, b.slab)
+	}
+	// Fill past the slab boundary: a second slab appears and addressing
+	// stays correct across it.
+	var last *Segment
+	for allocated := uint64(16); allocated < SlabWords+1024; allocated += 1024 {
+		last = s.Alloc(1024, 0, KindObject)
+	}
+	if len(s.slabs) != 2 {
+		t.Fatalf("crossing the slab boundary built %d slabs, want 2", len(s.slabs))
+	}
+	if last.slab != 1 {
+		t.Fatalf("last segment on slab %d, want 1", last.slab)
+	}
+	last.Data[0] = word.FromInt(7)
+	if seg, ok := s.ByBase(last.Base); !ok || seg != last || seg.Data[0] != word.FromInt(7) {
+		t.Fatal("ByBase broken across slab boundary")
+	}
+}
+
+func TestHugeSegmentDedicatedSlab(t *testing.T) {
+	s := NewSpace()
+	s.Alloc(8, 0, KindObject)
+	huge := s.Alloc(SlabWords+5, 0, KindObject)
+	if got := uint64(cap(huge.Data)); got != 2*SlabWords {
+		t.Fatalf("huge cap = %d, want %d", got, 2*SlabWords)
+	}
+	if uint64(huge.Base)%(2*SlabWords) != 0 {
+		t.Fatalf("huge segment base %#x not aligned to its rounded size", huge.Base)
+	}
+	sl := s.slabs[huge.slab]
+	if sl.base != huge.Base || uint64(len(sl.data)) != 2*SlabWords {
+		t.Fatalf("dedicated slab covers [%#x,+%d), want [%#x,+%d)", sl.base, len(sl.data), huge.Base, 2*SlabWords)
+	}
+	// Allocation continues past the dedicated slab.
+	after := s.Alloc(8, 0, KindObject)
+	if after.Base < huge.End() {
+		t.Fatalf("post-huge segment at %#x overlaps the dedicated slab", after.Base)
+	}
+	if seg, ok := s.ByBase(after.Base); !ok || seg != after {
+		t.Fatal("ByBase lost the post-huge segment")
+	}
+}
+
+func TestGrowAcrossSlabBoundary(t *testing.T) {
+	tm := NewTeam(1, fpa.COM32, NewSpace(), ATLBConfig{Entries: 16, Assoc: 2})
+	addr, seg, err := tm.Alloc(64, 3, KindObject, RW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seg.Data {
+		seg.Data[i] = word.FromInt(int32(i))
+	}
+	// Grow past SlabWords: the new segment lives on a dedicated slab,
+	// the old name forwards, and the contents survived the move.
+	newAddr, err := tm.Grow(addr, SlabWords+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at63, _ := newAddr.WithOffset(63)
+	nseg, off, _, fault := tm.Translate(at63, Read)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if nseg.Data[off] != word.FromInt(63) {
+		t.Fatalf("grow lost word 63: %v", nseg.Data[off])
+	}
+	// The fresh tail reads as uninitialised even with zero-fill elision.
+	if !nseg.Data[SlabWords].IsUninit() {
+		t.Fatalf("grown tail not uninitialised: %v", nseg.Data[SlabWords])
+	}
+	// The old name still aliases the new segment within its old bound.
+	o1, _ := addr.WithOffset(1)
+	oseg, ooff, _, fault := tm.Translate(o1, Read)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if oseg != nseg || ooff != 1 {
+		t.Fatal("old name does not alias the grown object")
+	}
+}
+
+func TestScanListCompaction(t *testing.T) {
+	s := NewSpace()
+	segs := make([]*Segment, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		segs = append(segs, s.Alloc(16, 0, KindObject))
+	}
+	if got := s.scanLen(); got != 1024 {
+		t.Fatalf("scan list = %d, want 1024", got)
+	}
+	// Free most of them: the scan list compacts instead of walking dead
+	// entries forever (the PR 2 leak).
+	for _, seg := range segs[:1000] {
+		s.Free(seg)
+	}
+	if got := s.scanLen(); got > 512 {
+		t.Fatalf("scan list still %d entries after freeing 1000 of 1024", got)
+	}
+	n := 0
+	s.Live(func(*Segment) { n++ })
+	if n != 24 {
+		t.Fatalf("Live visited %d, want 24", n)
+	}
+	// Recycling a compacted-out segment re-lists it.
+	seg := s.Alloc(16, 0, KindObject)
+	found := false
+	s.Live(func(l *Segment) { found = found || l == seg })
+	if !found {
+		t.Fatal("recycled segment missing from the scan list")
+	}
+	// Compaction is deferred while a collection cycle is sweeping.
+	s.SetGCActive(true)
+	before := s.scanLen()
+	for _, sg := range segs[1000:] {
+		s.Free(sg)
+	}
+	if got := s.scanLen(); got != before {
+		t.Fatalf("scan list compacted during GC: %d -> %d", before, got)
+	}
+	s.SetGCActive(false)
+}
+
+func TestAllocateBlackDuringGC(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(8, 0, KindObject)
+	if a.Mark {
+		t.Fatal("segment born marked outside a collection cycle")
+	}
+	s.SetGCActive(true)
+	b := s.Alloc(8, 0, KindObject)
+	if !b.Mark {
+		t.Fatal("segment born unmarked during an active cycle")
+	}
+	s.Free(b)
+	c := s.Alloc(8, 0, KindObject)
+	if !c.Mark {
+		t.Fatal("recycled segment born unmarked during an active cycle")
+	}
+	s.SetGCActive(false)
+}
+
+func TestSlabCloneIndependence(t *testing.T) {
+	s := NewSpace()
+	live := s.Alloc(40, 7, KindObject)
+	live.Data[0] = word.FromInt(1)
+	pooled := s.Alloc(16, 0, KindObject)
+	s.Free(pooled)
+	huge := s.Alloc(SlabWords+1, 0, KindObject)
+	huge.Data[SlabWords] = word.FromInt(9)
+
+	ns, segMap := s.Clone()
+	if ns.LiveCount() != s.LiveCount() || ns.Stats != s.Stats {
+		t.Fatalf("clone counts diverge: %d/%d", ns.LiveCount(), s.LiveCount())
+	}
+	cl := segMap.Of(live)
+	if cl == live || cl.Base != live.Base || cl.Data[0] != word.FromInt(1) {
+		t.Fatal("clone of live segment wrong")
+	}
+	if got := segMap.Of(huge); got.Data[SlabWords] != word.FromInt(9) {
+		t.Fatal("clone of huge segment lost data")
+	}
+	// Mutating the original is invisible to the clone and vice versa.
+	live.Data[0] = word.FromInt(2)
+	if cl.Data[0] != word.FromInt(1) {
+		t.Fatal("clone shares backing store with the original")
+	}
+	cl.Data[1] = word.FromInt(3)
+	if live.Data[1] == word.FromInt(3) {
+		t.Fatal("original shares backing store with the clone")
+	}
+	// The clone's free lists were carried over: both spaces recycle the
+	// same pooled base, independently.
+	ra, rb := s.Alloc(16, 0, KindObject), ns.Alloc(16, 0, KindObject)
+	if ra.Base != pooled.Base || rb.Base != pooled.Base {
+		t.Fatalf("free lists not cloned: %#x / %#x, want %#x", ra.Base, rb.Base, pooled.Base)
+	}
+	if got, ok := ns.ByBase(live.Base); !ok || got != cl {
+		t.Fatal("clone's page table does not resolve its own segments")
+	}
+	if segMap.Of(nil) != nil {
+		t.Fatal("SegMap.Of(nil) != nil")
+	}
+}
+
+func TestCloneParityBothPaths(t *testing.T) {
+	// After identical histories, a clone of either representation must
+	// behave identically: same future bases, same stats.
+	steps := []step{
+		{Size: 31}, {Size: 8}, {Size: 8}, {Free: true, Index: 1},
+		{Size: 700}, {Free: true, Index: 0}, {Size: 31}, {Size: 2047},
+	}
+	sl, lg := NewSpace(), NewLegacySpace()
+	drive(sl, steps)
+	drive(lg, steps)
+	slc, _ := sl.Clone()
+	lgc, _ := lg.Clone()
+	tail := []step{{Size: 8}, {Size: 31}, {Free: true, Index: 0}, {Size: 30}, {Size: 500}}
+	sb := drive(slc, tail)
+	lb := drive(lgc, tail)
+	for i := range sb {
+		if sb[i] != lb[i] {
+			t.Fatalf("post-clone alloc %d: slab %#x, legacy %#x", i, sb[i], lb[i])
+		}
+	}
+	if slc.Stats != lgc.Stats {
+		t.Fatalf("post-clone stats diverge:\n slab %+v\n legacy %+v", slc.Stats, lgc.Stats)
+	}
+}

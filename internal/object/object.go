@@ -13,6 +13,7 @@ package object
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/word"
 )
@@ -375,10 +376,19 @@ func (img *Image) ClassByName(name string) (*Class, bool) {
 	return c, ok
 }
 
-// EachClass calls fn for every defined class in unspecified order.
+// EachClass calls fn for every defined class in ascending class-id order.
+// The order is deterministic on purpose: machine construction walks the
+// classes (to make class objects), so a randomised walk would give every
+// machine a different absolute-space layout and make cross-machine
+// statistics incomparable run to run.
 func (img *Image) EachClass(fn func(*Class)) {
-	for _, c := range img.classes {
-		fn(c)
+	ids := make([]word.Class, 0, len(img.classes))
+	for id := range img.classes {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		fn(img.classes[id])
 	}
 }
 

@@ -84,10 +84,16 @@ type Config struct {
 	MaxSteps uint64
 	// Timeout is the default per-request wall-clock bound. 0 means none.
 	Timeout time.Duration
-	// GCEvery runs a garbage collection on a shard's machine after that
-	// many requests, bounding heap growth from request garbage. 0 uses
-	// the default of 512; negative disables collection.
+	// GCEvery starts a garbage collection cycle on a shard's machine
+	// after that many requests, bounding heap growth from request
+	// garbage. 0 uses the default of 512; negative disables collection.
 	GCEvery int
+	// GCChunk bounds how many segments one incremental sweep step
+	// retires after a served request while a collection cycle is active,
+	// spreading the sweep across requests instead of pausing a worker
+	// for a full-heap walk. 0 uses gc.DefaultSweepChunk; negative sweeps
+	// the whole heap in one step (the PR 2 stop-the-world behaviour).
+	GCChunk int
 	// Batch bounds how many queued requests one worker drains per wakeup
 	// and how large the per-shard sub-batches DoAll enqueues are. Larger
 	// batches amortise channel and scheduling overhead under load while
@@ -119,7 +125,13 @@ type Metrics struct {
 	Cycles       uint64 `json:"cycles"`       // simulated cycles across all shards
 
 	ITLB stats.Ratio `json:"itlb"` // aggregated ITLB hits across all shards
-	GCs  uint64      `json:"gcs"`  // per-shard collections run
+	GCs  uint64      `json:"gcs"`  // per-shard collection cycles completed
+
+	// GCPause totals the wall-clock time workers spent doing collection
+	// work (mark phases and incremental sweep steps) — time a shard was
+	// not serving. The incremental sweep's whole point is to keep each
+	// individual contribution small.
+	GCPause time.Duration `json:"gc_pause_ns"`
 }
 
 // MeanLatency returns the average service time per request.
@@ -161,6 +173,7 @@ func (m *Metrics) merge(o Metrics) {
 	m.ITLB.Hits += o.ITLB.Hits
 	m.ITLB.Total += o.ITLB.Total
 	m.GCs += o.GCs
+	m.GCPause += o.GCPause
 }
 
 // Report renders the metrics as a table, in the house style of the
@@ -176,6 +189,7 @@ func (m Metrics) Report() *stats.Table {
 	t.AddRow("simulated cycles", fmt.Sprintf("%d", m.Cycles))
 	t.AddRow("ITLB hit ratio", m.ITLB.String())
 	t.AddRow("collections", fmt.Sprintf("%d", m.GCs))
+	t.AddRow("GC pause total", m.GCPause.String())
 	return t
 }
 
@@ -206,6 +220,11 @@ type shard struct {
 	queue   chan job
 	execMu  sync.Mutex
 	pending atomic.Int64
+
+	// col is the shard's incremental collector. It is only touched by
+	// whoever holds execMu (the worker, or an inline Do caller), like
+	// the machine it collects.
+	col gc.Collector
 
 	mu           sync.Mutex
 	met          Metrics
@@ -397,6 +416,18 @@ func (p *Pool) Metrics() Metrics {
 	return out
 }
 
+// QueueDepths returns each shard's instantaneous backlog — queued jobs
+// plus any executing one — indexed by worker id. This is the
+// join-shortest-queue signal for adaptive routing (ROADMAP): a caller can
+// steer keyless traffic toward the shallowest shard.
+func (p *Pool) QueueDepths() []int {
+	out := make([]int, len(p.shards))
+	for i, s := range p.shards {
+		out[i] = int(s.pending.Load())
+	}
+	return out
+}
+
 // ShardMetrics returns each shard's metrics, indexed by worker id.
 func (p *Pool) ShardMetrics() []Metrics {
 	out := make([]Metrics, len(p.shards))
@@ -511,16 +542,34 @@ func (p *Pool) serveOne(s *shard, req Request) Result {
 		Total: (cs.Hits - s.itlbHitBase) + (cs.Misses - s.itlbMissBase),
 	}
 	s.sinceGC++
-	runGC := p.cfg.GCEvery > 0 && (s.sinceGC >= p.cfg.GCEvery || err != nil)
-	if runGC {
+	due := p.cfg.GCEvery > 0 && (s.sinceGC >= p.cfg.GCEvery || err != nil)
+	if due {
 		s.sinceGC = 0
 	}
 	s.mu.Unlock()
 
-	if runGC {
-		gc.Collect(m)
+	// Collection work rides between requests in bounded slices: a due
+	// shard runs the mark phase and the first sweep step now, and an
+	// active cycle retires one more slice after every request until the
+	// sweep is done — no request ever waits on a full-heap walk.
+	if p.cfg.GCEvery > 0 && (due || s.col.Active()) {
+		chunk := p.cfg.GCChunk
+		if chunk == 0 {
+			chunk = gc.DefaultSweepChunk
+		} else if chunk < 0 {
+			chunk = 0 // one full sweep per step
+		}
+		gcStart := time.Now()
+		if !s.col.Active() {
+			s.col.Start(m)
+		}
+		_, done := s.col.Step(chunk)
+		pause := time.Since(gcStart)
 		s.mu.Lock()
-		s.met.GCs++
+		s.met.GCPause += pause
+		if done {
+			s.met.GCs++
+		}
 		s.mu.Unlock()
 	}
 	return res

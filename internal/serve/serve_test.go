@@ -209,8 +209,10 @@ func TestPoolDoAllAndClose(t *testing.T) {
 
 func TestPoolGCBoundsHeapGrowth(t *testing.T) {
 	snap, progs := suiteSnapshot(t)
-	// Collect aggressively so allocation-heavy programs are reclaimed.
-	pool := serve.NewPool(snap, serve.Config{Workers: 1, GCEvery: 4})
+	// Collect aggressively so allocation-heavy programs are reclaimed;
+	// GCChunk<0 sweeps whole cycles per request (the stop-the-world
+	// ablation), so completed-cycle counts are deterministic here.
+	pool := serve.NewPool(snap, serve.Config{Workers: 1, GCEvery: 4, GCChunk: -1})
 	p := progs[2] // points: allocates two objects per iteration
 	for i := 0; i < 12; i++ {
 		if res := pool.Do(serve.Request{Receiver: word.FromInt(p.Warm), Selector: p.Entry}); res.Err != nil {
@@ -220,6 +222,60 @@ func TestPoolGCBoundsHeapGrowth(t *testing.T) {
 	pool.Close()
 	if met := pool.Metrics(); met.GCs < 2 {
 		t.Fatalf("expected at least 2 collections, got %d", met.GCs)
+	}
+}
+
+// TestPoolIncrementalGCUnderLoad is the GC-under-serving stress test: an
+// aggressive collection cadence with a tiny sweep chunk, so cycles span
+// many requests and the mutators run between sweep steps, under enough
+// concurrent clients that the race detector gets a real workout. Every
+// answer must still checksum, and the shards must have both completed
+// cycles and accounted their pause time.
+func TestPoolIncrementalGCUnderLoad(t *testing.T) {
+	snap, progs := suiteSnapshot(t)
+	pool := serve.NewPool(snap, serve.Config{Workers: 4, GCEvery: 2, GCChunk: 48})
+	defer pool.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				for _, p := range progs {
+					res := pool.Do(serve.Request{
+						Receiver: word.FromInt(p.Size),
+						Selector: p.Entry,
+						Key:      uint64(g%3) * 7, // mix keyed, keyless and inline paths
+					})
+					got, err := res.Int()
+					if err != nil {
+						t.Errorf("client %d: %s: %v", g, p.Name, err)
+						return
+					}
+					if got != p.Check {
+						t.Errorf("client %d: %s checksum %d, want %d", g, p.Name, got, p.Check)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if depths := pool.QueueDepths(); len(depths) != 4 {
+		t.Fatalf("queue depths for %d shards, want 4", len(depths))
+	}
+	met := pool.Metrics()
+	if met.Errors != 0 {
+		t.Fatalf("metrics saw %d errors", met.Errors)
+	}
+	if met.GCs == 0 {
+		t.Fatal("no collection cycle completed despite GCEvery=2")
+	}
+	if met.GCPause == 0 {
+		t.Fatal("collection cycles ran but no pause time was accounted")
 	}
 }
 

@@ -5,21 +5,42 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/gc"
 	"repro/internal/itlb"
+	"repro/internal/memory"
 )
 
 // The interpreter fast path (predecoded code, per-site inline caches in
 // front of the instruction cache and the ITLB, zero-allocation dispatch)
-// must be a pure simulator acceleration: the machine modelled is
-// bit-identical with the caches on or off. These tests run the full
-// workload suite both ways — with the ITLB enabled and under the NoITLB
-// ablation — and assert identical checksums, identical core.Stats and
-// identical ITLB counters. Any divergence in cycles, hit ratios or
-// replacement behaviour fails loudly.
+// and the memory-system fast path (slab-backed absolute space, dense page
+// table, size-class free lists, zero-fill elision) must be pure simulator
+// accelerations: the machine modelled is bit-identical with each of them
+// on or off. These tests run the full workload suite across the ablations
+// and assert identical checksums and identical modelled statistics on
+// every accounting surface — core.Stats, ITLB lookup and cache counters,
+// the instruction cache, the ATLB, translation counts and the allocator's
+// AllocStats. Any divergence in cycles, hit ratios or replacement
+// behaviour fails loudly.
 
-// runAccounted executes one program on a fresh machine and returns every
-// accounting surface the fast path could plausibly disturb.
-func runAccounted(t *testing.T, p Program, cfg core.Config) (int32, core.Stats, cache.Stats, itlb.Stats) {
+// accounted is every accounting surface the fast paths could plausibly
+// disturb.
+type accounted struct {
+	sum    int32
+	stats  core.Stats
+	icache cache.Stats
+	itlbC  cache.Stats
+	itlb   itlb.Stats
+	atlb   cache.Stats
+	team   memory.TeamStats
+	alloc  memory.AllocStats
+	gc     gc.Stats
+	live   int
+}
+
+// runAccounted executes one program on a fresh machine — plus a final
+// garbage collection, so the sweep path is on every parity surface too —
+// and returns the full accounting.
+func runAccounted(t *testing.T, p Program, cfg core.Config) accounted {
 	t.Helper()
 	m, err := NewCOM(p, cfg)
 	if err != nil {
@@ -32,7 +53,54 @@ func runAccounted(t *testing.T, p Program, cfg core.Config) (int32, core.Stats, 
 	if err != nil {
 		t.Fatalf("%s: %v", p.Name, err)
 	}
-	return sum, m.Stats, m.ITLB.CacheStats(), m.ITLB.Stats
+	gcStats := gc.Collect(m)
+	return accounted{
+		sum:    sum,
+		stats:  m.Stats,
+		icache: m.IC.Stats,
+		itlbC:  m.ITLB.CacheStats(),
+		itlb:   m.ITLB.Stats,
+		atlb:   m.Team.ATLBStats(),
+		team:   m.Team.Stats,
+		alloc:  m.Space.Stats,
+		gc:     gcStats,
+		live:   m.Space.LiveCount(),
+	}
+}
+
+// diffAccounted asserts two runs modelled the same machine.
+func diffAccounted(t *testing.T, want int32, a, b accounted, aName, bName string) {
+	t.Helper()
+	if a.sum != want || b.sum != want {
+		t.Fatalf("checksums: %s %d, %s %d, want %d", aName, a.sum, bName, b.sum, want)
+	}
+	if a.stats != b.stats {
+		t.Errorf("core.Stats diverge:\n %s %+v\n %s %+v", aName, a.stats, bName, b.stats)
+	}
+	if a.icache != b.icache {
+		t.Errorf("icache stats diverge:\n %s %+v\n %s %+v", aName, a.icache, bName, b.icache)
+	}
+	if a.itlbC != b.itlbC {
+		t.Errorf("ITLB cache stats diverge:\n %s %+v\n %s %+v", aName, a.itlbC, bName, b.itlbC)
+	}
+	if a.itlb != b.itlb {
+		t.Errorf("ITLB lookup stats diverge:\n %s %+v\n %s %+v", aName, a.itlb, bName, b.itlb)
+	}
+	if a.atlb != b.atlb {
+		t.Errorf("ATLB stats diverge:\n %s %+v\n %s %+v", aName, a.atlb, bName, b.atlb)
+	}
+	if a.team != b.team {
+		t.Errorf("translation stats diverge:\n %s %+v\n %s %+v", aName, a.team, bName, b.team)
+	}
+	if a.alloc != b.alloc {
+		t.Errorf("AllocStats diverge:\n %s %+v\n %s %+v", aName, a.alloc, bName, b.alloc)
+	}
+	if a.gc != b.gc {
+		t.Errorf("gc stats diverge:\n %s %+v\n %s %+v", aName, a.gc, bName, b.gc)
+	}
+	if a.live != b.live {
+		t.Errorf("live counts diverge: %s %d, %s %d", aName, a.live, bName, b.live)
+	}
 }
 
 func TestFastPathStatsParity(t *testing.T) {
@@ -43,22 +111,27 @@ func TestFastPathStatsParity(t *testing.T) {
 				name += "/noitlb"
 			}
 			t.Run(name, func(t *testing.T) {
-				fastSum, fastStats, fastCache, fastITLB := runAccounted(t, p, core.Config{NoITLB: noITLB})
-				seedSum, seedStats, seedCache, seedITLB := runAccounted(t, p, core.Config{NoITLB: noITLB, NoInlineCache: true})
-				if fastSum != p.Check || seedSum != p.Check {
-					t.Fatalf("checksums: fast %d, seed %d, want %d", fastSum, seedSum, p.Check)
-				}
-				if fastStats != seedStats {
-					t.Errorf("core.Stats diverge:\n fast %+v\n seed %+v", fastStats, seedStats)
-				}
-				if fastCache != seedCache {
-					t.Errorf("ITLB cache stats diverge:\n fast %+v\n seed %+v", fastCache, seedCache)
-				}
-				if fastITLB != seedITLB {
-					t.Errorf("ITLB lookup stats diverge:\n fast %+v\n seed %+v", fastITLB, seedITLB)
-				}
+				fast := runAccounted(t, p, core.Config{NoITLB: noITLB})
+				seed := runAccounted(t, p, core.Config{NoITLB: noITLB, NoInlineCache: true})
+				diffAccounted(t, p.Check, fast, seed, "fast", "seed")
 			})
 		}
+	}
+}
+
+// TestMemoryFastPathStatsParity pins the PR 3 claim: the slab-backed
+// absolute space — with and without the zero-fill elision — models exactly
+// the machine the PR 2 map-backed space modelled, across the whole suite
+// and through a full collection.
+func TestMemoryFastPathStatsParity(t *testing.T) {
+	for _, p := range Suite() {
+		t.Run(p.Name, func(t *testing.T) {
+			slab := runAccounted(t, p, core.Config{})
+			legacy := runAccounted(t, p, core.Config{LegacySpace: true})
+			filled := runAccounted(t, p, core.Config{ZeroFillContexts: true})
+			diffAccounted(t, p.Check, slab, legacy, "slab", "legacy")
+			diffAccounted(t, p.Check, slab, filled, "slab", "zerofill")
+		})
 	}
 }
 
