@@ -5,6 +5,7 @@ package obarch
 // metric, so `go test -bench=. -benchmem` reproduces the evaluation.
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fith"
+	"repro/internal/image"
 	"repro/internal/memory"
 	"repro/internal/serve"
 	"repro/internal/word"
@@ -386,6 +388,60 @@ func BenchmarkWarmStart(b *testing.B) {
 			build(b)
 		}
 	})
+}
+
+// Persistent-image benches: the serialisation path that lets obarchd
+// restarts skip compile+load. The acceptance bar for PR 4 is image load
+// ≥3× faster than compile+load of the same suite (BenchmarkWarmStart's
+// compile+load sub-bench is the baseline on the same machine image).
+
+// suiteImage builds the full-suite machine, snapshots it and returns the
+// serialised image bytes.
+func suiteImage(b *testing.B) (*core.Snapshot, []byte) {
+	b.Helper()
+	m := core.New(core.Config{})
+	if _, err := workload.LoadSuite(m); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := image.Write(&buf, snap); err != nil {
+		b.Fatal(err)
+	}
+	return snap, buf.Bytes()
+}
+
+// BenchmarkImageSave measures serialising the full-suite snapshot.
+func BenchmarkImageSave(b *testing.B) {
+	snap, img := suiteImage(b)
+	b.SetBytes(int64(len(img)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		buf.Grow(len(img))
+		if err := image.Write(&buf, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkImageLoad measures deserialising the full-suite image — the
+// cost of an obarchd warm boot, to compare against BenchmarkWarmStart's
+// compile+load sub-bench (the cold boot it replaces).
+func BenchmarkImageLoad(b *testing.B) {
+	_, img := suiteImage(b)
+	b.SetBytes(int64(len(img)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := image.Read(bytes.NewReader(img)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkSendPath measures a single warm message send on the COM.

@@ -3,6 +3,18 @@
 //
 //	comsim -recv 10 -send fact prog.st
 //	comsim -recv 100 -send benchArith -blocks 16 -noitlb prog.st
+//
+// Machines can be persisted and revived through the binary image format
+// of package repro/internal/image:
+//
+//	comsim -send "" -save-image prog.img prog.st   # compile once, emit the image
+//	comsim -recv 10 -send fact -image prog.img     # boot from it: no compile
+//
+// With -image the machine is loaded from disk instead of compiled; any
+// source files given are loaded on top of it. With -save-image the
+// machine's snapshot is written after the send (so a warmed ITLB travels
+// into the image); pass -send "" to skip the send and emit a pristine
+// image.
 package main
 
 import (
@@ -15,39 +27,84 @@ import (
 
 func main() {
 	recv := flag.Int("recv", 0, "integer receiver of the entry send")
-	send := flag.String("send", "main", "selector to send")
+	send := flag.String("send", "main", "selector to send (empty: no send, e.g. when only emitting an image)")
 	blocks := flag.Int("blocks", 0, "context cache blocks (default 32)")
 	noitlb := flag.Bool("noitlb", false, "disable the ITLB (full lookup per dispatch)")
 	stats := flag.Bool("stats", true, "print machine statistics")
+	imagePath := flag.String("image", "", "boot from this machine image instead of compiling")
+	saveImage := flag.String("save-image", "", "write the machine image here before exiting")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: comsim [flags] file.st")
+	if flag.NArg() == 0 && *imagePath == "" {
+		fmt.Fprintln(os.Stderr, "usage: comsim [flags] file.st ...  (or -image machine.img)")
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "comsim:", err)
-		os.Exit(1)
-	}
+
 	sys := obarch.NewSystem(obarch.Options{CtxBlocks: *blocks, NoITLB: *noitlb})
-	if err := sys.Load(string(src)); err != nil {
-		fmt.Fprintln(os.Stderr, "comsim:", err)
-		os.Exit(1)
+	if *imagePath != "" {
+		// The image carries its own machine configuration; geometry flags
+		// only apply when the machine is built here.
+		if *blocks != 0 || *noitlb {
+			fmt.Fprintln(os.Stderr, "comsim: -blocks/-noitlb are ignored with -image (the image fixes the machine configuration)")
+		}
+		f, err := os.Open(*imagePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "comsim:", err)
+			os.Exit(1)
+		}
+		if _, err := sys.LoadImage(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "comsim:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
-	res, err := sys.Send(obarch.Int(int32(*recv)), *send)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "comsim:", err)
-		os.Exit(1)
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "comsim:", err)
+			os.Exit(1)
+		}
+		if err := sys.Load(string(src)); err != nil {
+			fmt.Fprintf(os.Stderr, "comsim: load %s: %v\n", path, err)
+			os.Exit(1)
+		}
 	}
-	fmt.Printf("%d %s → %v\n", *recv, *send, res)
-	if *stats {
-		s := sys.Stats()
-		fmt.Printf("instructions: %d  cycles: %d  CPI: %.2f\n", s.Instructions, s.Cycles, s.CPI())
-		fmt.Printf("sends: %d  primitive ops: %d  returns: %d (LIFO %.1f%%)\n",
-			s.Sends, s.PrimOps, s.Returns, 100*s.LIFOShare())
-		fmt.Printf("context refs: %d  memory refs: %d (to contexts %.1f%%)\n",
-			s.CtxOperandRefs, s.MemRefs, 100*s.RefsToContextShare())
-		fmt.Printf("ITLB hit ratio: %.2f%%  lookup cycles: %d\n",
-			100*sys.ITLBHitRatio(), s.LookupCycles)
+
+	if *send != "" {
+		res, err := sys.Send(obarch.Int(int32(*recv)), *send)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "comsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d %s → %v\n", *recv, *send, res)
+		if *stats {
+			s := sys.Stats()
+			fmt.Printf("instructions: %d  cycles: %d  CPI: %.2f\n", s.Instructions, s.Cycles, s.CPI())
+			fmt.Printf("sends: %d  primitive ops: %d  returns: %d (LIFO %.1f%%)\n",
+				s.Sends, s.PrimOps, s.Returns, 100*s.LIFOShare())
+			fmt.Printf("context refs: %d  memory refs: %d (to contexts %.1f%%)\n",
+				s.CtxOperandRefs, s.MemRefs, 100*s.RefsToContextShare())
+			fmt.Printf("ITLB hit ratio: %.2f%%  lookup cycles: %d\n",
+				100*sys.ITLBHitRatio(), s.LookupCycles)
+		}
+	}
+
+	if *saveImage != "" {
+		f, err := os.Create(*saveImage)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "comsim:", err)
+			os.Exit(1)
+		}
+		if err := sys.SaveImage(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "comsim:", err)
+			os.Exit(1)
+		}
+		size, _ := f.Seek(0, 2)
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "comsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("image: wrote %d bytes to %s\n", size, *saveImage)
 	}
 }

@@ -12,6 +12,10 @@
 // compare directly. The program list (entry selectors, measured sizes,
 // expected checksums) is fetched from the server's /programs endpoint, so
 // loadgen also works against a server that loaded custom sources.
+//
+// With -save, loadgen finishes a run by POSTing /save, asking the server
+// to persist its machine image to the path it was started with (-image),
+// so a load test doubles as the write path of a warm-restart drill.
 package main
 
 import (
@@ -53,6 +57,7 @@ func main() {
 	name := flag.String("program", "", "restrict to one program by name")
 	warm := flag.Bool("warm", false, "use warmup sizes instead of measured sizes (no checksum validation)")
 	batch := flag.Int("batch", 1, "sends per POST /batch request (1: one POST /send per send)")
+	save := flag.Bool("save", false, "POST /save after the run, persisting the server's machine image")
 	flag.Parse()
 
 	programs, err := fetchPrograms(*addr)
@@ -183,9 +188,38 @@ func main() {
 	fmt.Printf("latency per request p50: %v  p90: %v  p99: %v  max: %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	if *save {
+		if err := postSave(*addr); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: save:", err)
+			os.Exit(1)
+		}
+	}
 	if failed.Load() > 0 {
 		os.Exit(1)
 	}
+}
+
+// postSave asks the server to persist its machine image and reports what
+// it wrote.
+func postSave(addr string) error {
+	resp, err := http.Post(addr+"/save", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Path  string `json:"path"`
+		Bytes int64  `json:"bytes"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("decode /save: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, out.Error)
+	}
+	fmt.Printf("saved image: %d bytes to %s\n", out.Bytes, out.Path)
+	return nil
 }
 
 func fetchPrograms(addr string) ([]program, error) {

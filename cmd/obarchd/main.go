@@ -5,6 +5,18 @@
 //
 //	obarchd -addr :8373 -workers 8            # serve the built-in workload suite
 //	obarchd -suite=false prog.st other.st     # serve custom source files
+//	obarchd -image com.img                    # warm-boot from a persistent image
+//
+// With -image, the daemon loads the machine image from disk at boot when
+// the file exists — skipping compile+load entirely and starting with the
+// snapshot's warm ITLB — and compiles normally when it does not. POST
+// /save persists the serving snapshot to that path (atomically, via a
+// temp file and rename), so the next boot is a warm restart.
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: the listener stops
+// accepting, in-flight HTTP requests get -drain to finish, and the pool
+// is closed — which serves every queued request and stops each worker at
+// a request boundary, so shutdown never lands mid-send or mid-GC-sweep.
 //
 // Endpoints:
 //
@@ -12,20 +24,27 @@
 //	POST /batch     [{"receiver": 21, "selector": "double"}, ...] — executed
 //	                through the pool's sharded DoAll fast path; the response
 //	                is the result array in request order
+//	POST /save      persist the serving snapshot to the -image path
 //	GET  /programs  the loaded workload programs (name, size, entry, check)
 //	GET  /stats     aggregated pool metrics (add ?format=text for a table)
 //	GET  /healthz   liveness probe
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
@@ -42,42 +61,115 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-request wall-clock timeout")
 	suite := flag.Bool("suite", true, "load the built-in workload suite")
 	gcEvery := flag.Int("gcevery", 0, "collect per worker every N requests (0: default, <0: never)")
+	imagePath := flag.String("image", "", "machine image path: warm-boot from it when present (refuses extra source files; /programs still reflects -suite), persist to it on POST /save")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
 	flag.Parse()
 
-	sys := obarch.NewSystem(obarch.Options{})
-	var programs []workload.Program
-	if *suite {
-		var err error
-		if programs, err = workload.LoadSuite(sys.M); err != nil {
-			log.Fatalf("obarchd: %v", err)
-		}
-	}
-	for _, path := range flag.Args() {
-		src, err := os.ReadFile(path)
-		if err != nil {
-			log.Fatalf("obarchd: %v", err)
-		}
-		if err := sys.Load(string(src)); err != nil {
-			log.Fatalf("obarchd: load %s: %v", path, err)
-		}
+	snap, programs, err := bootSnapshot(*imagePath, *suite, flag.Args())
+	if err != nil {
+		log.Fatalf("obarchd: %v", err)
 	}
 
-	pool, err := sys.ServePoolWith(serve.Config{
+	pool := serve.NewPool(snap, serve.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		MaxSteps:   *maxSteps,
 		Timeout:    *timeout,
 		GCEvery:    *gcEvery,
 	})
+
+	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("obarchd: %v", err)
 	}
-	defer pool.Close()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
-	log.Printf("obarchd: serving %d programs on %s with %d workers", len(programs), *addr, pool.Workers())
-	if err := http.ListenAndServe(*addr, newServer(pool, programs)); err != nil {
+	srv := &http.Server{Handler: newServer(pool, programs, snap, *imagePath)}
+	log.Printf("obarchd: serving %d programs on %s with %d workers", len(programs), l.Addr(), pool.Workers())
+	serveAndDrain(srv, l, pool, *drain, sig)
+	met := pool.Metrics()
+	log.Printf("obarchd: drained; served %d requests (%d errors)", met.Requests, met.Errors)
+}
+
+// serveAndDrain runs the HTTP server until a signal arrives, then shuts
+// down gracefully: the listener stops accepting, in-flight HTTP requests
+// get the drain budget to finish, and the pool is closed — Close serves
+// every already-queued request and stops each worker at a request
+// boundary, so exit never races a live send or an incremental GC sweep.
+// Split from main so the shutdown path is testable.
+func serveAndDrain(srv *http.Server, l net.Listener, pool *serve.Pool, drain time.Duration, sig <-chan os.Signal) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s := <-sig
+		log.Printf("obarchd: %v: draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("obarchd: shutdown: %v", err)
+		}
+	}()
+	if err := srv.Serve(l); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("obarchd: %v", err)
 	}
+	<-done
+	pool.Close()
+}
+
+// bootSnapshot produces the serving snapshot: loaded from the image file
+// when one is given and present (warm start — no compile, warm ITLB),
+// compiled from the suite and/or source files otherwise.
+func bootSnapshot(imagePath string, suite bool, srcPaths []string) (*obarch.Snapshot, []workload.Program, error) {
+	var programs []workload.Program
+	if suite {
+		programs = workload.Suite()
+	}
+	if imagePath != "" {
+		f, err := os.Open(imagePath)
+		switch {
+		case err == nil:
+			defer f.Close()
+			// A warm boot serves exactly what the image holds; silently
+			// dropping extra sources (or advertising programs the image
+			// was saved without) would misrepresent the pool, so refuse
+			// the combination instead.
+			if len(srcPaths) != 0 {
+				return nil, nil, fmt.Errorf("cannot load source files over an existing image %s; delete it or drop the file arguments", imagePath)
+			}
+			start := time.Now()
+			snap, err := obarch.ReadImage(f)
+			if err != nil {
+				return nil, nil, fmt.Errorf("load image %s: %w", imagePath, err)
+			}
+			log.Printf("obarchd: warm boot from %s in %v", imagePath, time.Since(start).Round(time.Microsecond))
+			return snap, programs, nil
+		case os.IsNotExist(err):
+			log.Printf("obarchd: image %s absent; cold boot (POST /save to create it)", imagePath)
+		default:
+			return nil, nil, err
+		}
+	}
+	sys := obarch.NewSystem(obarch.Options{})
+	if suite {
+		if _, err := workload.LoadSuite(sys.M); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, path := range srcPaths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := sys.Load(string(src)); err != nil {
+			return nil, nil, fmt.Errorf("load %s: %w", path, err)
+		}
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap, programs, nil
 }
 
 // sendRequest is the wire form of one message send.
@@ -112,17 +204,21 @@ type programInfo struct {
 }
 
 // server is the HTTP face of a pool. Split from main so tests can drive it
-// through net/http/httptest.
+// through net/http/httptest. snap is the immutable serving snapshot;
+// imagePath, when set, is where POST /save persists it.
 type server struct {
-	pool     *serve.Pool
-	programs []workload.Program
-	mux      *http.ServeMux
+	pool      *serve.Pool
+	programs  []workload.Program
+	snap      *obarch.Snapshot
+	imagePath string
+	mux       *http.ServeMux
 }
 
-func newServer(pool *serve.Pool, programs []workload.Program) *server {
-	s := &server{pool: pool, programs: programs, mux: http.NewServeMux()}
+func newServer(pool *serve.Pool, programs []workload.Program, snap *obarch.Snapshot, imagePath string) *server {
+	s := &server{pool: pool, programs: programs, snap: snap, imagePath: imagePath, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /send", s.handleSend)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("POST /save", s.handleSave)
 	s.mux.HandleFunc("GET /programs", s.handlePrograms)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -132,6 +228,57 @@ func newServer(pool *serve.Pool, programs []workload.Program) *server {
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// handleSave persists the serving snapshot to the configured image path.
+// The snapshot is immutable, so saving never races the workers; the write
+// goes through a temp file and an atomic rename, so a crash mid-save can
+// never leave a truncated image where the next boot would read it (and the
+// codec's section CRCs would refuse such a file anyway).
+func (s *server) handleSave(w http.ResponseWriter, _ *http.Request) {
+	if s.imagePath == "" {
+		http.Error(w, `{"error":"no image path configured; start obarchd with -image"}`, http.StatusBadRequest)
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(s.imagePath), ".obarch-image-*")
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
+		return
+	}
+	defer os.Remove(tmp.Name())
+	start := time.Now()
+	if err := obarch.WriteImage(tmp, s.snap); err != nil {
+		tmp.Close()
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
+		return
+	}
+	// Flush to stable storage before the rename makes the file current:
+	// otherwise a crash can persist the rename but not the data, wiping
+	// the previous good image exactly when durability mattered.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
+		return
+	}
+	size, _ := tmp.Seek(0, 2)
+	if err := tmp.Close(); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
+		return
+	}
+	// CreateTemp's 0600 is right for the staging file, not the artifact.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.imagePath); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"path":       s.imagePath,
+		"bytes":      size,
+		"elapsed_us": time.Since(start).Microseconds(),
+	})
+}
 
 // wordOf converts a JSON number to a machine value: integer literals
 // become SmallInts (rejected when they exceed the 32-bit word, however

@@ -3,9 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -17,8 +21,9 @@ import (
 )
 
 // newSuiteServer builds the handler over a pool serving the full workload
-// suite, exactly as `obarchd` with default flags would.
-func newSuiteServer(t *testing.T, workers int) (*server, *serve.Pool) {
+// suite, exactly as `obarchd` with default flags would. imagePath wires
+// the POST /save endpoint; empty disables it.
+func newSuiteServer(t *testing.T, workers int, imagePath string) (*server, *serve.Pool) {
 	t.Helper()
 	sys := obarch.NewSystem(obarch.Options{})
 	programs := workload.Suite()
@@ -27,11 +32,12 @@ func newSuiteServer(t *testing.T, workers int) (*server, *serve.Pool) {
 			t.Fatalf("load %s: %v", p.Name, err)
 		}
 	}
-	pool, err := sys.ServePoolWith(serve.Config{Workers: workers, Timeout: 30 * time.Second})
+	snap, err := sys.Snapshot()
 	if err != nil {
-		t.Fatalf("pool: %v", err)
+		t.Fatalf("snapshot: %v", err)
 	}
-	return newServer(pool, programs), pool
+	pool := serve.NewPool(snap, serve.Config{Workers: workers, Timeout: 30 * time.Second})
+	return newServer(pool, programs, snap, imagePath), pool
 }
 
 func postSend(t *testing.T, ts *httptest.Server, body string) (int, sendResponse) {
@@ -51,7 +57,7 @@ func postSend(t *testing.T, ts *httptest.Server, body string) (int, sendResponse
 // TestServerEndToEndConcurrent is the acceptance run: 8 concurrent HTTP
 // clients replay the full workload suite and validate every checksum.
 func TestServerEndToEndConcurrent(t *testing.T) {
-	h, pool := newSuiteServer(t, 4)
+	h, pool := newSuiteServer(t, 4, "")
 	defer pool.Close()
 	ts := httptest.NewServer(h)
 	defer ts.Close()
@@ -106,7 +112,7 @@ func TestServerEndToEndConcurrent(t *testing.T) {
 }
 
 func TestServerSendWithArgsAndErrors(t *testing.T) {
-	h, pool := newSuiteServer(t, 1)
+	h, pool := newSuiteServer(t, 1, "")
 	defer pool.Close()
 	ts := httptest.NewServer(h)
 	defer ts.Close()
@@ -144,7 +150,7 @@ func TestServerSendWithArgsAndErrors(t *testing.T) {
 }
 
 func TestServerProgramsAndHealth(t *testing.T) {
-	h, pool := newSuiteServer(t, 1)
+	h, pool := newSuiteServer(t, 1, "")
 	defer pool.Close()
 	ts := httptest.NewServer(h)
 	defer ts.Close()
@@ -187,7 +193,7 @@ func TestServerProgramsAndHealth(t *testing.T) {
 // validates order preservation, per-request checksums, and inline error
 // reporting for a failing entry in the middle of an otherwise good batch.
 func TestServerBatchEndpoint(t *testing.T) {
-	h, pool := newSuiteServer(t, 2)
+	h, pool := newSuiteServer(t, 2, "")
 	defer pool.Close()
 	ts := httptest.NewServer(h)
 	defer ts.Close()
@@ -236,5 +242,171 @@ func TestServerBatchEndpoint(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad batch status %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestServerSaveAndWarmBoot is the persistence acceptance path: POST /save
+// writes the image, a second daemon cold-boots from that file (no
+// compile), and the disk-booted pool serves the whole suite with correct
+// checksums.
+func TestServerSaveAndWarmBoot(t *testing.T) {
+	imagePath := filepath.Join(t.TempDir(), "com.img")
+	h, pool := newSuiteServer(t, 2, imagePath)
+	defer pool.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/save", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST /save: %v", err)
+	}
+	var saved struct {
+		Path  string `json:"path"`
+		Bytes int64  `json:"bytes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&saved); err != nil {
+		t.Fatalf("decode /save response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/save status %d", resp.StatusCode)
+	}
+	if fi, err := os.Stat(imagePath); err != nil || fi.Size() != saved.Bytes || saved.Bytes == 0 {
+		t.Fatalf("/save reported %d bytes at %s; stat: %v", saved.Bytes, saved.Path, err)
+	}
+
+	// Boot a second server from the image, exactly as `obarchd -image`
+	// does, and replay the suite against it.
+	snap, programs, err := bootSnapshot(imagePath, true, nil)
+	if err != nil {
+		t.Fatalf("boot from image: %v", err)
+	}
+	pool2 := serve.NewPool(snap, serve.Config{Workers: 2, Timeout: 30 * time.Second})
+	defer pool2.Close()
+	ts2 := httptest.NewServer(newServer(pool2, programs, snap, imagePath))
+	defer ts2.Close()
+	for _, p := range workload.Suite() {
+		status, out := postSendTo(t, ts2, fmt.Sprintf(`{"receiver": %d, "selector": %q}`, p.Size, p.Entry))
+		if status != http.StatusOK {
+			t.Fatalf("disk boot: %s: status %d (%s)", p.Name, status, out.Error)
+		}
+		if got, ok := out.Result.(float64); !ok || int32(got) != p.Check {
+			t.Fatalf("disk boot: %s checksum %v, want %d", p.Name, out.Result, p.Check)
+		}
+	}
+
+	// A server without -image rejects /save instead of writing anywhere.
+	h3, pool3 := newSuiteServer(t, 1, "")
+	defer pool3.Close()
+	ts3 := httptest.NewServer(h3)
+	defer ts3.Close()
+	resp3, err := http.Post(ts3.URL+"/save", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST /save (no path): %v", err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/save without -image: status %d, want 400", resp3.StatusCode)
+	}
+}
+
+// postSendTo is postSend against an explicit test server.
+func postSendTo(t *testing.T, ts *httptest.Server, body string) (int, sendResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/send", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /send: %v", err)
+	}
+	defer resp.Body.Close()
+	var out sendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode /send response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestServerGracefulShutdown exercises the SIGTERM path end to end:
+// serveAndDrain must stop the listener, let in-flight HTTP requests
+// finish, drain the pool's queues, and leave the pool closed — with every
+// accepted request served rather than dropped.
+func TestServerGracefulShutdown(t *testing.T) {
+	h, pool := newSuiteServer(t, 2, "")
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: h}
+	sig := make(chan os.Signal, 1)
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		serveAndDrain(srv, l, pool, 10*time.Second, sig)
+	}()
+
+	// Keep a batch of requests in flight while the signal lands.
+	base := "http://" + l.Addr().String()
+	p := workload.Suite()[0]
+	const inflight = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"receiver": %d, "selector": %q}`, p.Size, p.Entry)
+			resp, err := http.Post(base+"/send", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var out sendResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs <- err
+				return
+			}
+			if got, ok := out.Result.(float64); !ok || int32(got) != p.Check {
+				errs <- fmt.Errorf("checksum %v, want %d", out.Result, p.Check)
+			}
+		}()
+	}
+	// Signal only after every request is visible to the pool (queued or
+	// already served): http.Server.Shutdown closes connections that have
+	// not yet delivered request bytes, so signalling earlier would race
+	// the posts themselves rather than exercise the drain path.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		accepted := int(pool.Metrics().Requests)
+		for _, d := range pool.QueueDepths() {
+			accepted += d
+		}
+		if accepted >= inflight {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests reached the pool", accepted, inflight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sig <- os.Interrupt
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("in-flight request during shutdown: %v", err)
+	}
+
+	select {
+	case <-served:
+	case <-time.After(15 * time.Second):
+		t.Fatal("serveAndDrain did not return after the signal")
+	}
+	// The pool is closed and drained: accepted work was served, new work
+	// is refused.
+	if res := pool.Do(serve.Request{Receiver: obarch.Int(1), Selector: "+", Args: []obarch.Value{obarch.Int(1)}}); !errors.Is(res.Err, serve.ErrClosed) {
+		t.Fatalf("pool accepted work after shutdown: %v", res.Err)
+	}
+	met := pool.Metrics()
+	if met.Requests < inflight {
+		t.Fatalf("pool served %d of %d accepted requests", met.Requests, inflight)
 	}
 }

@@ -1,0 +1,76 @@
+package cache
+
+import "fmt"
+
+// This file exposes the cache's replacement state — lines, recency stamps
+// and the LRU clock — as plain data, for the persistent image codec: a
+// machine loaded from disk must replay the exact replacement decisions the
+// snapshotted machine would have made, so the warm ITLB/icache working set
+// survives a restart bit-identically.
+
+// LineState is the serialisable state of one valid cache line. Index is
+// its set-major position (set*assoc + way); invalid lines carry no state
+// (Invalidate zeroes them), so exports are sparse — an icache that has
+// only seen a loader touch a fraction of its 4096 lines serialises just
+// that fraction.
+type LineState[V any] struct {
+	Index uint32
+	Key   uint64
+	Value V
+	Stamp uint64
+}
+
+// Validate reports whether the configuration can construct a cache, using
+// the same rules New enforces by panic. Importers of untrusted state call
+// this first so a corrupt image fails with an error instead of a panic.
+func (c Config) Validate() error {
+	_, _, err := c.normalize()
+	return err
+}
+
+// Export returns the LRU clock and every valid line in set-major order.
+// Together with Config and Stats this is the cache's complete observable
+// state.
+func (c *Cache[V]) Export() (clock uint64, lines []LineState[V]) {
+	assoc := len(c.sets[0])
+	for i, set := range c.sets {
+		for j := range set {
+			if ln := &set[j]; ln.valid {
+				lines = append(lines, LineState[V]{Index: uint32(i*assoc + j), Key: ln.key, Value: ln.value, Stamp: ln.stamp})
+			}
+		}
+	}
+	return c.clock, lines
+}
+
+// Import rebuilds a cache from exported state. Line indexes must be
+// strictly increasing (as Export emits them) and within the geometry;
+// mapVal, when non-nil, rewrites each line's value into the importer's
+// object graph (the image loader uses it to swap method indexes back to
+// method pointers).
+func Import[V any](cfg Config, stats Stats, clock uint64, lines []LineState[V], mapVal func(V) (V, error)) (*Cache[V], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := New[V](cfg)
+	assoc := len(c.sets[0])
+	total := len(c.sets) * assoc
+	last := -1
+	for _, ls := range lines {
+		if int(ls.Index) <= last || int(ls.Index) >= total {
+			return nil, fmt.Errorf("cache: line index %d out of order or beyond %d lines", ls.Index, total)
+		}
+		last = int(ls.Index)
+		v := ls.Value
+		if mapVal != nil {
+			var err error
+			if v, err = mapVal(v); err != nil {
+				return nil, err
+			}
+		}
+		c.sets[ls.Index/uint32(assoc)][ls.Index%uint32(assoc)] = Line[V]{key: ls.Key, value: v, valid: true, stamp: ls.Stamp}
+	}
+	c.clock = clock
+	c.Stats = stats
+	return c, nil
+}

@@ -1,0 +1,79 @@
+package context
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/word"
+)
+
+// This file exposes the context free list as plain data for the
+// persistent image codec. Pooled segments travel as position-stable
+// segment ids of the exported space; the context cache itself never
+// travels — a frozen machine's cache is empty by construction (Snapshot
+// writes it back and the clone starts fresh), so only its geometry is
+// carried, inside core.Config.
+
+// FreeListState is the serialisable state of a context free list.
+type FreeListState struct {
+	Words      int
+	Class      word.Class
+	Free       []int32 // pooled segment ids, LIFO order preserved
+	Allocs     uint64
+	Recycles   uint64
+	Frees      uint64
+	MemoryRefs uint64
+}
+
+// ExportState flattens the free list over its slab-backed space.
+func (f *FreeList) ExportState() (*FreeListState, error) {
+	st := &FreeListState{
+		Words:      f.words,
+		Class:      f.class,
+		Free:       make([]int32, len(f.free)),
+		Allocs:     f.Allocs,
+		Recycles:   f.Recycles,
+		Frees:      f.Frees,
+		MemoryRefs: f.MemoryRefs,
+	}
+	for i, seg := range f.free {
+		id := f.space.SegIndex(seg)
+		if id < 0 {
+			return nil, fmt.Errorf("context: pooled segment %d has no id", i)
+		}
+		st.Free[i] = id
+	}
+	return st, nil
+}
+
+// ImportFreeList rebuilds a free list over an imported space.
+func ImportFreeList(st *FreeListState, space *memory.Space) (*FreeList, error) {
+	if st.Words <= 0 {
+		return nil, fmt.Errorf("context: free list of %d-word contexts", st.Words)
+	}
+	f := NewFreeList(space, st.Words, st.Class)
+	f.Allocs = st.Allocs
+	f.Recycles = st.Recycles
+	f.Frees = st.Frees
+	f.MemoryRefs = st.MemoryRefs
+	f.free = make([]*memory.Segment, len(st.Free))
+	for i, id := range st.Free {
+		seg, ok := space.SegAt(id)
+		if !ok {
+			return nil, fmt.Errorf("context: free list names segment %d", id)
+		}
+		if f.onList[seg] {
+			return nil, fmt.Errorf("context: segment %d pooled twice", id)
+		}
+		// Pooled contexts are live (never space-freed — that also keeps
+		// them off the space's own free lists), context-kinded and
+		// exactly context-sized; anything else handed out by Alloc would
+		// alias another allocation or break the fixed frame layout.
+		if seg.Freed || seg.Kind != memory.KindContext || int(seg.Size()) != st.Words {
+			return nil, fmt.Errorf("context: pooled segment %d is not a live %d-word context", id, st.Words)
+		}
+		f.free[i] = seg
+		f.onList[seg] = true
+	}
+	return f, nil
+}

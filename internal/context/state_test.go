@@ -1,0 +1,30 @@
+package context
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/word"
+)
+
+// TestImportFreeListRejectsBadPooledSegments pins the hardening: pooled
+// contexts must be live, context-kinded and context-sized — anything else
+// handed out by Alloc would alias another allocation or break the frame
+// layout.
+func TestImportFreeListRejectsBadPooledSegments(t *testing.T) {
+	space := memory.NewSpace()
+	obj := space.Alloc(32, 0, memory.KindObject) // right size, wrong kind
+	ctx := space.Alloc(32, word.Class(7), memory.KindContext)
+	space.Free(ctx) // space-freed: also on the space's own free list
+
+	for name, id := range map[string]int32{
+		"object-kinded": space.SegIndex(obj),
+		"space-freed":   space.SegIndex(ctx),
+	} {
+		st := &FreeListState{Words: 32, Class: word.Class(7), Free: []int32{id}}
+		if _, err := ImportFreeList(st, space); err == nil || !strings.Contains(err.Error(), "live") {
+			t.Fatalf("%s segment pooled: %v", name, err)
+		}
+	}
+}

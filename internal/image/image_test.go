@@ -1,0 +1,329 @@
+package image
+
+import (
+	"bytes"
+	"flag"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/itlb"
+	"repro/internal/memory"
+	"repro/internal/word"
+	"repro/internal/workload"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata/golden.img")
+
+// snapshotOf compiles, loads and warms one workload program and captures
+// the snapshot — exactly the image obarchd would persist.
+func snapshotOf(t testing.TB, p workload.Program, cfg core.Config) *core.Snapshot {
+	t.Helper()
+	m, err := workload.NewCOM(p, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	if err := workload.WarmCOM(m, p); err != nil {
+		t.Fatalf("%s warmup: %v", p.Name, err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatalf("%s snapshot: %v", p.Name, err)
+	}
+	return snap
+}
+
+// roundTrip pushes a snapshot through the codec.
+func roundTrip(t testing.TB, snap *core.Snapshot) (*core.Snapshot, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	loaded, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return loaded, buf.Bytes()
+}
+
+// accounted is every accounting surface a loaded machine could diverge on
+// — the same set the PR 2/3 stats-parity harness checks.
+type accounted struct {
+	sum    int32
+	stats  core.Stats
+	icache cache.Stats
+	itlbC  cache.Stats
+	itlb   itlb.Stats
+	atlb   cache.Stats
+	team   memory.TeamStats
+	alloc  memory.AllocStats
+	gc     gc.Stats
+	live   int
+}
+
+// runAccounted drives one machine through the program's measured entry
+// plus a full collection and captures the accounting.
+func runAccounted(t *testing.T, m *core.Machine, p workload.Program) accounted {
+	t.Helper()
+	sum, err := workload.RunCOM(m, p)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	gcStats := gc.Collect(m)
+	return accounted{
+		sum:    sum,
+		stats:  m.Stats,
+		icache: m.IC.Stats,
+		itlbC:  m.ITLB.CacheStats(),
+		itlb:   m.ITLB.Stats,
+		atlb:   m.Team.ATLBStats(),
+		team:   m.Team.Stats,
+		alloc:  m.Space.Stats,
+		gc:     gcStats,
+		live:   m.Space.LiveCount(),
+	}
+}
+
+func diffAccounted(t *testing.T, want int32, a, b accounted, aName, bName string) {
+	t.Helper()
+	if a.sum != want || b.sum != want {
+		t.Fatalf("checksums: %s %d, %s %d, want %d", aName, a.sum, bName, b.sum, want)
+	}
+	if a.stats != b.stats {
+		t.Errorf("core.Stats diverge:\n %s %+v\n %s %+v", aName, a.stats, bName, b.stats)
+	}
+	if a.icache != b.icache {
+		t.Errorf("icache stats diverge:\n %s %+v\n %s %+v", aName, a.icache, bName, b.icache)
+	}
+	if a.itlbC != b.itlbC {
+		t.Errorf("ITLB cache stats diverge:\n %s %+v\n %s %+v", aName, a.itlbC, bName, b.itlbC)
+	}
+	if a.itlb != b.itlb {
+		t.Errorf("ITLB lookup stats diverge:\n %s %+v\n %s %+v", aName, a.itlb, bName, b.itlb)
+	}
+	if a.atlb != b.atlb {
+		t.Errorf("ATLB stats diverge:\n %s %+v\n %s %+v", aName, a.atlb, bName, b.atlb)
+	}
+	if a.team != b.team {
+		t.Errorf("translation stats diverge:\n %s %+v\n %s %+v", aName, a.team, bName, b.team)
+	}
+	if a.alloc != b.alloc {
+		t.Errorf("AllocStats diverge:\n %s %+v\n %s %+v", aName, a.alloc, bName, b.alloc)
+	}
+	if a.gc != b.gc {
+		t.Errorf("gc stats diverge:\n %s %+v\n %s %+v", aName, a.gc, bName, b.gc)
+	}
+	if a.live != b.live {
+		t.Errorf("live counts diverge: %s %d, %s %d", aName, a.live, bName, b.live)
+	}
+}
+
+// TestImageRoundTripParity is the codec's correctness oracle: for every
+// workload, a machine cloned from the written-and-reloaded snapshot must
+// model the exact machine a clone of the in-memory snapshot models —
+// identical checksums and identical statistics on every accounting
+// surface, through a full collection.
+func TestImageRoundTripParity(t *testing.T) {
+	for _, p := range workload.Suite() {
+		t.Run(p.Name, func(t *testing.T) {
+			snap := snapshotOf(t, p, core.Config{})
+			loaded, _ := roundTrip(t, snap)
+
+			mem := snap.NewMachine()
+			disk := loaded.NewMachine()
+			if mem.Stats != disk.Stats {
+				t.Errorf("frozen core.Stats diverge before any send:\n mem  %+v\n disk %+v", mem.Stats, disk.Stats)
+			}
+			if a, b := mem.ITLB.CacheStats(), disk.ITLB.CacheStats(); a != b {
+				t.Errorf("frozen ITLB stats diverge: mem %+v, disk %+v", a, b)
+			}
+			diffAccounted(t, p.Check, runAccounted(t, mem, p), runAccounted(t, disk, p), "mem", "disk")
+		})
+	}
+}
+
+// TestImageRoundTripAfterCollection snapshots a machine whose heap has
+// been through real churn — run, collect, run — so freed segments, free
+// lists and a compacted scan list are all on the wire.
+func TestImageRoundTripAfterCollection(t *testing.T) {
+	p := workload.Suite()[0]
+	m, err := workload.NewCOM(p, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := workload.WarmCOM(m, p); err != nil {
+			t.Fatal(err)
+		}
+		gc.Collect(m)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, _ := roundTrip(t, snap)
+	diffAccounted(t, p.Check,
+		runAccounted(t, snap.NewMachine(), p),
+		runAccounted(t, loaded.NewMachine(), p), "mem", "disk")
+}
+
+// TestImageWarmITLBAfterLoad pins the acceptance claim: a machine booted
+// from disk serves its first request with a warm ITLB — zero misses, like
+// a machine cloned in-process.
+func TestImageWarmITLBAfterLoad(t *testing.T) {
+	p := workload.Arith()
+	snap := snapshotOf(t, p, core.Config{})
+	loaded, _ := roundTrip(t, snap)
+	m := loaded.NewMachine()
+	missesBefore := m.ITLB.CacheStats().Misses
+	if err := workload.WarmCOM(m, p); err != nil {
+		t.Fatal(err)
+	}
+	if misses := m.ITLB.CacheStats().Misses - missesBefore; misses != 0 {
+		t.Fatalf("disk-booted machine took %d ITLB misses on its first request", misses)
+	}
+}
+
+// TestImageDeterministic: identical snapshots produce identical bytes, and
+// a write of a loaded image reproduces the original file — the property
+// the golden test (and any content-addressed image store) relies on.
+func TestImageDeterministic(t *testing.T) {
+	p := workload.Arith()
+	snap := snapshotOf(t, p, core.Config{})
+	var a, b bytes.Buffer
+	if err := Write(&a, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two writes of one snapshot differ (%d vs %d bytes)", a.Len(), b.Len())
+	}
+	loaded, err := Read(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if err := Write(&c, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatalf("write(read(img)) differs from img (%d vs %d bytes)", a.Len(), c.Len())
+	}
+}
+
+// TestImageRejectsLegacySpace: the map-backed ablation has no stable
+// segment ids and must refuse to serialise rather than write garbage.
+func TestImageRejectsLegacySpace(t *testing.T) {
+	p := workload.Arith()
+	snap := snapshotOf(t, p, core.Config{LegacySpace: true})
+	if err := Write(&bytes.Buffer{}, snap); err == nil {
+		t.Fatal("legacy-space snapshot serialised without error")
+	}
+}
+
+// corrupt returns a copy of img with the byte at off flipped.
+func corrupt(img []byte, off int) []byte {
+	out := bytes.Clone(img)
+	out[off] ^= 0x40
+	return out
+}
+
+// fixHeaderCRC recomputes the header CRC after a deliberate version edit,
+// so the version check itself — not the CRC — is what rejects the image.
+func fixHeaderCRC(img []byte) []byte {
+	var e enc
+	e.b = img[:20:20]
+	e.u32(crc32.ChecksumIEEE(img[:20]))
+	return append(e.b, img[24:]...)
+}
+
+// TestImageVersionSkew: a bumped format or ISA version is rejected with a
+// descriptive error, and flipped payload bits die on the section CRC.
+func TestImageVersionSkew(t *testing.T) {
+	p := workload.Arith()
+	snap := snapshotOf(t, p, core.Config{})
+	_, img := roundTrip(t, snap)
+
+	read := func(b []byte) error {
+		_, err := Read(bytes.NewReader(b))
+		return err
+	}
+
+	if err := read(fixHeaderCRC(corrupt(img, 8))); err == nil || !contains(err, "format version") {
+		t.Errorf("bumped format version: %v", err)
+	}
+	if err := read(fixHeaderCRC(corrupt(img, 12))); err == nil || !contains(err, "ISA encoding version") {
+		t.Errorf("bumped ISA version: %v", err)
+	}
+	if err := read(corrupt(img, 8)); err == nil || !contains(err, "header CRC") {
+		t.Errorf("header corruption: %v", err)
+	}
+	if err := read(corrupt(img, 0)); err == nil || !contains(err, "magic") {
+		t.Errorf("bad magic: %v", err)
+	}
+	// A flipped byte deep inside a section payload fails its CRC.
+	if err := read(corrupt(img, len(img)/2)); err == nil || !contains(err, "CRC") {
+		t.Errorf("payload corruption: %v", err)
+	}
+	// Truncations at every boundary class fail cleanly.
+	for _, n := range []int{0, 7, 23, 30, len(img) / 3, len(img) - 1} {
+		if err := read(img[:n]); err == nil {
+			t.Errorf("truncation to %d bytes loaded successfully", n)
+		}
+	}
+}
+
+func contains(err error, sub string) bool {
+	return err != nil && bytes.Contains([]byte(err.Error()), []byte(sub))
+}
+
+// goldenPath is the checked-in v1 image: a warmed arith machine. It pins
+// the on-disk layout — if an innocent-looking change to the codec or the
+// machine makes this unreadable or byte-different, the format version
+// needs a bump (or the golden a deliberate regeneration with -update).
+const goldenPath = "testdata/golden.img"
+
+func TestGoldenImage(t *testing.T) {
+	p := workload.Arith()
+	snap := snapshotOf(t, p, core.Config{})
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d bytes to %s", buf.Len(), goldenPath)
+		return
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/image -run TestGolden -update` to create it)", err)
+	}
+	loaded, err := Read(bytes.NewReader(golden))
+	if err != nil {
+		t.Fatalf("golden image unreadable: %v", err)
+	}
+	m := loaded.NewMachine()
+	res, err := m.Send(word.FromInt(p.Size), p.Entry)
+	if err != nil {
+		t.Fatalf("golden machine: %v", err)
+	}
+	if v, ok := res.IntOK(); !ok || v != p.Check {
+		t.Fatalf("golden machine checksum %v, want %d", res, p.Check)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Errorf("freshly written image (%d bytes) differs from golden (%d bytes): the on-disk format drifted — bump FormatVersion or regenerate with -update", buf.Len(), len(golden))
+	}
+}

@@ -18,6 +18,14 @@ package isa
 
 import "fmt"
 
+// EncodingVersion identifies the binary instruction encoding — the 32-bit
+// op/A/B/C layout, the operand descriptor modes, and the fixed opcode
+// assignments below. Persistent machine images carry it in their header:
+// code serialised under one encoding must never be decoded under another,
+// so any change to this file that alters what an encoded word means must
+// bump the version, and the image loader rejects mismatches.
+const EncodingVersion = 1
+
 // Opcode is an abstract instruction token. Opcodes below FirstDynamic are
 // the machine's well-known messages with primitive implementations for the
 // appropriate primitive classes; opcodes from FirstDynamic up are assigned

@@ -1,0 +1,472 @@
+package memory
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+
+	"repro/internal/cache"
+	"repro/internal/fpa"
+	"repro/internal/word"
+)
+
+// This file exposes the memory system as plain data for the persistent
+// image codec: the slab-backed absolute space (slabs, dense page table,
+// segment-header arena, free lists, scan list), the team's descriptor
+// table, and the physical-space hierarchy. Segments are referred to by
+// their position-stable id, which ImportSpace preserves, so every layer
+// above (descriptors, context free list) round-trips by index. Importers
+// validate untrusted state and return errors — a corrupt or truncated
+// image must fail loudly, never panic or build an incoherent machine.
+
+// SegmentState is the serialisable header of one segment. Len and Cap are
+// the segment's current and carved (power-of-two rounded) length; Slab
+// indexes the slab backing its data.
+type SegmentState struct {
+	Base     AbsAddr
+	Len      uint64
+	Cap      uint64
+	Class    word.Class
+	Kind     Kind
+	Mark     bool
+	Freed    bool
+	Captured bool
+	Slab     int32
+}
+
+// SlabState is one slab of absolute-space backing store.
+type SlabState struct {
+	Base AbsAddr
+	Data []word.Word
+}
+
+// FreeClassState is one size-class free list: the log2 of the rounded
+// segment size plus the pooled segment ids in LIFO order.
+type FreeClassState struct {
+	SizeClass uint8
+	IDs       []int32
+}
+
+// SpaceState is the complete serialisable state of a slab-backed Space.
+type SpaceState struct {
+	NextBase         AbsAddr
+	ZeroFillContexts bool
+	Stats            AllocStats
+	Live             int
+	Compacted        bool
+	OrderDead        int
+	Slabs            []SlabState
+	Windows          []int32
+	Table            []int32
+	Segments         []SegmentState
+	Free             []FreeClassState
+	Order            []int32 // allocation-order scan list; nil until first compaction
+}
+
+// SegIndex returns the position-stable id of a segment of a slab-backed
+// space — the index ImportSpace preserves. Layers above the space export
+// their segment pointers through it.
+func (s *Space) SegIndex(seg *Segment) int32 {
+	if seg == nil {
+		return -1
+	}
+	return seg.id
+}
+
+// SegAt returns the segment with the given position-stable id.
+func (s *Space) SegAt(id int32) (*Segment, bool) {
+	if id < 0 || int(id) >= s.numSegs() {
+		return nil, false
+	}
+	return s.segByID(id), true
+}
+
+// ExportState flattens the space. Only the slab representation is
+// serialisable; the legacy map-backed ablation is not (its segments have
+// no stable ids), and a space mid-collection is refused because the
+// sweeper's snapshot cannot travel.
+func (s *Space) ExportState() (*SpaceState, error) {
+	if s.legacy {
+		return nil, fmt.Errorf("memory: legacy map-backed space is not serialisable")
+	}
+	if s.gcActive {
+		return nil, fmt.Errorf("memory: space has an incremental collection in progress")
+	}
+	st := &SpaceState{
+		NextBase:         s.nextBase,
+		ZeroFillContexts: s.ZeroFillContexts,
+		Stats:            s.Stats,
+		Live:             s.live,
+		Compacted:        s.compacted,
+		OrderDead:        s.orderDead,
+		Windows:          slices.Clone(s.windows),
+		Table:            slices.Clone(s.table),
+	}
+	st.Slabs = make([]SlabState, len(s.slabs))
+	for i, sl := range s.slabs {
+		st.Slabs[i] = SlabState{Base: sl.base, Data: slices.Clone(sl.data)}
+	}
+	st.Segments = make([]SegmentState, s.numSegs())
+	for id := 0; id < s.numSegs(); id++ {
+		seg := s.segByID(int32(id))
+		st.Segments[id] = SegmentState{
+			Base:     seg.Base,
+			Len:      uint64(len(seg.Data)),
+			Cap:      uint64(cap(seg.Data)),
+			Class:    seg.Class,
+			Kind:     seg.Kind,
+			Mark:     seg.Mark,
+			Freed:    seg.Freed,
+			Captured: seg.Captured,
+			Slab:     seg.slab,
+		}
+	}
+	for cls, list := range s.free {
+		if len(list) == 0 {
+			continue
+		}
+		ids := make([]int32, len(list))
+		for i, seg := range list {
+			ids[i] = seg.id
+		}
+		st.Free = append(st.Free, FreeClassState{SizeClass: uint8(cls), IDs: ids})
+	}
+	if s.compacted {
+		st.Order = make([]int32, len(s.order))
+		for i, seg := range s.order {
+			st.Order[i] = seg.id
+		}
+	}
+	return st, nil
+}
+
+// ImportSpace rebuilds a slab-backed space, validating every index so a
+// corrupt image errors instead of panicking later. Segment ids are the
+// positions of st.Segments, as ExportState wrote them. The space takes
+// ownership of the state's backing arrays (slab data, page table, window
+// index) — a SpaceState must not be imported twice or mutated afterwards;
+// the image loader builds a fresh one per load and ExportState always
+// returns freshly cloned arrays.
+func ImportSpace(st *SpaceState) (*Space, error) {
+	s := &Space{
+		nextBase:         st.NextBase,
+		ZeroFillContexts: st.ZeroFillContexts,
+		Stats:            st.Stats,
+		live:             st.Live,
+		compacted:        st.Compacted,
+		orderDead:        st.OrderDead,
+		windows:          st.Windows,
+		table:            st.Table,
+	}
+	s.slabs = make([]slab, len(st.Slabs))
+	for i, sl := range st.Slabs {
+		s.slabs[i] = slab{base: sl.Base, data: sl.Data}
+	}
+	// The window index drives post-load allocation: a corrupt entry or an
+	// absurd base high-water mark would panic (or balloon the index) on
+	// the machine's first Alloc, so both fail the load instead. A listed
+	// slab must actually cover its window — carve() subtracts the slab
+	// base and slices to the rounded size without re-checking, so a slab
+	// based past its window (underflow) or short of covering it (bounds)
+	// would otherwise panic on the first allocation carved there.
+	for i, w := range s.windows {
+		if w < 0 || int(w) > len(s.slabs) {
+			return nil, fmt.Errorf("memory: window %d names slab %d of %d", i, w-1, len(s.slabs))
+		}
+		if w == 0 {
+			continue
+		}
+		sl := &s.slabs[w-1]
+		winStart := AbsAddr(i) << slabShift
+		if sl.base > winStart || uint64(sl.base)+uint64(len(sl.data)) < uint64(winStart)+SlabWords {
+			return nil, fmt.Errorf("memory: window %d not covered by its slab [%#x,+%d)", i, uint64(sl.base), len(sl.data))
+		}
+	}
+	if uint64(st.NextBase)>>slabShift > uint64(len(st.Windows)) {
+		return nil, fmt.Errorf("memory: base high-water mark %#x beyond the %d-window index", uint64(st.NextBase), len(st.Windows))
+	}
+	arr := make([]Segment, len(st.Segments))
+	var maxEnd AbsAddr
+	for id, seg := range st.Segments {
+		if end := seg.Base + AbsAddr(seg.Cap); end > maxEnd {
+			maxEnd = end
+		}
+		if seg.Slab < 0 || int(seg.Slab) >= len(s.slabs) {
+			return nil, fmt.Errorf("memory: segment %d names slab %d of %d", id, seg.Slab, len(s.slabs))
+		}
+		sl := &s.slabs[seg.Slab]
+		if seg.Base < sl.base {
+			return nil, fmt.Errorf("memory: segment %d base %#x before slab base %#x", id, uint64(seg.Base), uint64(sl.base))
+		}
+		off := uint64(seg.Base - sl.base)
+		if seg.Len > seg.Cap || seg.Cap > uint64(len(sl.data)) || off > uint64(len(sl.data))-seg.Cap {
+			return nil, fmt.Errorf("memory: segment %d spans [%d,+%d/%d] outside its %d-word slab", id, off, seg.Len, seg.Cap, len(sl.data))
+		}
+		arr[id] = Segment{
+			Base:     seg.Base,
+			Data:     sl.data[off : off+seg.Len : off+seg.Cap],
+			Class:    seg.Class,
+			Kind:     seg.Kind,
+			Mark:     seg.Mark,
+			Freed:    seg.Freed,
+			Captured: seg.Captured,
+			id:       int32(id),
+			slab:     seg.Slab,
+			inOrder:  !st.Compacted, // listed implicitly until first compaction
+		}
+	}
+	// The allocation frontier must clear every carved segment: a forged
+	// low NextBase would make the allocator carve fresh segments on top
+	// of live ones, and Clone treats words at or past it as never carved
+	// (zero-truncating live data in every stamped worker).
+	if st.NextBase < maxEnd {
+		return nil, fmt.Errorf("memory: base high-water mark %#x below segment extent %#x", uint64(st.NextBase), uint64(maxEnd))
+	}
+	s.headers = arr
+	for base, id := range s.table {
+		if id == 0 {
+			continue
+		}
+		seg, ok := s.SegAt(id - 1)
+		if !ok {
+			return nil, fmt.Errorf("memory: page table names segment %d of %d", id-1, len(arr))
+		}
+		if seg.Base != AbsAddr(base) || seg.Freed {
+			return nil, fmt.Errorf("memory: page table entry %#x names segment based %#x (freed=%v)", base, uint64(seg.Base), seg.Freed)
+		}
+	}
+	pooled := make(map[int32]bool)
+	for _, fc := range st.Free {
+		if fc.SizeClass >= numFreeClasses {
+			return nil, fmt.Errorf("memory: free size-class %d out of range", fc.SizeClass)
+		}
+		list := make([]*Segment, len(fc.IDs))
+		for i, id := range fc.IDs {
+			seg, ok := s.SegAt(id)
+			if !ok {
+				return nil, fmt.Errorf("memory: free list names segment %d of %d", id, len(arr))
+			}
+			if !seg.Freed {
+				return nil, fmt.Errorf("memory: free list holds live segment %d", id)
+			}
+			// A double-listed segment would be popped twice and alias two
+			// live objects onto one backing store.
+			if pooled[id] {
+				return nil, fmt.Errorf("memory: segment %d pooled twice", id)
+			}
+			pooled[id] = true
+			if cls := bits.TrailingZeros64(pow2ceil(uint64(cap(seg.Data)))); cls != int(fc.SizeClass) {
+				return nil, fmt.Errorf("memory: segment %d (class %d) on free list %d", id, cls, fc.SizeClass)
+			}
+			list[i] = seg
+		}
+		s.free[fc.SizeClass] = list
+	}
+	if st.Compacted {
+		s.order = make([]*Segment, len(st.Order))
+		for i, id := range st.Order {
+			seg, ok := s.SegAt(id)
+			if !ok {
+				return nil, fmt.Errorf("memory: scan list names segment %d of %d", id, len(arr))
+			}
+			seg.inOrder = true
+			s.order[i] = seg
+		}
+	} else if len(st.Order) != 0 {
+		return nil, fmt.Errorf("memory: explicit scan list on an uncompacted space")
+	}
+	return s, nil
+}
+
+// DescriptorState is one exported segment descriptor. Descriptors shared
+// by several names (growth aliasing) are exported once and referenced by
+// index, preserving the sharing. Seg is a segment id, -1 when nil.
+type DescriptorState struct {
+	Seg        int32
+	Length     uint64
+	Class      word.Class
+	Rights     Rights
+	HasForward bool
+	Forward    fpa.Addr
+}
+
+// BindingState maps one virtual name to its descriptor index.
+type BindingState struct {
+	Key  fpa.SegKey
+	Desc int32
+}
+
+// NextSegState records the next unused integer part at one exponent.
+type NextSegState struct {
+	Exp uint8
+	Num uint64
+}
+
+// TeamState is the serialisable state of a team space. The ATLB is not
+// exported: a snapshotted machine's ATLB is cold by construction (see
+// Team.Clone), so only its geometry travels.
+type TeamState struct {
+	SN          int
+	Format      fpa.Format
+	ATLBEntries int
+	ATLBAssoc   int
+	Stats       TeamStats
+	NextSeg     []NextSegState
+	Descriptors []DescriptorState
+	Bindings    []BindingState
+}
+
+// ExportState flattens the team's descriptor table. Bindings are sorted by
+// key and descriptors numbered in first-reference order, so identical
+// teams export identical state.
+func (t *Team) ExportState() (*TeamState, error) {
+	cfg := t.atlb.Config()
+	st := &TeamState{
+		SN:          t.SN,
+		Format:      t.Format,
+		ATLBEntries: cfg.Entries,
+		ATLBAssoc:   cfg.Assoc,
+		Stats:       t.Stats,
+	}
+	exps := make([]uint8, 0, len(t.nextSeg))
+	for exp := range t.nextSeg {
+		exps = append(exps, exp)
+	}
+	slices.Sort(exps)
+	for _, exp := range exps {
+		st.NextSeg = append(st.NextSeg, NextSegState{Exp: exp, Num: t.nextSeg[exp]})
+	}
+	keys := make([]fpa.SegKey, 0, len(t.table))
+	for key := range t.table {
+		keys = append(keys, key)
+	}
+	slices.SortFunc(keys, func(a, b fpa.SegKey) int {
+		if a.Exp != b.Exp {
+			return int(a.Exp) - int(b.Exp)
+		}
+		switch {
+		case a.Num < b.Num:
+			return -1
+		case a.Num > b.Num:
+			return 1
+		}
+		return 0
+	})
+	descID := make(map[*Descriptor]int32, len(t.table))
+	for _, key := range keys {
+		d := t.table[key]
+		id, ok := descID[d]
+		if !ok {
+			id = int32(len(st.Descriptors))
+			descID[d] = id
+			ds := DescriptorState{Seg: t.space.SegIndex(d.Seg), Length: d.Length, Class: d.Class, Rights: d.Rights}
+			if d.Forward != nil {
+				ds.HasForward = true
+				ds.Forward = *d.Forward
+			}
+			st.Descriptors = append(st.Descriptors, ds)
+		}
+		st.Bindings = append(st.Bindings, BindingState{Key: key, Desc: id})
+	}
+	return st, nil
+}
+
+// ImportTeam rebuilds a team over an imported space. The ATLB starts cold,
+// exactly as a cloned machine's does.
+func ImportTeam(st *TeamState, space *Space) (*Team, error) {
+	atlb := ATLBConfig{Entries: st.ATLBEntries, Assoc: st.ATLBAssoc}
+	if err := (cache.Config{Entries: atlb.Entries, Assoc: atlb.Assoc, HashSets: true}).Validate(); err != nil {
+		return nil, fmt.Errorf("memory: ATLB: %w", err)
+	}
+	t := NewTeam(st.SN, st.Format, space, atlb)
+	t.Stats = st.Stats
+	for _, ns := range st.NextSeg {
+		t.nextSeg[ns.Exp] = ns.Num
+	}
+	descs := make([]*Descriptor, len(st.Descriptors))
+	for i, ds := range st.Descriptors {
+		d := &Descriptor{Length: ds.Length, Class: ds.Class, Rights: ds.Rights}
+		if ds.Seg >= 0 {
+			seg, ok := space.SegAt(ds.Seg)
+			if !ok {
+				return nil, fmt.Errorf("memory: descriptor %d names segment %d", i, ds.Seg)
+			}
+			// Translate bounds offsets against Length and then indexes the
+			// segment data without re-checking; an over-long descriptor
+			// would turn the first in-bounds-by-Length access into a
+			// panic. (Grow leaves old names with their old, shorter bound
+			// on the wider segment, so ≤ is the honest invariant.)
+			if ds.Length > seg.Size() {
+				return nil, fmt.Errorf("memory: descriptor %d length %d exceeds its %d-word segment", i, ds.Length, seg.Size())
+			}
+			d.Seg = seg
+		}
+		if ds.HasForward {
+			fwd := ds.Forward
+			d.Forward = &fwd
+		}
+		descs[i] = d
+	}
+	for _, b := range st.Bindings {
+		if b.Desc < 0 || int(b.Desc) >= len(descs) {
+			return nil, fmt.Errorf("memory: binding %v names descriptor %d of %d", b.Key, b.Desc, len(descs))
+		}
+		if _, dup := t.table[b.Key]; dup {
+			return nil, fmt.Errorf("memory: duplicate binding for %v", b.Key)
+		}
+		d := descs[b.Desc]
+		t.table[b.Key] = d
+		if d.Seg != nil {
+			t.bySeg[d.Seg] = append(t.bySeg[d.Seg], b.Key)
+		}
+	}
+	return t, nil
+}
+
+// HLevelState is one exported hierarchy level: its configuration plus the
+// residency cache's replacement state.
+type HLevelState struct {
+	Level Level
+	Clock uint64
+	Stats cache.Stats
+	Lines []cache.LineState[struct{}]
+}
+
+// HierarchyState is the serialisable state of the physical-space
+// hierarchy.
+type HierarchyState struct {
+	Stats  HierarchyStats
+	Levels []HLevelState
+}
+
+// ExportState flattens the hierarchy with every level's residency state.
+func (h *Hierarchy) ExportState() *HierarchyState {
+	st := &HierarchyState{Stats: h.Stats}
+	for _, lv := range h.levels {
+		clock, lines := lv.c.Export()
+		st.Levels = append(st.Levels, HLevelState{Level: lv.Level, Clock: clock, Stats: lv.c.Stats, Lines: lines})
+	}
+	return st
+}
+
+// ImportHierarchy rebuilds the hierarchy, validating level geometry (which
+// NewHierarchy would enforce by panic).
+func ImportHierarchy(st *HierarchyState) (*Hierarchy, error) {
+	h := &Hierarchy{Stats: st.Stats}
+	for i, ls := range st.Levels {
+		lv := ls.Level
+		if lv.BlockWords <= 0 || lv.BlockWords&(lv.BlockWords-1) != 0 {
+			return nil, fmt.Errorf("memory: level %d block size %d not a power of two", i, lv.BlockWords)
+		}
+		shift := uint(0)
+		for 1<<shift < lv.BlockWords {
+			shift++
+		}
+		c, err := cache.Import(cache.Config{Entries: lv.Entries, Assoc: lv.Assoc, HashSets: true}, ls.Stats, ls.Clock, ls.Lines, nil)
+		if err != nil {
+			return nil, fmt.Errorf("memory: level %d: %w", i, err)
+		}
+		h.levels = append(h.levels, &hlevel{Level: lv, shift: shift, c: c})
+	}
+	return h, nil
+}

@@ -1,0 +1,120 @@
+package memory
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fpa"
+	"repro/internal/word"
+)
+
+// exportedSpace builds a small slab space with live, freed and pooled
+// segments and flattens it.
+func exportedSpace(t *testing.T) *SpaceState {
+	t.Helper()
+	s := NewSpace()
+	var dead []*Segment
+	for i := 0; i < 64; i++ {
+		seg := s.Alloc(32, word.Class(7), KindContext)
+		if i%3 == 0 {
+			dead = append(dead, seg)
+		}
+	}
+	s.Alloc(8192, 0, KindObject) // a dedicated big slab spanning windows
+	for _, seg := range dead {
+		s.Free(seg)
+	}
+	st, err := s.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestImportSpaceRoundTrip(t *testing.T) {
+	st := exportedSpace(t)
+	s, err := ImportSpace(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The imported space must keep allocating without panicking: recycle
+	// from the free lists, then carve fresh segments past the high-water
+	// mark (the paths a forged window index would blow up).
+	for i := 0; i < 80; i++ {
+		if seg := s.Alloc(32, word.Class(7), KindContext); seg == nil {
+			t.Fatal("nil segment")
+		}
+	}
+}
+
+// TestImportSpaceRejectsBadWindows pins the hardening: a window entry
+// whose slab does not cover it must fail the load, not panic the first
+// allocation carved there.
+func TestImportSpaceRejectsBadWindows(t *testing.T) {
+	st := exportedSpace(t)
+	if len(st.Slabs) < 2 {
+		t.Fatal("fixture needs two slabs")
+	}
+	st.Windows[0] = int32(len(st.Slabs)) // big slab, based past window 0
+	if _, err := ImportSpace(st); err == nil || !strings.Contains(err.Error(), "window") {
+		t.Fatalf("mis-covered window imported: %v", err)
+	}
+
+	st = exportedSpace(t)
+	st.Windows = append(st.Windows, int32(len(st.Slabs))+7)
+	if _, err := ImportSpace(st); err == nil || !strings.Contains(err.Error(), "window") {
+		t.Fatalf("out-of-range window entry imported: %v", err)
+	}
+}
+
+// TestImportSpaceRejectsDoubledFreeEntry pins the hardening: a segment
+// listed twice on the free lists would be handed to two allocations and
+// alias their storage.
+func TestImportSpaceRejectsDoubledFreeEntry(t *testing.T) {
+	st := exportedSpace(t)
+	if len(st.Free) == 0 || len(st.Free[0].IDs) == 0 {
+		t.Fatal("fixture pooled no segments")
+	}
+	st.Free[0].IDs = append(st.Free[0].IDs, st.Free[0].IDs[0])
+	if _, err := ImportSpace(st); err == nil || !strings.Contains(err.Error(), "pooled twice") {
+		t.Fatalf("double-pooled segment imported: %v", err)
+	}
+}
+
+// TestImportSpaceRejectsLowWaterMark pins the hardening: a forged
+// allocation frontier below the carved extent would alias fresh
+// allocations onto live segments (and zero-truncate them on Clone).
+func TestImportSpaceRejectsLowWaterMark(t *testing.T) {
+	st := exportedSpace(t)
+	st.NextBase = 1
+	if _, err := ImportSpace(st); err == nil || !strings.Contains(err.Error(), "high-water mark") {
+		t.Fatalf("forged low NextBase imported: %v", err)
+	}
+}
+
+// TestImportTeamRejectsOverlongDescriptor pins the hardening: a
+// descriptor bound wider than its segment would bounds-check against the
+// forged length and then panic indexing the real data.
+func TestImportTeamRejectsOverlongDescriptor(t *testing.T) {
+	space := NewSpace()
+	team := NewTeam(1, fpa.COM32, space, ATLBConfig{})
+	if _, _, err := team.Alloc(16, word.Class(7), KindObject, RWX); err != nil {
+		t.Fatal(err)
+	}
+	st, err := team.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spaceState, err := space.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ImportSpace(spaceState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Descriptors[0].Length = 10000
+	if _, err := ImportTeam(st, loaded); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("over-long descriptor imported: %v", err)
+	}
+}

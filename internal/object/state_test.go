@@ -1,0 +1,53 @@
+package object
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestImportImageRejectsSuperCycle pins the hardening: a 2-class
+// superclass cycle — invisible to the direct self-super check — would
+// hang method lookup in a non-interruptible loop on the first miss.
+func TestImportImageRejectsSuperCycle(t *testing.T) {
+	img := NewImage()
+	a := NewClass("A", img.Object)
+	if _, err := img.Define(a); err != nil {
+		t.Fatal(err)
+	}
+	b := NewClass("B", a)
+	if _, err := img.Define(b); err != nil {
+		t.Fatal(err)
+	}
+	st, classID, _ := img.ExportState(nil)
+	// Rewire A's super to B, closing the A→B→A cycle.
+	st.Classes[classID[a]].Super = classID[b]
+	if _, _, _, err := ImportImage(st); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("superclass cycle imported: %v", err)
+	}
+}
+
+// TestImageStateRoundTrip sanity-checks Export→Import identity on the
+// surfaces lookup depends on: dictionary slot layout and probe counts.
+func TestImageStateRoundTrip(t *testing.T) {
+	img := NewImage()
+	cls := NewClass("Point", img.Object, "x", "y")
+	if _, err := img.Define(cls); err != nil {
+		t.Fatal(err)
+	}
+	sel := img.Atoms.Intern("norm")
+	cls.Install(&Method{Selector: sel, NumArgs: 0})
+	st, _, _ := img.ExportState(nil)
+	ni, _, _, err := ImportImage(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, ok := ni.ClassByName("Point")
+	if !ok {
+		t.Fatal("Point lost in round trip")
+	}
+	m1, p1, ok1 := cls.LocalLookup(sel)
+	m2, p2, ok2 := nc.LocalLookup(sel)
+	if !ok1 || !ok2 || p1 != p2 || m1.Selector != m2.Selector {
+		t.Fatalf("lookup diverged: (%v,%d,%v) vs (%v,%d,%v)", m1, p1, ok1, m2, p2, ok2)
+	}
+}

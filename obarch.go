@@ -46,6 +46,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fith"
 	"repro/internal/gc"
+	"repro/internal/image"
 	"repro/internal/serve"
 	"repro/internal/smalltalk"
 	"repro/internal/word"
@@ -193,6 +194,41 @@ func (s *System) ServePoolWith(cfg ServeConfig) (*Pool, error) {
 
 // ITLBHitRatio reports the machine's instruction-translation hit ratio.
 func (s *System) ITLBHitRatio() float64 { return s.M.ITLB.HitRatio() }
+
+// WriteImage serialises a snapshot to w in the versioned binary image
+// format of package repro/internal/image: slabs, page table, descriptor
+// tables, class/selector tables and warm cache state, each section
+// CRC-protected and gated on a format and ISA-encoding version.
+func WriteImage(w io.Writer, snap *Snapshot) error { return image.Write(w, snap) }
+
+// ReadImage loads a snapshot previously written with WriteImage. The
+// loaded snapshot stamps out machines bit-identical to the originals —
+// same statistics, same warm ITLB — so a serving pool warm-starts from
+// disk without compile+load.
+func ReadImage(r io.Reader) (*Snapshot, error) { return image.Read(r) }
+
+// SaveImage snapshots the system and writes the image to w. The system
+// must be idle (between sends) and remains fully usable afterwards.
+func (s *System) SaveImage(w io.Writer) error {
+	snap, err := s.M.Snapshot()
+	if err != nil {
+		return err
+	}
+	return image.Write(w, snap)
+}
+
+// LoadImage reads an image and replaces the system's machine with one
+// instantiated from it, returning the snapshot so callers can also stamp
+// out pools (ServePool would re-snapshot; using the returned snapshot
+// directly skips that copy).
+func (s *System) LoadImage(r io.Reader) (*Snapshot, error) {
+	snap, err := image.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	s.M = snap.NewMachine()
+	return snap, nil
+}
 
 // FithSystem is a Fith stack machine with the same toolchain, used for
 // the §5 comparison and trace collection.
