@@ -22,6 +22,15 @@
 // metric's unit; the check fails when the new value exceeds the baseline by
 // more than -tolerance (default 10%). Lower is assumed better — these are
 // all time-per-work metrics.
+//
+// -assertalloc name:max gates allocation counts against an absolute bar
+// rather than a baseline: the named benchmark must have been run with
+// -benchmem and must report at most max allocs/op. This is how CI holds
+// the serving pool's zero-allocation request lifecycle at exactly 0:
+//
+//	... | benchjson -out BENCH_PR5.json \
+//	        -assertalloc 'PoolDoParallel/lifecycle=pooled:0' \
+//	        -assertalloc 'PoolGo/lifecycle=pooled:0'
 package main
 
 import (
@@ -79,6 +88,8 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression vs the baseline")
 	var compares compareList
 	flag.Var(&compares, "compare", "name:metric to gate against the baseline (repeatable)")
+	var allocAsserts compareList
+	flag.Var(&allocAsserts, "assertalloc", "name:max — fail when the benchmark reports more than max allocs/op, or no alloc count at all (repeatable)")
 	flag.Parse()
 
 	rep := report{Env: map[string]string{}}
@@ -153,7 +164,41 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
 
+	allocFailed := false
+	for _, spec := range allocAsserts {
+		name, maxStr, ok := strings.Cut(spec, ":")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -assertalloc %q (want name:max)\n", spec)
+			os.Exit(1)
+		}
+		maxAllocs, err := strconv.ParseFloat(maxStr, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -assertalloc bound %q: %v\n", maxStr, err)
+			os.Exit(1)
+		}
+		rec, ok := rep.find(name)
+		switch {
+		case !ok:
+			fmt.Fprintf(os.Stderr, "benchjson: %s: missing from this run (alloc gate)\n", name)
+			allocFailed = true
+		case rec.AllocsOp == nil:
+			// No alloc column means the run forgot -benchmem; a silent
+			// pass here would disarm the gate.
+			fmt.Fprintf(os.Stderr, "benchjson: %s: no allocs/op recorded (run with -benchmem)\n", name)
+			allocFailed = true
+		case *rec.AllocsOp > maxAllocs:
+			fmt.Fprintf(os.Stderr, "benchjson: %-40s allocs/op %12.2f > %12.2f  ALLOC REGRESSION\n",
+				name, *rec.AllocsOp, maxAllocs)
+			allocFailed = true
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: %-40s allocs/op %12.2f <= %12.2f  ok\n",
+				name, *rec.AllocsOp, maxAllocs)
+		}
+	}
 	if *baseline == "" {
+		if allocFailed {
+			os.Exit(1)
+		}
 		return
 	}
 	raw, err := os.ReadFile(*baseline)
@@ -207,7 +252,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %-40s %-10s %12.2f -> %12.2f  (%+.1f%%)  %s\n",
 			name, metric, oldV, newV, change*100, status)
 	}
-	if failed {
+	if failed || allocFailed {
 		os.Exit(1)
 	}
 }

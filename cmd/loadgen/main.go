@@ -1,10 +1,13 @@
 // Command loadgen replays the workload suite against a running obarchd as
 // concurrent HTTP traffic, validates every checksum, and reports
-// throughput and latency.
+// throughput and latency percentiles (from the same fixed-bucket
+// histogram the server uses, merged across clients — no lock on the
+// recording path).
 //
 //	obarchd -addr :8373 &
 //	loadgen -addr http://localhost:8373 -clients 8 -rounds 4
 //	loadgen -addr http://localhost:8373 -clients 8 -rounds 4 -batch 16
+//	loadgen -addr http://localhost:8373 -skew 0.5 -routing jsq
 //
 // With -batch K each client groups K sends into one POST /batch request,
 // driving the pool's sharded DoAll fast path; the summary then reports
@@ -12,6 +15,16 @@
 // compare directly. The program list (entry selectors, measured sizes,
 // expected checksums) is fetched from the server's /programs endpoint, so
 // loadgen also works against a server that loaded custom sources.
+//
+// With -skew F, a fraction F of sends carry an affinity key drawn from a
+// deliberately skewed keyspace — 80% of keyed sends share one hot key,
+// the rest spread over seven warm keys — pinning a disproportionate load
+// onto a few shards while the remaining keyless sends float. That is the
+// traffic shape join-shortest-queue routing exists for: against a
+// `-routing jsq` server the keyless sends dodge the hot shards and tail
+// latency drops versus `-routing rr` under the identical load. -routing
+// asserts (via /stats) that the server is actually running the policy
+// being measured, so A/B numbers cannot be mislabelled.
 //
 // With -save, loadgen finishes a run by POSTing /save, asking the server
 // to persist its machine image to the path it was started with (-image),
@@ -23,12 +36,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/stats"
 )
 
 type program struct {
@@ -42,12 +57,26 @@ type program struct {
 type sendRequest struct {
 	Receiver int32  `json:"receiver"`
 	Selector string `json:"selector"`
+	Key      uint64 `json:"key,omitempty"`
 }
 
 type sendResponse struct {
 	Result any    `json:"result"`
 	Error  string `json:"error"`
 	Worker int    `json:"worker"`
+}
+
+// pickKey draws from the skewed keyspace: with probability skew the send
+// is keyed, and a keyed send is 80% the hot key, 20% one of seven warm
+// keys. Key 0 means keyless.
+func pickKey(rng *rand.Rand, skew float64) uint64 {
+	if skew <= 0 || rng.Float64() >= skew {
+		return 0
+	}
+	if rng.Float64() < 0.8 {
+		return 1
+	}
+	return 2 + rng.Uint64N(7)
 }
 
 func main() {
@@ -58,8 +87,21 @@ func main() {
 	warm := flag.Bool("warm", false, "use warmup sizes instead of measured sizes (no checksum validation)")
 	batch := flag.Int("batch", 1, "sends per POST /batch request (1: one POST /send per send)")
 	save := flag.Bool("save", false, "POST /save after the run, persisting the server's machine image")
+	skew := flag.Float64("skew", 0, "fraction of sends carrying a skewed affinity key (0: all keyless)")
+	routing := flag.String("routing", "", `assert the server's keyless routing policy ("jsq" or "rr") before running`)
 	flag.Parse()
 
+	if *routing != "" {
+		got, err := fetchRouting(*addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: routing check:", err)
+			os.Exit(1)
+		}
+		if got != *routing {
+			fmt.Fprintf(os.Stderr, "loadgen: server routes %q, want %q (restart obarchd with -routing %s)\n", got, *routing, *routing)
+			os.Exit(1)
+		}
+	}
 	programs, err := fetchPrograms(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -83,23 +125,29 @@ func main() {
 	}
 
 	var (
-		wg        sync.WaitGroup
-		sent      atomic.Int64 // individual sends
-		posts     atomic.Int64 // HTTP requests
-		failed    atomic.Int64
-		latMu     sync.Mutex
-		latencies []time.Duration
+		wg     sync.WaitGroup
+		sent   atomic.Int64 // individual sends
+		posts  atomic.Int64 // HTTP requests
+		failed atomic.Int64
+		keyed  atomic.Int64
 	)
-	record := func(lat time.Duration) {
-		latMu.Lock()
-		latencies = append(latencies, lat)
-		latMu.Unlock()
-	}
+	// Per-client latency histograms, merged after the run: the recording
+	// path is a plain array increment, no shared state.
+	hists := make([]stats.Histogram, *clients)
+	maxLats := make([]time.Duration, *clients)
 	start := time.Now()
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(c), 0x9e3779b97f4a7c15))
+			hist := &hists[c]
+			record := func(lat time.Duration) {
+				hist.Observe(lat)
+				if lat > maxLats[c] {
+					maxLats[c] = lat
+				}
+			}
 			// pending accumulates sends until a full batch is flushed.
 			var pending []sendRequest
 			var expect []program
@@ -137,9 +185,13 @@ func main() {
 					if *warm {
 						recv = p.Warm
 					}
+					key := pickKey(rng, *skew)
+					if key != 0 {
+						keyed.Add(1)
+					}
 					if *batch == 1 {
 						t0 := time.Now()
-						got, err := send(*addr, recv, p.Entry)
+						got, err := send(*addr, sendRequest{Receiver: recv, Selector: p.Entry, Key: key})
 						record(time.Since(t0))
 						posts.Add(1)
 						sent.Add(1)
@@ -154,7 +206,7 @@ func main() {
 						}
 						continue
 					}
-					pending = append(pending, sendRequest{Receiver: recv, Selector: p.Entry})
+					pending = append(pending, sendRequest{Receiver: recv, Selector: p.Entry, Key: key})
 					expect = append(expect, p)
 					if len(pending) >= *batch {
 						flush()
@@ -168,26 +220,41 @@ func main() {
 	wall := time.Since(start)
 
 	n := sent.Load()
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(q float64) time.Duration {
-		if len(latencies) == 0 {
-			return 0
+	var hist stats.Histogram
+	var maxLat time.Duration
+	for c := range hists {
+		hist.Merge(&hists[c])
+		if maxLats[c] > maxLat {
+			maxLat = maxLats[c]
 		}
-		i := int(q * float64(len(latencies)-1))
-		return latencies[i]
 	}
 	mode := "unbatched (POST /send)"
 	if *batch > 1 {
 		mode = fmt.Sprintf("batched ×%d (POST /batch)", *batch)
 	}
 	fmt.Printf("mode: %s\n", mode)
+	if *routing != "" {
+		fmt.Printf("routing: %s (verified via /stats)\n", *routing)
+	}
+	if *skew > 0 {
+		fmt.Printf("keyspace: %.0f%% keyed (hot-key skewed), %d of %d sends carried keys\n",
+			*skew*100, keyed.Load(), n)
+	}
 	fmt.Printf("sends: %d  http requests: %d  failures: %d  wall: %v\n",
 		n, posts.Load(), failed.Load(), wall.Round(time.Millisecond))
 	fmt.Printf("throughput: %.1f sends/s (%.1f req/s) across %d clients\n",
 		float64(n)/wall.Seconds(), float64(posts.Load())/wall.Seconds(), *clients)
+	// Quantile returns its bucket's upper bound, which can overshoot the
+	// true maximum; the exact max is tracked, so clamp to it.
+	pct := func(q float64) time.Duration {
+		if v := hist.Quantile(q); v < maxLat {
+			return v
+		}
+		return maxLat
+	}
 	fmt.Printf("latency per request p50: %v  p90: %v  p99: %v  max: %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
-		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+		pct(0.99).Round(time.Microsecond), maxLat.Round(time.Microsecond))
 	if *save {
 		if err := postSave(*addr); err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen: save:", err)
@@ -222,6 +289,28 @@ func postSave(addr string) error {
 	return nil
 }
 
+// fetchRouting reads the server's keyless routing policy from /stats.
+func fetchRouting(addr string) (string, error) {
+	resp, err := http.Get(addr + "/stats")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET /stats: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Routing string `json:"routing"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", fmt.Errorf("decode /stats: %w", err)
+	}
+	if out.Routing == "" {
+		return "", fmt.Errorf("server reports no routing policy (pre-JSQ obarchd?)")
+	}
+	return out.Routing, nil
+}
+
 func fetchPrograms(addr string) ([]program, error) {
 	resp, err := http.Get(addr + "/programs")
 	if err != nil {
@@ -238,8 +327,8 @@ func fetchPrograms(addr string) ([]program, error) {
 	return out, nil
 }
 
-func send(addr string, receiver int32, selector string) (int32, error) {
-	body, _ := json.Marshal(map[string]any{"receiver": receiver, "selector": selector})
+func send(addr string, req sendRequest) (int32, error) {
+	body, _ := json.Marshal(req)
 	resp, err := http.Post(addr+"/send", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return 0, err

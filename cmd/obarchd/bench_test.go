@@ -1,0 +1,76 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// benchServer stands up the HTTP face over a tiny one-method image so the
+// benchmark measures the HTTP request path — routing, decode, pool
+// hand-off, encode — rather than the interpreter.
+func benchServer(b *testing.B, fast bool) (*httptest.Server, *serve.Pool) {
+	b.Helper()
+	sys := obarch.NewSystem(obarch.Options{})
+	if err := sys.Load(`extend SmallInt [ method double [ ^self + self ] ]`); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.SendInt(21, "double"); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := serve.NewPool(snap, serve.Config{Workers: 1, GCEvery: -1, Timeout: 10 * time.Second})
+	h := newServer(pool, []workload.Program{}, snap, "")
+	h.fast = fast
+	return httptest.NewServer(h), pool
+}
+
+// BenchmarkHTTPSend measures one tiny send through the full HTTP stack,
+// with the pooled hand-written codec against the encoding/json fallback.
+// The delta between the sub-benches is what the fast lane saves per
+// request in decoder reflection, buffer churn and encoder allocation.
+func BenchmarkHTTPSend(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"fast", true}, {"json", false}} {
+		b.Run("codec="+mode.name, func(b *testing.B) {
+			ts, pool := benchServer(b, mode.fast)
+			defer pool.Close()
+			defer ts.Close()
+			client := ts.Client()
+			const body = `{"receiver": 21, "selector": "double"}`
+			url := ts.URL + "/send"
+			// One warm request to populate connection and selector caches.
+			resp, err := client.Post(url, "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("warm request status %d", resp.StatusCode)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := client.Post(url, "application/json", strings.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		})
+	}
+}

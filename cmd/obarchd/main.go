@@ -18,6 +18,15 @@
 // is closed — which serves every queued request and stops each worker at
 // a request boundary, so shutdown never lands mid-send or mid-GC-sweep.
 //
+// The HTTP request path is a pooled fast lane: bodies land in recycled
+// buffers, the fixed send/batch wire shape is parsed and rendered by a
+// hand-written codec (selectors interned, responses byte-identical to
+// encoding/json), and anything the codec does not recognise falls back
+// to encoding/json so behaviour never changes (-fastwire=false forces
+// the fallback everywhere). Keyless requests are routed per -routing:
+// "jsq" (default) joins the shortest queue via power-of-two-choices,
+// "rr" is the blind round-robin ablation.
+//
 // Endpoints:
 //
 //	POST /send      {"receiver": 21, "selector": "double", "args": []}
@@ -26,11 +35,16 @@
 //	                is the result array in request order
 //	POST /save      persist the serving snapshot to the -image path
 //	GET  /programs  the loaded workload programs (name, size, entry, check)
-//	GET  /stats     aggregated pool metrics (add ?format=text for a table)
+//	GET  /stats     aggregated pool metrics (add ?format=text for a table);
+//	                includes the routing policy, per-shard queue depths, and
+//	                fixed-bucket latency percentiles: "latency_us" is machine
+//	                service time (p50/p90/p99/p999), "http_latency_us" the
+//	                whole HTTP handler including decode and queueing
 //	GET  /healthz   liveness probe
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -49,6 +63,7 @@ import (
 
 	"repro"
 	"repro/internal/serve"
+	"repro/internal/stats"
 	"repro/internal/word"
 	"repro/internal/workload"
 )
@@ -61,10 +76,15 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-request wall-clock timeout")
 	suite := flag.Bool("suite", true, "load the built-in workload suite")
 	gcEvery := flag.Int("gcevery", 0, "collect per worker every N requests (0: default, <0: never)")
+	routing := flag.String("routing", serve.RoutingJSQ, `keyless request routing: "jsq" (join shortest queue) or "rr" (round-robin)`)
+	fastwire := flag.Bool("fastwire", true, "use the pooled hand-written wire codec (false: encoding/json everywhere)")
 	imagePath := flag.String("image", "", "machine image path: warm-boot from it when present (refuses extra source files; /programs still reflects -suite), persist to it on POST /save")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
 	flag.Parse()
 
+	if *routing != serve.RoutingJSQ && *routing != serve.RoutingRR {
+		log.Fatalf("obarchd: -routing %q: want %q or %q", *routing, serve.RoutingJSQ, serve.RoutingRR)
+	}
 	snap, programs, err := bootSnapshot(*imagePath, *suite, flag.Args())
 	if err != nil {
 		log.Fatalf("obarchd: %v", err)
@@ -76,6 +96,7 @@ func main() {
 		MaxSteps:   *maxSteps,
 		Timeout:    *timeout,
 		GCEvery:    *gcEvery,
+		Routing:    *routing,
 	})
 
 	l, err := net.Listen("tcp", *addr)
@@ -85,7 +106,9 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
-	srv := &http.Server{Handler: newServer(pool, programs, snap, *imagePath)}
+	h := newServer(pool, programs, snap, *imagePath)
+	h.fast = *fastwire
+	srv := &http.Server{Handler: h}
 	log.Printf("obarchd: serving %d programs on %s with %d workers", len(programs), l.Addr(), pool.Workers())
 	serveAndDrain(srv, l, pool, *drain, sig)
 	met := pool.Metrics()
@@ -205,17 +228,21 @@ type programInfo struct {
 
 // server is the HTTP face of a pool. Split from main so tests can drive it
 // through net/http/httptest. snap is the immutable serving snapshot;
-// imagePath, when set, is where POST /save persists it.
+// imagePath, when set, is where POST /save persists it. fast selects the
+// pooled hand-written wire codec; httpLat records whole-handler latency
+// (decode, queueing, service, encode) for the /stats percentiles.
 type server struct {
 	pool      *serve.Pool
 	programs  []workload.Program
 	snap      *obarch.Snapshot
 	imagePath string
 	mux       *http.ServeMux
+	fast      bool
+	httpLat   stats.ConcurrentHistogram
 }
 
 func newServer(pool *serve.Pool, programs []workload.Program, snap *obarch.Snapshot, imagePath string) *server {
-	s := &server{pool: pool, programs: programs, snap: snap, imagePath: imagePath, mux: http.NewServeMux()}
+	s := &server{pool: pool, programs: programs, snap: snap, imagePath: imagePath, mux: http.NewServeMux(), fast: true}
 	s.mux.HandleFunc("POST /send", s.handleSend)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("POST /save", s.handleSave)
@@ -321,24 +348,59 @@ func jsonOf(v word.Word) any {
 }
 
 func (s *server) handleSend(w http.ResponseWriter, r *http.Request) {
-	var req sendRequest
-	dec := json.NewDecoder(r.Body)
-	dec.UseNumber()
-	if err := dec.Decode(&req); err != nil {
+	start := time.Now()
+	c := getCodec()
+	defer putCodec(c)
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	body, err := c.readBody(r)
+	if err != nil {
 		http.Error(w, fmt.Sprintf(`{"error":%q}`, "bad request: "+err.Error()), http.StatusBadRequest)
 		return
 	}
-	poolReq, err := toRequest(req)
-	if err != nil {
-		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)
-		return
+	poolReq, fastOK := serve.Request{}, false
+	if s.fast {
+		poolReq, fastOK = parseSend(body, c)
+	}
+	if !fastOK {
+		// Fallback: the original encoding/json path, for wire shapes the
+		// fast codec does not recognise — and for its error messages.
+		var req sendRequest
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.UseNumber()
+		if err := dec.Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, "bad request: "+err.Error()), http.StatusBadRequest)
+			return
+		}
+		if poolReq, err = toRequest(req); err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)
+			return
+		}
 	}
 	res := s.pool.Do(poolReq)
 	status := http.StatusOK
 	if res.Err != nil {
 		status = http.StatusUnprocessableEntity
 	}
+	if s.fast {
+		if out, ok := appendSendResponse(c.out[:0], res); ok {
+			c.out = append(out, '\n')
+			s.writeRaw(w, status, c.out, start)
+			return
+		}
+	}
+	s.httpLat.Observe(time.Since(start))
 	writeJSON(w, status, toResponse(res))
+}
+
+// writeRaw sends a fast-encoded response body and records the handler
+// latency.
+func (s *server) writeRaw(w http.ResponseWriter, status int, body []byte, start time.Time) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	s.httpLat.Observe(time.Since(start))
+	if _, err := w.Write(body); err != nil {
+		log.Printf("obarchd: write response: %v", err)
+	}
 }
 
 // toRequest converts one wire send into a pool request.
@@ -387,27 +449,61 @@ func toResponse(res serve.Result) sendResponse {
 // response preserves request order; per-request failures are reported
 // inline, so the status is 200 whenever the batch itself was well-formed.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var wire []sendRequest
-	dec := json.NewDecoder(r.Body)
-	dec.UseNumber()
-	if err := dec.Decode(&wire); err != nil {
+	start := time.Now()
+	c := getCodec()
+	defer putCodec(c)
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	body, err := c.readBody(r)
+	if err != nil {
 		http.Error(w, fmt.Sprintf(`{"error":%q}`, "bad request: "+err.Error()), http.StatusBadRequest)
 		return
 	}
-	reqs := make([]serve.Request, len(wire))
-	for i, wr := range wire {
-		req, err := toRequest(wr)
-		if err != nil {
-			http.Error(w, fmt.Sprintf(`{"error":%q}`, fmt.Sprintf("request %d: %v", i, err)), http.StatusBadRequest)
+	var reqs []serve.Request
+	fastOK := false
+	if s.fast {
+		reqs, fastOK = parseBatch(body, c)
+	}
+	if !fastOK {
+		var wire []sendRequest
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.UseNumber()
+		if err := dec.Decode(&wire); err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, "bad request: "+err.Error()), http.StatusBadRequest)
 			return
 		}
-		reqs[i] = req
+		reqs = make([]serve.Request, len(wire))
+		for i, wr := range wire {
+			req, err := toRequest(wr)
+			if err != nil {
+				http.Error(w, fmt.Sprintf(`{"error":%q}`, fmt.Sprintf("request %d: %v", i, err)), http.StatusBadRequest)
+				return
+			}
+			reqs[i] = req
+		}
 	}
 	results := s.pool.DoAll(reqs)
+	if fastOK {
+		out := append(c.out[:0], '[')
+		encOK := true
+		for i, res := range results {
+			if i > 0 {
+				out = append(out, ',')
+			}
+			if out, encOK = appendSendResponse(out, res); !encOK {
+				break
+			}
+		}
+		if encOK {
+			c.out = append(out, ']', '\n')
+			s.writeRaw(w, http.StatusOK, c.out, start)
+			return
+		}
+	}
 	out := make([]sendResponse, len(results))
 	for i, res := range results {
 		out[i] = toResponse(res)
 	}
+	s.httpLat.Observe(time.Since(start))
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -419,11 +515,27 @@ func (s *server) handlePrograms(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// percentiles renders a histogram's headline quantiles in microseconds.
+func percentiles(h stats.Histogram) map[string]any {
+	return map[string]any{
+		"count": h.Count(),
+		"p50":   h.Quantile(0.50).Microseconds(),
+		"p90":   h.Quantile(0.90).Microseconds(),
+		"p99":   h.Quantile(0.99).Microseconds(),
+		"p999":  h.Quantile(0.999).Microseconds(),
+	}
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	met := s.pool.Metrics()
+	service := s.pool.LatencyHistogram()
+	hlat := s.httpLat.Snapshot()
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, met.Report().String())
+		fmt.Fprintf(w, "service latency   %s\n", service.String())
+		fmt.Fprintf(w, "http latency      %s\n", hlat.String())
+		fmt.Fprintf(w, "routing           %s\n", s.pool.Routing())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -438,7 +550,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"gcs":             met.GCs,
 		"gc_pause_us":     met.GCPause.Microseconds(),
 		"workers":         s.pool.Workers(),
+		"routing":         s.pool.Routing(),
 		"queue_depths":    s.pool.QueueDepths(),
+		"latency_us":      percentiles(service),
+		"http_latency_us": percentiles(hlat),
 		"shards":          s.pool.ShardMetrics(),
 	})
 }

@@ -1,0 +1,127 @@
+package serve_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/word"
+)
+
+// runSequence drives a fixed, fully deterministic request sequence —
+// mixing Do, Go and DoAll, two rounds over every suite program at
+// measured size — sequentially through a fresh pool built with cfg, and
+// returns the summed machine-level accounting after Close plus every
+// answer. Submission is single-threaded, so shard assignment (and with
+// it every modelled cache state) depends only on the routing policy and
+// the keys, never on scheduling.
+func runSequence(t *testing.T, cfg serve.Config, keyed bool) (core.Stats, []int32) {
+	t.Helper()
+	snap, progs := suiteSnapshot(t)
+	pool := serve.NewPool(snap, cfg)
+	var vals []int32
+	collect := func(res serve.Result) {
+		got, err := res.Int()
+		if err != nil {
+			t.Fatalf("sequence request: %v", err)
+		}
+		vals = append(vals, got)
+	}
+	for round := 0; round < 2; round++ {
+		for i, p := range progs {
+			req := serve.Request{Receiver: word.FromInt(p.Size), Selector: p.Entry}
+			if keyed {
+				req.Key = uint64(i + 1)
+			}
+			switch i % 3 {
+			case 0:
+				collect(pool.Do(req))
+			case 1:
+				collect(pool.Go(req).Wait())
+			default:
+				for _, res := range pool.DoAll([]serve.Request{req, req}) {
+					collect(res)
+				}
+			}
+		}
+	}
+	pool.Close()
+	return pool.MachineStats(), vals
+}
+
+// assertParity compares two runs bit for bit: every modelled counter in
+// core.Stats and every answer.
+func assertParity(t *testing.T, label string, sa, sb core.Stats, va, vb []int32) {
+	t.Helper()
+	if sa != sb {
+		t.Fatalf("%s: machine stats diverge:\n a: %+v\n b: %+v", label, sa, sb)
+	}
+	if len(va) != len(vb) {
+		t.Fatalf("%s: answer counts diverge: %d vs %d", label, len(va), len(vb))
+	}
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("%s: answer %d diverges: %d vs %d", label, i, va[i], vb[i])
+		}
+	}
+}
+
+// TestLifecycleParity proves the pooled request lifecycle (recycled
+// futures, atomic closed flag, seqlock metrics) models the exact same
+// machines as the legacy per-call-channel lifecycle: bit-identical
+// core.Stats on every counter, identical answers. Routing is fixed to
+// round-robin so the only variable is the lifecycle.
+func TestLifecycleParity(t *testing.T) {
+	cfg := serve.Config{Workers: 2, Routing: serve.RoutingRR, Batch: 4}
+	legacy := cfg
+	legacy.LegacyLifecycle = true
+	sa, va := runSequence(t, cfg, false)
+	sb, vb := runSequence(t, legacy, false)
+	assertParity(t, "pooled vs legacy lifecycle", sa, sb, va, vb)
+}
+
+// TestRoutingParityKeyed proves JSQ and round-robin are host-level
+// placement only: with affinity keys pinning every request, the two
+// policies assign identical work to identical machines and the modelled
+// core.Stats match bit for bit.
+func TestRoutingParityKeyed(t *testing.T) {
+	rr := serve.Config{Workers: 4, Routing: serve.RoutingRR, Batch: 4}
+	jsq := serve.Config{Workers: 4, Routing: serve.RoutingJSQ, Batch: 4}
+	sa, va := runSequence(t, rr, true)
+	sb, vb := runSequence(t, jsq, true)
+	assertParity(t, "rr vs jsq (keyed)", sa, sb, va, vb)
+}
+
+// TestRoutingParitySingleShard: with one shard there is nothing to
+// route, so keyless traffic must also model identically across policies
+// (and across lifecycles, closing the matrix).
+func TestRoutingParitySingleShard(t *testing.T) {
+	rr := serve.Config{Workers: 1, Routing: serve.RoutingRR}
+	jsq := serve.Config{Workers: 1, Routing: serve.RoutingJSQ, LegacyLifecycle: true}
+	sa, va := runSequence(t, rr, false)
+	sb, vb := runSequence(t, jsq, false)
+	assertParity(t, "rr vs jsq (single shard)", sa, sb, va, vb)
+}
+
+// TestRoutingValidation pins the Config.Routing contract: both named
+// policies and the empty default construct, anything else panics.
+func TestRoutingValidation(t *testing.T) {
+	snap, _ := suiteSnapshot(t)
+	for _, routing := range []string{"", serve.RoutingJSQ, serve.RoutingRR} {
+		pool := serve.NewPool(snap, serve.Config{Workers: 1, Routing: routing})
+		want := routing
+		if want == "" {
+			want = serve.RoutingJSQ
+		}
+		if got := pool.Routing(); got != want {
+			t.Fatalf("Routing() = %q for config %q", got, routing)
+		}
+		pool.Close()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown routing policy did not panic")
+		}
+	}()
+	serve.NewPool(snap, serve.Config{Routing: "least-loaded"})
+}

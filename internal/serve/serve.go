@@ -9,21 +9,49 @@
 // its own goroutine (Do's fast path), skipping the queue's two scheduler
 // round-trips entirely.
 //
-// Requests are routed to shards either by an explicit affinity key (same
-// key → same machine, keeping that key's (selector, class) working set hot
-// in one ITLB) or round-robin when no key is given. Under load, workers
-// drain up to Config.Batch queued requests per wakeup, and DoAll submits
-// whole request slices as per-shard sub-batches that pipeline across
-// shards (one wait-group signal per sub-batch instead of one channel
-// round-trip per request). Each request carries an optional step budget
-// and wall-clock timeout; a request that traps, times out or exhausts its
-// budget is aborted and the machine is reused, with the abandoned context
-// chain reclaimed by a periodic per-shard garbage collection.
+// The request lifecycle is zero-allocation and lock-light end to end:
+//
+//   - Results travel in pooled Futures — a reusable result cell with a
+//     reusable done-signal channel, recycled through a sync.Pool when the
+//     caller collects the result — instead of a fresh chan Result per
+//     call. Config.LegacyLifecycle restores the per-call channel as the
+//     ablation.
+//   - The submission path is guarded by an atomic closed flag plus a
+//     per-shard in-flight counter instead of a pool-wide RWMutex; Close
+//     flips the flag and waits the counters out, so a submission that saw
+//     the pool open always lands on a live queue.
+//   - Metrics are per-shard, cache-line padded, written only by the
+//     shard's driver, and published through a per-shard seqlock: Metrics
+//     and ShardMetrics merge consistent snapshots on read, with no mutex
+//     anywhere on the serving path. Service latency additionally lands in
+//     a per-shard fixed-bucket histogram (LatencyHistogram) for
+//     percentile reporting.
+//
+// Requests are routed to shards by an explicit affinity key when one is
+// given (same key → same machine, keeping that key's (selector, class)
+// working set hot in one ITLB). Keyless requests are routed per
+// Config.Routing: RoutingJSQ (the default) joins the shortest queue via
+// power-of-two-choices over the shards' depth counters — two random
+// shards are probed and the shallower wins, so a slow or pinned-hot shard
+// stops attracting blind traffic — while RoutingRR keeps the old blind
+// round-robin as the ablation. Either way the modelled machines see the
+// same work: routing is host-level placement only.
+//
+// Under load, workers drain up to Config.Batch queued requests per
+// wakeup, and DoAll submits whole request slices as per-shard sub-batches
+// that pipeline across shards (one wait-group signal per sub-batch
+// instead of one hand-off per request). Each request carries an optional
+// step budget and wall-clock timeout; a request that traps, times out or
+// exhausts its budget is aborted and the machine is reused, with the
+// abandoned context chain reclaimed by a periodic per-shard garbage
+// collection.
 package serve
 
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,7 +69,8 @@ type Request struct {
 	Args     []word.Word
 
 	// Key, when nonzero, routes the request: equal keys always reach the
-	// same shard (machine affinity). Zero keys are spread round-robin.
+	// same shard (machine affinity). Zero keys are spread per
+	// Config.Routing.
 	Key uint64
 	// MaxSteps bounds the send's interpreted steps; 0 uses the pool default.
 	MaxSteps uint64
@@ -73,6 +102,17 @@ func (r Result) Int() (int32, error) {
 	return v, nil
 }
 
+// Routing policies for keyless requests (Config.Routing).
+const (
+	// RoutingJSQ joins the shortest queue by power-of-two-choices: two
+	// random shards are probed and the one with the smaller backlog wins.
+	// The default.
+	RoutingJSQ = "jsq"
+	// RoutingRR is blind round-robin — the pre-JSQ behaviour, kept as the
+	// ablation.
+	RoutingRR = "rr"
+)
+
 // Config sizes a pool.
 type Config struct {
 	// Workers is the number of shards (machines). Default 1.
@@ -101,6 +141,14 @@ type Config struct {
 	// against interleaved single requests. 0 uses the default of 16; 1
 	// disables batching.
 	Batch int
+	// Routing selects the keyless routing policy: RoutingJSQ (default)
+	// or RoutingRR. Any other value panics in NewPool.
+	Routing string
+	// LegacyLifecycle allocates a fresh result cell (with a fresh signal
+	// channel) per request instead of recycling pooled cells — the PR 4
+	// request lifecycle, kept as the ablation for the zero-allocation
+	// benchmarks.
+	LegacyLifecycle bool
 }
 
 const (
@@ -142,23 +190,6 @@ func (m Metrics) MeanLatency() time.Duration {
 	return m.TotalLatency / time.Duration(m.Requests)
 }
 
-// add folds one request outcome into the metrics.
-func (m *Metrics) add(r Result, timeout bool) {
-	m.Requests++
-	if r.Err != nil {
-		m.Errors++
-		if timeout {
-			m.Timeouts++
-		}
-	}
-	m.TotalLatency += r.Latency
-	if r.Latency > m.MaxLatency {
-		m.MaxLatency = r.Latency
-	}
-	m.Instructions += r.Steps
-	m.Cycles += r.Cycles
-}
-
 // merge folds another shard's metrics in.
 func (m *Metrics) merge(o Metrics) {
 	m.Requests += o.Requests
@@ -193,13 +224,58 @@ func (m Metrics) Report() *stats.Table {
 	return t
 }
 
-// job is one unit of queued work: either a single request with its reply
-// channel, or a DoAll sub-batch — a set of indexes into a shared request
+// Future is the handle for a request submitted with Go: a pooled result
+// cell with a reusable done-signal. Wait must be called exactly once; it
+// returns the cell to the pool, after which the Future must not be
+// touched again.
+type Future struct {
+	res    Result
+	done   chan struct{}
+	pooled bool
+}
+
+// Wait blocks for the request's result and recycles the cell.
+func (f *Future) Wait() Result {
+	<-f.done
+	res := f.res
+	if f.pooled {
+		f.res = Result{}
+		futurePool.Put(f)
+	}
+	return res
+}
+
+// futurePool recycles result cells across all pools. A cell's done
+// channel is created once and reused forever: the worker sends exactly
+// one token per request, Wait consumes it, and the channel is empty again
+// when the cell re-enters the pool.
+var futurePool = sync.Pool{
+	New: func() any { return &Future{done: make(chan struct{}, 1), pooled: true} },
+}
+
+// newFuture hands out a result cell: pooled normally, freshly allocated
+// under the legacy lifecycle ablation.
+func (p *Pool) newFuture() *Future {
+	if p.cfg.LegacyLifecycle {
+		return &Future{done: make(chan struct{}, 1)}
+	}
+	return futurePool.Get().(*Future)
+}
+
+// complete delivers a result into a future. The buffered send never
+// blocks: each future receives exactly one completion.
+func (f *Future) complete(res Result) {
+	f.res = res
+	f.done <- struct{}{}
+}
+
+// job is one unit of queued work: either a single request with its result
+// cell, or a DoAll sub-batch — a set of indexes into a shared request
 // slice whose results land in the shared result slice, signalled through
 // the batch's wait group.
 type job struct {
 	req Request
-	res chan<- Result
+	fut *Future
 
 	// Batch mode (wg != nil): serve reqs[i] into out[i] for i in batch.
 	batch []int
@@ -208,44 +284,113 @@ type job struct {
 	wg    *sync.WaitGroup
 }
 
+// metricsPad keeps one shard's writer-hot counters off the cache lines of
+// its neighbours' counters (and of the shard's own queue bookkeeping).
+type metricsPad [64]byte
+
+// shardMetrics is the per-shard accounting: plain atomic counters written
+// only by whoever holds the shard's execMu, published to concurrent
+// readers through a seqlock. The writer brackets every update between two
+// seq increments (odd while mid-update); a reader retries until it sees
+// the same even seq before and after its loads, so a snapshot can never
+// mix counters from two different requests — the torn-read window the old
+// per-shard mutex left between Metrics and ShardMetrics is gone without
+// reintroducing a lock on the serving path.
+type shardMetrics struct {
+	_            metricsPad
+	seq          atomic.Uint64
+	requests     atomic.Uint64
+	errors       atomic.Uint64
+	timeouts     atomic.Uint64
+	totalLatency atomic.Int64
+	maxLatency   atomic.Int64
+	instructions atomic.Uint64
+	cycles       atomic.Uint64
+	itlbHits     atomic.Uint64
+	itlbTotal    atomic.Uint64
+	gcs          atomic.Uint64
+	gcPause      atomic.Int64
+	_            metricsPad
+}
+
+// begin opens a writer critical section (seq goes odd).
+func (mm *shardMetrics) begin() { mm.seq.Add(1) }
+
+// end closes it (seq returns even).
+func (mm *shardMetrics) end() { mm.seq.Add(1) }
+
+// snapshot returns a consistent copy of the counters.
+func (mm *shardMetrics) snapshot() Metrics {
+	for {
+		s1 := mm.seq.Load()
+		if s1&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		m := Metrics{
+			Requests:     mm.requests.Load(),
+			Errors:       mm.errors.Load(),
+			Timeouts:     mm.timeouts.Load(),
+			TotalLatency: time.Duration(mm.totalLatency.Load()),
+			MaxLatency:   time.Duration(mm.maxLatency.Load()),
+			Instructions: mm.instructions.Load(),
+			Cycles:       mm.cycles.Load(),
+			ITLB:         stats.Ratio{Hits: mm.itlbHits.Load(), Total: mm.itlbTotal.Load()},
+			GCs:          mm.gcs.Load(),
+			GCPause:      time.Duration(mm.gcPause.Load()),
+		}
+		if mm.seq.Load() == s1 {
+			return m
+		}
+	}
+}
+
 // shard is one worker: a private machine behind a private queue. Machine
 // execution is serialised by execMu — normally held by the shard's worker
 // goroutine, but an idle shard's machine may be driven directly by a
-// caller (see Do's inline fast path). pending counts queued-but-unfinished
-// jobs so the inline path never overtakes work the same caller already
-// submitted. Metrics sit behind their own mutex.
+// caller (see Do's inline fast path). pending counts queued-but-
+// unfinished jobs plus any inline execution — the JSQ depth signal.
+// inflight counts submitters inside the enqueue window (and inline
+// drivers for their whole execution), so Close can wait them out after
+// flipping the closed flag.
 type shard struct {
-	id      int
-	m       *core.Machine
-	queue   chan job
-	execMu  sync.Mutex
-	pending atomic.Int64
+	id       int
+	m        *core.Machine
+	queue    chan job
+	execMu   sync.Mutex
+	pending  atomic.Int64
+	inflight atomic.Int64
 
 	// col is the shard's incremental collector. It is only touched by
 	// whoever holds execMu (the worker, or an inline Do caller), like
 	// the machine it collects.
 	col gc.Collector
 
-	mu           sync.Mutex
-	met          Metrics
+	met shardMetrics
+	lat stats.ConcurrentHistogram
+
+	// Driver-private GC cadence and ITLB baselines: sinceGC is only
+	// touched under execMu; the baselines are fixed at pool start so
+	// aggregates report only traffic served by this pool.
 	sinceGC      int
-	itlbHitBase  uint64 // ITLB counters at pool start, so aggregates
-	itlbMissBase uint64 // report only traffic served by this pool
+	itlbHitBase  uint64
+	itlbMissBase uint64
 }
 
 // Pool is a sharded serving pool over machines cloned from one snapshot.
 type Pool struct {
 	cfg    Config
+	jsq    bool
 	shards []*shard
 
-	rr     atomic.Uint64 // round-robin cursor for keyless requests
-	mu     sync.RWMutex  // guards closed against in-flight enqueues
-	closed bool
-	wg     sync.WaitGroup
+	rr        atomic.Uint64 // round-robin cursor for RoutingRR
+	closed    atomic.Bool
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 }
 
 // NewPool builds and starts a pool of cfg.Workers machines cloned from the
-// snapshot.
+// snapshot. It panics on an unknown cfg.Routing value.
 func NewPool(snap *core.Snapshot, cfg Config) *Pool {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
@@ -260,6 +405,14 @@ func NewPool(snap *core.Snapshot, cfg Config) *Pool {
 		cfg.Batch = defaultBatch
 	}
 	p := &Pool{cfg: cfg}
+	switch cfg.Routing {
+	case "", RoutingJSQ:
+		p.jsq = true
+	case RoutingRR:
+		p.jsq = false
+	default:
+		panic(fmt.Sprintf("serve: unknown routing policy %q (want %q or %q)", cfg.Routing, RoutingJSQ, RoutingRR))
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		m := snap.NewMachine()
 		s := &shard{
@@ -281,29 +434,72 @@ func NewPool(snap *core.Snapshot, cfg Config) *Pool {
 // Workers returns the number of shards.
 func (p *Pool) Workers() int { return len(p.shards) }
 
-// shardFor routes a request.
-func (p *Pool) shardFor(req Request) *shard {
-	if req.Key != 0 {
-		return p.shards[req.Key%uint64(len(p.shards))]
+// Routing returns the keyless routing policy in effect.
+func (p *Pool) Routing() string {
+	if p.jsq {
+		return RoutingJSQ
 	}
-	return p.shards[p.rr.Add(1)%uint64(len(p.shards))]
+	return RoutingRR
 }
 
-// Go submits a request and returns a channel delivering its single result.
-// The channel is buffered: the result never blocks on a slow reader.
-func (p *Pool) Go(req Request) <-chan Result {
-	res := make(chan Result, 1)
-	p.mu.RLock()
-	if p.closed {
-		p.mu.RUnlock()
-		res <- Result{Err: ErrClosed}
-		return res
+// shardFor routes a request. Affinity keys pin; keyless requests go to
+// the shorter of two randomly probed queues (RoutingJSQ) or round-robin
+// (RoutingRR).
+func (p *Pool) shardFor(req Request) *shard {
+	n := uint64(len(p.shards))
+	if req.Key != 0 {
+		return p.shards[req.Key%n]
+	}
+	if n == 1 {
+		return p.shards[0]
+	}
+	if p.jsq {
+		r := rand.Uint64()
+		a := r % n
+		b := (r >> 32) % n
+		if b == a {
+			b = (a + 1) % n
+		}
+		sa, sb := p.shards[a], p.shards[b]
+		if sb.pending.Load() < sa.pending.Load() {
+			return sb
+		}
+		return sa
+	}
+	return p.shards[p.rr.Add(1)%n]
+}
+
+// enter routes a request and claims its shard's in-flight counter. On
+// success the caller must release the counter with s.inflight.Add(-1)
+// once its enqueue (or inline execution) is done. The counter-then-flag
+// order pairs with Close's flag-then-counter order: a submitter that saw
+// the pool open is always waited out before the queues close.
+func (p *Pool) enter(req Request) (*shard, bool) {
+	if p.closed.Load() {
+		return nil, false
 	}
 	s := p.shardFor(req)
+	s.inflight.Add(1)
+	if p.closed.Load() {
+		s.inflight.Add(-1)
+		return nil, false
+	}
+	return s, true
+}
+
+// Go submits a request and returns a Future delivering its single result.
+// The Future's Wait must be called exactly once.
+func (p *Pool) Go(req Request) *Future {
+	f := p.newFuture()
+	s, ok := p.enter(req)
+	if !ok {
+		f.complete(Result{Err: ErrClosed})
+		return f
+	}
 	s.pending.Add(1)
-	s.queue <- job{req: req, res: res}
-	p.mu.RUnlock()
-	return res
+	s.queue <- job{req: req, fut: f}
+	s.inflight.Add(-1)
+	return f
 }
 
 // Do submits a request and waits for its result.
@@ -314,52 +510,46 @@ func (p *Pool) Go(req Request) <-chan Result {
 // round-trips per request. The machine, not the goroutine, is the unit of
 // sharding: execMu keeps exactly one driver on it at a time, and the
 // pending check (made after the lock is won) ensures the inline path never
-// runs ahead of work the same caller already queued with Go.
+// runs ahead of work the same caller already queued with Go. The inline
+// execution itself counts in pending, so the JSQ depth signal sees busy
+// shards whichever path drives them.
 func (p *Pool) Do(req Request) Result {
-	p.mu.RLock()
-	if p.closed {
-		p.mu.RUnlock()
+	s, ok := p.enter(req)
+	if !ok {
 		return Result{Err: ErrClosed}
 	}
-	s := p.shardFor(req)
 	if s.execMu.TryLock() {
 		if s.pending.Load() == 0 {
-			// p.mu stays read-held for the whole inline execution, so
-			// Close (which takes the write lock before returning) still
-			// guarantees a quiescent pool: no machine is running once
-			// Close returns, inline drivers included.
+			// s.inflight stays held for the whole inline execution, so
+			// Close (which waits the counters out before returning)
+			// still guarantees a quiescent pool: no machine is running
+			// once Close returns, inline drivers included.
+			s.pending.Add(1)
 			res := p.serveOne(s, req)
+			s.pending.Add(-1)
 			s.execMu.Unlock()
-			p.mu.RUnlock()
+			s.inflight.Add(-1)
 			return res
 		}
 		s.execMu.Unlock()
 	}
-	res := make(chan Result, 1)
+	f := p.newFuture()
 	s.pending.Add(1)
-	s.queue <- job{req: req, res: res}
-	p.mu.RUnlock()
-	return <-res
+	s.queue <- job{req: req, fut: f}
+	s.inflight.Add(-1)
+	return f.Wait()
 }
 
 // DoAll executes a batch and waits for every result, preserving request
 // order. The batch is sharded: requests are grouped by destination worker
-// (affinity keys respected, keyless requests spread round-robin) and each
-// group is enqueued as sub-batches of at most cfg.Batch requests,
+// (affinity keys respected, keyless requests routed per Config.Routing)
+// and each group is enqueued as sub-batches of at most cfg.Batch requests,
 // interleaved round-robin across shards so every worker starts its share
 // immediately and sub-batches pipeline behind one another instead of one
-// result channel round-trip per request.
+// result hand-off per request.
 func (p *Pool) DoAll(reqs []Request) []Result {
 	out := make([]Result, len(reqs))
 	if len(reqs) == 0 {
-		return out
-	}
-	p.mu.RLock()
-	if p.closed {
-		p.mu.RUnlock()
-		for i := range out {
-			out[i] = Result{Err: ErrClosed}
-		}
 		return out
 	}
 	groups := make([][]int, len(p.shards))
@@ -368,6 +558,7 @@ func (p *Pool) DoAll(reqs []Request) []Result {
 		groups[s.id] = append(groups[s.id], i)
 	}
 	var wg sync.WaitGroup
+	closed := false
 	for remaining := true; remaining; {
 		remaining = false
 		for si, idxs := range groups {
@@ -375,16 +566,27 @@ func (p *Pool) DoAll(reqs []Request) []Result {
 				continue
 			}
 			n := min(p.cfg.Batch, len(idxs))
+			s := p.shards[si]
+			s.inflight.Add(1)
+			if closed || p.closed.Load() {
+				s.inflight.Add(-1)
+				closed = true
+				for _, i := range idxs {
+					out[i] = Result{Err: ErrClosed}
+				}
+				groups[si] = nil
+				continue
+			}
 			wg.Add(1)
-			p.shards[si].pending.Add(1)
-			p.shards[si].queue <- job{reqs: reqs, out: out, batch: idxs[:n], wg: &wg}
+			s.pending.Add(1)
+			s.queue <- job{reqs: reqs, out: out, batch: idxs[:n], wg: &wg}
+			s.inflight.Add(-1)
 			groups[si] = idxs[n:]
 			if len(groups[si]) > 0 {
 				remaining = true
 			}
 		}
 	}
-	p.mu.RUnlock()
 	wg.Wait()
 	return out
 }
@@ -392,34 +594,43 @@ func (p *Pool) DoAll(reqs []Request) []Result {
 // Close drains the queues, stops every worker and waits for them. Requests
 // already accepted are served; later submissions get ErrClosed.
 func (p *Pool) Close() {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return
-	}
-	p.closed = true
-	for _, s := range p.shards {
-		close(s.queue)
-	}
-	p.mu.Unlock()
-	p.wg.Wait()
+	p.closed.Store(true)
+	p.closeOnce.Do(func() {
+		// Wait out submitters caught between their closed check and
+		// their enqueue, and inline drivers mid-execution. The window is
+		// a few instructions for submitters; inline drivers hold their
+		// counter for a whole send, so back off politely.
+		for _, s := range p.shards {
+			for spin := 0; s.inflight.Load() != 0; spin++ {
+				if spin < 64 {
+					runtime.Gosched()
+				} else {
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		}
+		for _, s := range p.shards {
+			close(s.queue)
+		}
+		p.wg.Wait()
+	})
 }
 
-// Metrics returns the aggregated pool metrics.
+// Metrics returns the aggregated pool metrics. Each shard contributes a
+// seqlock-consistent snapshot; the total can only trail, never lead, the
+// per-shard counts a later ShardMetrics call reports.
 func (p *Pool) Metrics() Metrics {
 	var out Metrics
 	for _, s := range p.shards {
-		s.mu.Lock()
-		out.merge(s.met)
-		s.mu.Unlock()
+		out.merge(s.met.snapshot())
 	}
 	return out
 }
 
 // QueueDepths returns each shard's instantaneous backlog — queued jobs
-// plus any executing one — indexed by worker id. This is the
-// join-shortest-queue signal for adaptive routing (ROADMAP): a caller can
-// steer keyless traffic toward the shallowest shard.
+// plus any executing one, inline executions included — indexed by worker
+// id. This is the depth counter the JSQ router probes; exposing it lets
+// callers and /stats watch the balance.
 func (p *Pool) QueueDepths() []int {
 	out := make([]int, len(p.shards))
 	for i, s := range p.shards {
@@ -428,13 +639,23 @@ func (p *Pool) QueueDepths() []int {
 	return out
 }
 
-// ShardMetrics returns each shard's metrics, indexed by worker id.
+// ShardMetrics returns each shard's metrics, indexed by worker id. Each
+// entry is a seqlock-consistent snapshot.
 func (p *Pool) ShardMetrics() []Metrics {
 	out := make([]Metrics, len(p.shards))
 	for i, s := range p.shards {
-		s.mu.Lock()
-		out[i] = s.met
-		s.mu.Unlock()
+		out[i] = s.met.snapshot()
+	}
+	return out
+}
+
+// LatencyHistogram merges the shards' fixed-bucket service-latency
+// histograms — the data behind /stats percentiles.
+func (p *Pool) LatencyHistogram() stats.Histogram {
+	var out stats.Histogram
+	for _, s := range p.shards {
+		h := s.lat.Snapshot()
+		out.Merge(&h)
 	}
 	return out
 }
@@ -485,12 +706,16 @@ func (p *Pool) serveJob(s *shard, j job) {
 		j.wg.Done()
 		return
 	}
-	j.res <- p.serveOne(s, j.req)
+	res := p.serveOne(s, j.req)
+	// Retire the depth count before publishing the result: once every
+	// submitted request has been collected, QueueDepths is exactly zero.
 	s.pending.Add(-1)
+	j.fut.complete(res)
 }
 
 // serveOne executes a request on the shard's machine, restoring the
-// machine to an idle state whatever happens.
+// machine to an idle state whatever happens. Callers hold execMu, which
+// makes this the shard's single metrics writer.
 func (p *Pool) serveOne(s *shard, req Request) Result {
 	m := s.m
 	budget := req.MaxSteps
@@ -534,19 +759,33 @@ func (p *Pool) serveOne(s *shard, req Request) Result {
 		m.Abort()
 	}
 
-	s.mu.Lock()
-	s.met.add(res, timedOut)
-	cs := m.ITLB.CacheStats()
-	s.met.ITLB = stats.Ratio{
-		Hits:  cs.Hits - s.itlbHitBase,
-		Total: (cs.Hits - s.itlbHitBase) + (cs.Misses - s.itlbMissBase),
+	mm := &s.met
+	mm.begin()
+	mm.requests.Add(1)
+	if err != nil {
+		mm.errors.Add(1)
+		if timedOut {
+			mm.timeouts.Add(1)
+		}
 	}
+	lat := int64(res.Latency)
+	mm.totalLatency.Add(lat)
+	if lat > mm.maxLatency.Load() {
+		mm.maxLatency.Store(lat)
+	}
+	mm.instructions.Add(res.Steps)
+	mm.cycles.Add(res.Cycles)
+	cs := m.ITLB.CacheStats()
+	mm.itlbHits.Store(cs.Hits - s.itlbHitBase)
+	mm.itlbTotal.Store((cs.Hits - s.itlbHitBase) + (cs.Misses - s.itlbMissBase))
+	mm.end()
+	s.lat.Observe(res.Latency)
+
 	s.sinceGC++
 	due := p.cfg.GCEvery > 0 && (s.sinceGC >= p.cfg.GCEvery || err != nil)
 	if due {
 		s.sinceGC = 0
 	}
-	s.mu.Unlock()
 
 	// Collection work rides between requests in bounded slices: a due
 	// shard runs the mark phase and the first sweep step now, and an
@@ -565,12 +804,12 @@ func (p *Pool) serveOne(s *shard, req Request) Result {
 		}
 		_, done := s.col.Step(chunk)
 		pause := time.Since(gcStart)
-		s.mu.Lock()
-		s.met.GCPause += pause
+		mm.begin()
+		mm.gcPause.Add(int64(pause))
 		if done {
-			s.met.GCs++
+			mm.gcs.Add(1)
 		}
-		s.mu.Unlock()
+		mm.end()
 	}
 	return res
 }

@@ -387,11 +387,11 @@ func TestPoolMixedDoGoDoAll(t *testing.T) {
 						t.Errorf("Do: %v", res.Err)
 					}
 				case 1:
-					ch := pool.Go(req)
+					f := pool.Go(req)
 					if res := pool.Do(req); res.Err != nil {
 						t.Errorf("Do after Go: %v", res.Err)
 					}
-					if res := <-ch; res.Err != nil {
+					if res := f.Wait(); res.Err != nil {
 						t.Errorf("Go: %v", res.Err)
 					}
 				default:

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistogramBuckets is the fixed bucket count of a latency Histogram. The
+// buckets are log-linear over nanoseconds — four sub-buckets per power of
+// two (HDR-style), so every bucket's width is at most 25% of its lower
+// bound — and cover the full non-negative int64 range, so Observe never
+// saturates or drops a sample.
+const HistogramBuckets = 248
+
+// histSubBits is the log2 of the sub-bucket count per octave.
+const histSubBits = 2
+
+// histogramBucket maps a non-negative nanosecond value to its bucket.
+// Values 0..3 get exact buckets; above that, bucket = (exp-1)*4 + the two
+// bits below the leading bit, where exp is the position of the leading bit.
+func histogramBucket(ns int64) int {
+	if ns < 1<<histSubBits {
+		if ns < 0 {
+			return 0
+		}
+		return int(ns)
+	}
+	v := uint64(ns)
+	exp := bits.Len64(v) - 1 // >= histSubBits
+	sub := (v >> (uint(exp) - histSubBits)) & (1<<histSubBits - 1)
+	return (exp-1)<<histSubBits + int(sub)
+}
+
+// bucketUpper returns the largest nanosecond value a bucket holds.
+func bucketUpper(b int) int64 {
+	if b < 1<<histSubBits {
+		return int64(b)
+	}
+	exp := uint(b>>histSubBits) + 1
+	width := int64(1) << (exp - histSubBits)
+	lower := int64(1)<<exp + int64(b&(1<<histSubBits-1))*width
+	return lower + width - 1
+}
+
+// Histogram is a fixed-bucket latency histogram. The zero value is ready
+// to use. It is not safe for concurrent use; see ConcurrentHistogram for
+// the multi-writer variant.
+type Histogram struct {
+	Counts [HistogramBuckets]uint64
+}
+
+// Observe records one duration. Negative durations land in bucket zero.
+func (h *Histogram) Observe(d time.Duration) {
+	h.Counts[histogramBucket(int64(d))]++
+}
+
+// Merge folds another histogram's counts in.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) of the
+// recorded samples: the upper edge of the bucket holding that rank, so the
+// error is bounded by the bucket width (≤25% of the value). An empty
+// histogram returns 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			return time.Duration(bucketUpper(i))
+		}
+	}
+	return time.Duration(bucketUpper(HistogramBuckets - 1))
+}
+
+// String summarises the histogram as count + headline percentiles.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d p50=%v p90=%v p99=%v",
+		h.Count(), h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
+}
+
+// ConcurrentHistogram is a Histogram whose buckets may be observed from
+// many goroutines at once: each observation is a single uncontended-in-
+// the-common-case atomic increment, with no lock anywhere. The zero value
+// is ready to use.
+type ConcurrentHistogram struct {
+	counts [HistogramBuckets]atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *ConcurrentHistogram) Observe(d time.Duration) {
+	h.counts[histogramBucket(int64(d))].Add(1)
+}
+
+// Snapshot copies the current counts into a plain Histogram. Concurrent
+// observers may land between bucket reads; each bucket is itself exact.
+func (h *ConcurrentHistogram) Snapshot() Histogram {
+	var out Histogram
+	for i := range h.counts {
+		out.Counts[i] = h.counts[i].Load()
+	}
+	return out
+}

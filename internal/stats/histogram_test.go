@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketEdges pins the log-linear bucket layout: buckets are
+// contiguous, monotone, and every value maps into a bucket whose bounds
+// contain it with ≤25% relative width.
+func TestHistogramBucketEdges(t *testing.T) {
+	// Exact buckets below 4.
+	for v := int64(0); v < 4; v++ {
+		if b := histogramBucket(v); b != int(v) {
+			t.Fatalf("bucket(%d) = %d, want %d", v, b, v)
+		}
+		if u := bucketUpper(int(v)); u != v {
+			t.Fatalf("upper(%d) = %d, want %d", v, u, v)
+		}
+	}
+	if b := histogramBucket(-5); b != 0 {
+		t.Fatalf("bucket(-5) = %d, want 0", b)
+	}
+	// Monotone and contiguous across the whole range.
+	prev := -1
+	for _, v := range []int64{4, 5, 6, 7, 8, 9, 10, 15, 16, 100, 1000, 1 << 20, 1 << 40, 1<<62 + 12345, 1<<63 - 1} {
+		b := histogramBucket(v)
+		if b < prev {
+			t.Fatalf("bucket(%d) = %d goes backwards (prev %d)", v, b, prev)
+		}
+		if b >= HistogramBuckets {
+			t.Fatalf("bucket(%d) = %d out of range", v, b)
+		}
+		if u := bucketUpper(b); u < v {
+			t.Fatalf("value %d above its bucket %d upper bound %d", v, b, u)
+		}
+		prev = b
+	}
+	// Every bucket boundary round-trips: upper(b) is in b, upper(b)+1 in b+1.
+	for b := 0; b < HistogramBuckets-1; b++ {
+		u := bucketUpper(b)
+		if got := histogramBucket(u); got != b {
+			t.Fatalf("upper(%d)=%d maps to bucket %d", b, u, got)
+		}
+		if got := histogramBucket(u + 1); got != b+1 {
+			t.Fatalf("upper(%d)+1=%d maps to bucket %d, want %d", b, u+1, got, b+1)
+		}
+	}
+	// The last bucket holds the int64 maximum.
+	if got := histogramBucket(1<<63 - 1); got != HistogramBuckets-1 {
+		t.Fatalf("max int64 maps to bucket %d, want %d", got, HistogramBuckets-1)
+	}
+}
+
+// TestHistogramQuantile checks quantiles against exact order statistics on
+// a random sample: the histogram's answer must be an upper bound within
+// one bucket width (25%) of the true value.
+func TestHistogramQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	samples := make([]int64, 10000)
+	for i := range samples {
+		// Mix of microsecond- and millisecond-scale latencies.
+		v := int64(rng.ExpFloat64() * 50e3)
+		if i%10 == 0 {
+			v = int64(rng.ExpFloat64() * 5e6)
+		}
+		samples[i] = v
+		h.Observe(time.Duration(v))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	if got, want := h.Count(), uint64(len(samples)); got != want {
+		t.Fatalf("count %d, want %d", got, want)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+		rank := int(q*float64(len(samples))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		exact := samples[rank]
+		got := int64(h.Quantile(q))
+		if got < exact {
+			t.Fatalf("q%.3f = %d below exact %d", q, got, exact)
+		}
+		// Upper bound within one bucket: ≤25% above, +4ns slack for the
+		// exact tiny buckets.
+		if float64(got) > float64(exact)*1.25+4 {
+			t.Fatalf("q%.3f = %d too far above exact %d", q, got, exact)
+		}
+	}
+	if (&Histogram{}).Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(time.Duration(i) * time.Microsecond)
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(&b)
+	if got := a.Count(); got != 200 {
+		t.Fatalf("merged count %d, want 200", got)
+	}
+	if a.Quantile(1.0) < 99*time.Millisecond {
+		t.Fatalf("merge lost the millisecond tail: max %v", a.Quantile(1.0))
+	}
+}
+
+// TestConcurrentHistogram hammers one histogram from many goroutines; the
+// final snapshot must hold every observation. Run under -race this also
+// proves the atomic bucket scheme is data-race free.
+func TestConcurrentHistogram(t *testing.T) {
+	var h ConcurrentHistogram
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*1000+i) * time.Nanosecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if got := snap.Count(); got != goroutines*per {
+		t.Fatalf("snapshot count %d, want %d", got, goroutines*per)
+	}
+}

@@ -25,13 +25,19 @@
 //
 // Requests carry optional step budgets, wall-clock timeouts, and affinity
 // keys (equal keys always reach the same worker machine, keeping its ITLB
-// working set hot); pool.Metrics() aggregates latency and machine
-// accounting across workers. Batches go through pool.DoAll, which shards
-// the request slice across workers and pipelines per-shard sub-batches —
-// one wait-group signal per sub-batch instead of a channel round-trip per
-// request. cmd/obarchd wraps the pool as an HTTP/JSON server (POST /send,
-// POST /batch) and cmd/loadgen replays the workload suite against it as
-// concurrent traffic, batched or unbatched (-batch K).
+// working set hot); keyless requests join the shortest queue by
+// power-of-two-choices (ServeConfig.Routing selects "jsq" or the blind
+// round-robin ablation "rr"). The request lifecycle is zero-allocation:
+// results travel in pooled, recycled Futures rather than per-call
+// channels, and pool.Metrics() aggregates latency and machine accounting
+// across workers from per-shard lock-free counters. Batches go through
+// pool.DoAll, which shards the request slice across workers and
+// pipelines per-shard sub-batches — one wait-group signal per sub-batch
+// instead of a channel round-trip per request. cmd/obarchd wraps the
+// pool as an HTTP/JSON server (POST /send, POST /batch) with a pooled
+// hand-written wire codec, and cmd/loadgen replays the workload suite
+// against it as concurrent traffic, batched or unbatched (-batch K),
+// keyless or with a skewed keyspace (-skew).
 //
 // The experiment harness regenerating every figure and table of the paper
 // is exposed through Experiments and RunExperiment; the cmd/ directory
@@ -165,6 +171,10 @@ type Request = serve.Request
 
 // Result is the outcome of a pool request.
 type Result = serve.Result
+
+// Future is the recycled result cell returned by Pool.Go; Wait collects
+// the result exactly once.
+type Future = serve.Future
 
 // Pool is a sharded concurrent serving pool; see package repro/internal/serve.
 type Pool = serve.Pool
