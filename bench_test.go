@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fith"
+	"repro/internal/flight"
 	"repro/internal/image"
 	"repro/internal/memory"
 	"repro/internal/serve"
@@ -414,6 +415,20 @@ func BenchmarkPoolDoParallel(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// BenchmarkFlightRecord measures the flight recorder's raw write path —
+// one lifecycle event into a shard ring, the cost every instrumented
+// point pays. The CI gate asserts 0 allocs/op: the recorder must never
+// give back the serving path's zero-allocation property.
+func BenchmarkFlightRecord(b *testing.B) {
+	rec := flight.New(1, 0)
+	r := rec.Ring(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RecordAt(flight.KindExecEnd, uint64(i), uint64(i), int64(i))
 	}
 }
 

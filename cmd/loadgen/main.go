@@ -29,6 +29,14 @@
 // With -save, loadgen finishes a run by POSTing /save, asking the server
 // to persist its machine image to the path it was started with (-image),
 // so a load test doubles as the write path of a warm-restart drill.
+//
+// After the run, loadgen asks the server's /stats for its per-stage span
+// percentiles (queue wait, service, decode, encode — the flight
+// recorder's view of the same traffic) and prints them next to the
+// client-side numbers. With -out FILE the entire run — config, client
+// percentiles, error counts, server identity and stage spans — is
+// written as one JSON document, so runs diff across PRs the same way
+// the BENCH_*.json artifacts do.
 package main
 
 import (
@@ -89,6 +97,7 @@ func main() {
 	save := flag.Bool("save", false, "POST /save after the run, persisting the server's machine image")
 	skew := flag.Float64("skew", 0, "fraction of sends carrying a skewed affinity key (0: all keyless)")
 	routing := flag.String("routing", "", `assert the server's keyless routing policy ("jsq" or "rr") before running`)
+	out := flag.String("out", "", "write the full run result (config, percentiles, error counts, server stage spans) as JSON to this file")
 	flag.Parse()
 
 	if *routing != "" {
@@ -255,6 +264,63 @@ func main() {
 	fmt.Printf("latency per request p50: %v  p90: %v  p99: %v  max: %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), maxLat.Round(time.Microsecond))
+
+	// The server's view of the same traffic: per-stage span percentiles
+	// from the flight recorder, plus the node's identity. A pre-PR-6
+	// server answers /stats without these fields; report what's there.
+	srv, err := fetchStageStats(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: server stats:", err)
+	} else {
+		printStage := func(name string, sp *stagePercentiles) {
+			if sp != nil && sp.Count > 0 {
+				fmt.Printf("server %-8s n=%-7d p50: %dµs  p90: %dµs  p99: %dµs  p999: %dµs\n",
+					name, sp.Count, sp.P50, sp.P90, sp.P99, sp.P999)
+			}
+		}
+		printStage("service", srv.ServiceUS)
+		printStage("queue", srv.QueueUS)
+		printStage("decode", srv.DecodeUS)
+		printStage("encode", srv.EncodeUS)
+		printStage("http", srv.HTTPLatencyUS)
+	}
+
+	if *out != "" {
+		artifact := runArtifact{
+			Config: runConfig{
+				Addr: *addr, Clients: *clients, Rounds: *rounds, Program: *name,
+				Warm: *warm, Batch: *batch, Skew: *skew, Routing: *routing,
+			},
+			StartedAt:   start.UTC(),
+			WallMS:      float64(wall.Microseconds()) / 1e3,
+			Sends:       n,
+			Posts:       posts.Load(),
+			Failures:    failed.Load(),
+			Keyed:       keyed.Load(),
+			SendsPerSec: float64(n) / wall.Seconds(),
+			ReqPerSec:   float64(posts.Load()) / wall.Seconds(),
+			Client: clientPercentiles{
+				Count: hist.Count(),
+				P50:   pct(0.50).Microseconds(),
+				P90:   pct(0.90).Microseconds(),
+				P99:   pct(0.99).Microseconds(),
+				P999:  pct(0.999).Microseconds(),
+				Max:   maxLat.Microseconds(),
+			},
+			Server: srv,
+		}
+		data, err := json.MarshalIndent(artifact, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: encode -out:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: write -out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote run artifact: %s\n", *out)
+	}
+
 	if *save {
 		if err := postSave(*addr); err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen: save:", err)
@@ -264,6 +330,90 @@ func main() {
 	if failed.Load() > 0 {
 		os.Exit(1)
 	}
+}
+
+// runConfig is the knobs a run was driven with, preserved in -out
+// artifacts so two runs can only be compared like for like.
+type runConfig struct {
+	Addr    string  `json:"addr"`
+	Clients int     `json:"clients"`
+	Rounds  int     `json:"rounds"`
+	Program string  `json:"program,omitempty"`
+	Warm    bool    `json:"warm,omitempty"`
+	Batch   int     `json:"batch"`
+	Skew    float64 `json:"skew,omitempty"`
+	Routing string  `json:"routing,omitempty"`
+}
+
+// clientPercentiles is the client-observed whole-round-trip latency
+// distribution in microseconds.
+type clientPercentiles struct {
+	Count uint64 `json:"count"`
+	P50   int64  `json:"p50_us"`
+	P90   int64  `json:"p90_us"`
+	P99   int64  `json:"p99_us"`
+	P999  int64  `json:"p999_us"`
+	Max   int64  `json:"max_us"`
+}
+
+// stagePercentiles mirrors one of /stats' per-stage percentile objects
+// (values in microseconds).
+type stagePercentiles struct {
+	Count uint64 `json:"count"`
+	P50   int64  `json:"p50"`
+	P90   int64  `json:"p90"`
+	P99   int64  `json:"p99"`
+	P999  int64  `json:"p999"`
+}
+
+// serverView is what loadgen keeps of the server's /stats: identity plus
+// the per-stage spans. Pointers stay nil against servers that predate a
+// field, and omit cleanly from the artifact.
+type serverView struct {
+	StartTime     string            `json:"start_time,omitempty"`
+	UptimeS       float64           `json:"uptime_s,omitempty"`
+	Image         json.RawMessage   `json:"image,omitempty"`
+	Routing       string            `json:"routing,omitempty"`
+	Workers       int               `json:"workers,omitempty"`
+	Requests      uint64            `json:"requests,omitempty"`
+	ServiceUS     *stagePercentiles `json:"service_us,omitempty"`
+	QueueUS       *stagePercentiles `json:"queue_us,omitempty"`
+	DecodeUS      *stagePercentiles `json:"decode_us,omitempty"`
+	EncodeUS      *stagePercentiles `json:"encode_us,omitempty"`
+	HTTPLatencyUS *stagePercentiles `json:"http_latency_us,omitempty"`
+}
+
+// runArtifact is the -out document: one self-contained record of a run.
+type runArtifact struct {
+	Config      runConfig         `json:"config"`
+	StartedAt   time.Time         `json:"started_at"`
+	WallMS      float64           `json:"wall_ms"`
+	Sends       int64             `json:"sends"`
+	Posts       int64             `json:"http_requests"`
+	Failures    int64             `json:"failures"`
+	Keyed       int64             `json:"keyed_sends,omitempty"`
+	SendsPerSec float64           `json:"sends_per_sec"`
+	ReqPerSec   float64           `json:"req_per_sec"`
+	Client      clientPercentiles `json:"client_latency"`
+	Server      *serverView       `json:"server,omitempty"`
+}
+
+// fetchStageStats reads the server's identity and per-stage percentiles
+// from /stats.
+func fetchStageStats(addr string) (*serverView, error) {
+	resp, err := http.Get(addr + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /stats: status %d", resp.StatusCode)
+	}
+	var out serverView
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decode /stats: %w", err)
+	}
+	return &out, nil
 }
 
 // postSave asks the server to persist its machine image and reports what

@@ -27,20 +27,43 @@
 // "jsq" (default) joins the shortest queue via power-of-two-choices,
 // "rr" is the blind round-robin ablation.
 //
+// Observability. Every worker shard feeds an always-on, lock-free flight
+// recorder (see internal/flight): a fixed-size ring of request lifecycle
+// events — enqueue, dispatch, exec start/end, abort, GC slices — written
+// with zero allocations on the serving path. On top of it the daemon
+// explains itself four ways: /stats aggregates counters, per-stage span
+// percentiles (queue wait, service, decode, encode), node identity
+// (start time, uptime, image provenance) and Go runtime gauges; /metrics
+// renders the same material as Prometheus text exposition; /debug/slow
+// returns the full event chain and per-request machine accounting of
+// every request that crossed the -slowlog threshold; and -debug mounts
+// net/http/pprof under /debug/pprof for CPU/heap/goroutine profiles.
+// -flight=false ablates the recorder (and with it the stage spans and
+// slow capture); the modelled machine accounting is bit-identical either
+// way.
+//
 // Endpoints:
 //
-//	POST /send      {"receiver": 21, "selector": "double", "args": []}
-//	POST /batch     [{"receiver": 21, "selector": "double"}, ...] — executed
-//	                through the pool's sharded DoAll fast path; the response
-//	                is the result array in request order
-//	POST /save      persist the serving snapshot to the -image path
-//	GET  /programs  the loaded workload programs (name, size, entry, check)
-//	GET  /stats     aggregated pool metrics (add ?format=text for a table);
-//	                includes the routing policy, per-shard queue depths, and
-//	                fixed-bucket latency percentiles: "latency_us" is machine
-//	                service time (p50/p90/p99/p999), "http_latency_us" the
-//	                whole HTTP handler including decode and queueing
-//	GET  /healthz   liveness probe
+//	POST /send        {"receiver": 21, "selector": "double", "args": []}
+//	POST /batch       [{"receiver": 21, "selector": "double"}, ...] — executed
+//	                  through the pool's sharded DoAll fast path; the response
+//	                  is the result array in request order
+//	POST /save        persist the serving snapshot to the -image path
+//	GET  /programs    the loaded workload programs (name, size, entry, check)
+//	GET  /stats       aggregated pool metrics (add ?format=text for a table);
+//	                  includes the routing policy, per-shard queue depths,
+//	                  node identity (start_time, uptime_s, image provenance),
+//	                  Go runtime gauges, and fixed-bucket percentiles per
+//	                  stage: "latency_us"/"service_us" is machine service
+//	                  time (p50/p90/p99/p999), "queue_us" queue wait,
+//	                  "decode_us"/"encode_us" the HTTP codec spans, and
+//	                  "http_latency_us" the whole handler
+//	GET  /metrics     Prometheus text exposition of the same counters,
+//	                  gauges, and latency histograms
+//	GET  /debug/slow  recent slow-request captures: spans, per-request
+//	                  core.Stats delta, and the flight-recorder event chain
+//	GET  /debug/pprof CPU/heap/goroutine profiling (only with -debug)
+//	GET  /healthz     liveness probe
 package main
 
 import (
@@ -62,6 +85,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/image"
 	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/word"
@@ -80,23 +104,28 @@ func main() {
 	fastwire := flag.Bool("fastwire", true, "use the pooled hand-written wire codec (false: encoding/json everywhere)")
 	imagePath := flag.String("image", "", "machine image path: warm-boot from it when present (refuses extra source files; /programs still reflects -suite), persist to it on POST /save")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
+	slowlog := flag.Duration("slowlog", 100*time.Millisecond, "capture requests slower than this for GET /debug/slow (0: disabled)")
+	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof")
+	flight := flag.Bool("flight", true, "record request lifecycle events in the per-shard flight recorder")
 	flag.Parse()
 
 	if *routing != serve.RoutingJSQ && *routing != serve.RoutingRR {
 		log.Fatalf("obarchd: -routing %q: want %q or %q", *routing, serve.RoutingJSQ, serve.RoutingRR)
 	}
-	snap, programs, err := bootSnapshot(*imagePath, *suite, flag.Args())
+	snap, programs, boot, err := bootSnapshot(*imagePath, *suite, flag.Args())
 	if err != nil {
 		log.Fatalf("obarchd: %v", err)
 	}
 
 	pool := serve.NewPool(snap, serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		MaxSteps:   *maxSteps,
-		Timeout:    *timeout,
-		GCEvery:    *gcEvery,
-		Routing:    *routing,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		MaxSteps:         *maxSteps,
+		Timeout:          *timeout,
+		GCEvery:          *gcEvery,
+		Routing:          *routing,
+		NoFlightRecorder: !*flight,
+		SlowThreshold:    *slowlog,
 	})
 
 	l, err := net.Listen("tcp", *addr)
@@ -108,6 +137,10 @@ func main() {
 
 	h := newServer(pool, programs, snap, *imagePath)
 	h.fast = *fastwire
+	h.boot = boot
+	if *debug {
+		h.mountDebug()
+	}
 	srv := &http.Server{Handler: h}
 	log.Printf("obarchd: serving %d programs on %s with %d workers", len(programs), l.Addr(), pool.Workers())
 	serveAndDrain(srv, l, pool, *drain, sig)
@@ -140,10 +173,26 @@ func serveAndDrain(srv *http.Server, l net.Listener, pool *serve.Pool, drain tim
 	pool.Close()
 }
 
+// bootInfo is the serving snapshot's provenance — how this node came to
+// hold its image — reported by /stats and /metrics so a cluster can tell
+// its members apart.
+type bootInfo struct {
+	// ImagePath is the -image path, empty when none was configured.
+	ImagePath string `json:"path,omitempty"`
+	// Mode is "warm" when the snapshot was loaded from a persisted
+	// image, "compile" when it was compiled from source at boot.
+	Mode string `json:"mode"`
+	// FormatVersion is the on-disk image codec version this build
+	// speaks (the version a warm boot read and POST /save writes).
+	FormatVersion int `json:"format_version"`
+}
+
 // bootSnapshot produces the serving snapshot: loaded from the image file
 // when one is given and present (warm start — no compile, warm ITLB),
-// compiled from the suite and/or source files otherwise.
-func bootSnapshot(imagePath string, suite bool, srcPaths []string) (*obarch.Snapshot, []workload.Program, error) {
+// compiled from the suite and/or source files otherwise. The returned
+// bootInfo records which of those happened.
+func bootSnapshot(imagePath string, suite bool, srcPaths []string) (*obarch.Snapshot, []workload.Program, bootInfo, error) {
+	info := bootInfo{ImagePath: imagePath, Mode: "compile", FormatVersion: image.FormatVersion}
 	var programs []workload.Program
 	if suite {
 		programs = workload.Suite()
@@ -158,41 +207,42 @@ func bootSnapshot(imagePath string, suite bool, srcPaths []string) (*obarch.Snap
 			// was saved without) would misrepresent the pool, so refuse
 			// the combination instead.
 			if len(srcPaths) != 0 {
-				return nil, nil, fmt.Errorf("cannot load source files over an existing image %s; delete it or drop the file arguments", imagePath)
+				return nil, nil, info, fmt.Errorf("cannot load source files over an existing image %s; delete it or drop the file arguments", imagePath)
 			}
 			start := time.Now()
 			snap, err := obarch.ReadImage(f)
 			if err != nil {
-				return nil, nil, fmt.Errorf("load image %s: %w", imagePath, err)
+				return nil, nil, info, fmt.Errorf("load image %s: %w", imagePath, err)
 			}
 			log.Printf("obarchd: warm boot from %s in %v", imagePath, time.Since(start).Round(time.Microsecond))
-			return snap, programs, nil
+			info.Mode = "warm"
+			return snap, programs, info, nil
 		case os.IsNotExist(err):
 			log.Printf("obarchd: image %s absent; cold boot (POST /save to create it)", imagePath)
 		default:
-			return nil, nil, err
+			return nil, nil, info, err
 		}
 	}
 	sys := obarch.NewSystem(obarch.Options{})
 	if suite {
 		if _, err := workload.LoadSuite(sys.M); err != nil {
-			return nil, nil, err
+			return nil, nil, info, err
 		}
 	}
 	for _, path := range srcPaths {
 		src, err := os.ReadFile(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, info, err
 		}
 		if err := sys.Load(string(src)); err != nil {
-			return nil, nil, fmt.Errorf("load %s: %w", path, err)
+			return nil, nil, info, fmt.Errorf("load %s: %w", path, err)
 		}
 	}
 	snap, err := sys.Snapshot()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, info, err
 	}
-	return snap, programs, nil
+	return snap, programs, info, nil
 }
 
 // sendRequest is the wire form of one message send.
@@ -238,16 +288,23 @@ type server struct {
 	imagePath string
 	mux       *http.ServeMux
 	fast      bool
+	boot      bootInfo
+	start     time.Time
 	httpLat   stats.ConcurrentHistogram
+	decLat    stats.ConcurrentHistogram // request read+parse span
+	encLat    stats.ConcurrentHistogram // response encode+write span
 }
 
 func newServer(pool *serve.Pool, programs []workload.Program, snap *obarch.Snapshot, imagePath string) *server {
-	s := &server{pool: pool, programs: programs, snap: snap, imagePath: imagePath, mux: http.NewServeMux(), fast: true}
+	s := &server{pool: pool, programs: programs, snap: snap, imagePath: imagePath, mux: http.NewServeMux(), fast: true, start: time.Now()}
+	s.boot = bootInfo{ImagePath: imagePath, Mode: "compile", FormatVersion: image.FormatVersion}
 	s.mux.HandleFunc("POST /send", s.handleSend)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("POST /save", s.handleSave)
 	s.mux.HandleFunc("GET /programs", s.handlePrograms)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/slow", s.handleSlow)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -376,7 +433,9 @@ func (s *server) handleSend(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.decLat.Observe(time.Since(start))
 	res := s.pool.Do(poolReq)
+	enc := time.Now()
 	status := http.StatusOK
 	if res.Err != nil {
 		status = http.StatusUnprocessableEntity
@@ -384,23 +443,26 @@ func (s *server) handleSend(w http.ResponseWriter, r *http.Request) {
 	if s.fast {
 		if out, ok := appendSendResponse(c.out[:0], res); ok {
 			c.out = append(out, '\n')
-			s.writeRaw(w, status, c.out, start)
+			s.writeRaw(w, status, c.out, start, enc)
 			return
 		}
 	}
 	s.httpLat.Observe(time.Since(start))
 	writeJSON(w, status, toResponse(res))
+	s.encLat.Observe(time.Since(enc))
 }
 
 // writeRaw sends a fast-encoded response body and records the handler
-// latency.
-func (s *server) writeRaw(w http.ResponseWriter, status int, body []byte, start time.Time) {
+// and encode-span latencies: enc is when the result came back from the
+// pool, so the encode span covers rendering plus the write itself.
+func (s *server) writeRaw(w http.ResponseWriter, status int, body []byte, start, enc time.Time) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	s.httpLat.Observe(time.Since(start))
 	if _, err := w.Write(body); err != nil {
 		log.Printf("obarchd: write response: %v", err)
 	}
+	s.encLat.Observe(time.Since(enc))
 }
 
 // toRequest converts one wire send into a pool request.
@@ -481,7 +543,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			reqs[i] = req
 		}
 	}
+	s.decLat.Observe(time.Since(start))
 	results := s.pool.DoAll(reqs)
+	enc := time.Now()
 	if fastOK {
 		out := append(c.out[:0], '[')
 		encOK := true
@@ -495,7 +559,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if encOK {
 			c.out = append(out, ']', '\n')
-			s.writeRaw(w, http.StatusOK, c.out, start)
+			s.writeRaw(w, http.StatusOK, c.out, start, enc)
 			return
 		}
 	}
@@ -505,6 +569,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.httpLat.Observe(time.Since(start))
 	writeJSON(w, http.StatusOK, out)
+	s.encLat.Observe(time.Since(enc))
 }
 
 func (s *server) handlePrograms(w http.ResponseWriter, _ *http.Request) {
@@ -526,16 +591,42 @@ func percentiles(h stats.Histogram) map[string]any {
 	}
 }
 
+// runtimeGauges samples the Go runtime — the host process's own health,
+// as opposed to the modelled machines' — for /stats and /metrics.
+func runtimeGauges() map[string]any {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return map[string]any{
+		"goroutines":        runtime.NumGoroutine(),
+		"heap_alloc_bytes":  ms.HeapAlloc,
+		"heap_sys_bytes":    ms.HeapSys,
+		"heap_objects":      ms.HeapObjects,
+		"gc_cycles":         ms.NumGC,
+		"gc_pause_total_us": ms.PauseTotalNs / 1e3,
+		"next_gc_bytes":     ms.NextGC,
+		"total_alloc_bytes": ms.TotalAlloc,
+		"stack_inuse_bytes": ms.StackInuse,
+	}
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	met := s.pool.Metrics()
 	service := s.pool.LatencyHistogram()
+	qwait := s.pool.QueueWaitHistogram()
 	hlat := s.httpLat.Snapshot()
+	dec := s.decLat.Snapshot()
+	enc := s.encLat.Snapshot()
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, met.Report().String())
 		fmt.Fprintf(w, "service latency   %s\n", service.String())
+		fmt.Fprintf(w, "queue wait        %s\n", qwait.String())
 		fmt.Fprintf(w, "http latency      %s\n", hlat.String())
+		fmt.Fprintf(w, "decode            %s\n", dec.String())
+		fmt.Fprintf(w, "encode            %s\n", enc.String())
 		fmt.Fprintf(w, "routing           %s\n", s.pool.Routing())
+		fmt.Fprintf(w, "uptime            %v\n", time.Since(s.start).Round(time.Second))
+		fmt.Fprintf(w, "image             mode=%s version=%d path=%s\n", s.boot.Mode, s.boot.FormatVersion, s.boot.ImagePath)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -553,8 +644,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"routing":         s.pool.Routing(),
 		"queue_depths":    s.pool.QueueDepths(),
 		"latency_us":      percentiles(service),
+		"service_us":      percentiles(service),
+		"queue_us":        percentiles(qwait),
+		"decode_us":       percentiles(dec),
+		"encode_us":       percentiles(enc),
 		"http_latency_us": percentiles(hlat),
 		"shards":          s.pool.ShardMetrics(),
+		"start_time":      s.start.UTC().Format(time.RFC3339Nano),
+		"uptime_s":        time.Since(s.start).Seconds(),
+		"image":           s.boot,
+		"runtime":         runtimeGauges(),
+		"flight_recorder": s.pool.FlightRecorder() != nil,
+		"slowlog_us":      s.pool.SlowThreshold().Microseconds(),
 	})
 }
 

@@ -277,9 +277,12 @@ func TestServerSaveAndWarmBoot(t *testing.T) {
 
 	// Boot a second server from the image, exactly as `obarchd -image`
 	// does, and replay the suite against it.
-	snap, programs, err := bootSnapshot(imagePath, true, nil)
+	snap, programs, boot, err := bootSnapshot(imagePath, true, nil)
 	if err != nil {
 		t.Fatalf("boot from image: %v", err)
+	}
+	if boot.Mode != "warm" || boot.ImagePath != imagePath || boot.FormatVersion == 0 {
+		t.Fatalf("boot info = %+v, want a warm boot from %s", boot, imagePath)
 	}
 	pool2 := serve.NewPool(snap, serve.Config{Workers: 2, Timeout: 30 * time.Second})
 	defer pool2.Close()

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// driveTraffic replays the suite once against the test server so every
+// observability surface has live data behind it.
+func driveTraffic(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	for _, p := range workload.Suite() {
+		body := fmt.Sprintf(`{"receiver": %d, "selector": %q}`, p.Size, p.Entry)
+		if status, out := postSend(t, ts, body); status != http.StatusOK {
+			t.Fatalf("%s: status %d (%s)", p.Name, status, out.Error)
+		}
+	}
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestMetricsEndpoint scrapes /metrics under live traffic and checks the
+// exposition carries real counts in every family the daemon promises.
+func TestMetricsEndpoint(t *testing.T) {
+	h, pool := newSuiteServer(t, 2, "")
+	defer pool.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	driveTraffic(t, ts)
+
+	status, body := get(t, ts, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	n := len(workload.Suite())
+	wantLines := []string{
+		fmt.Sprintf("obarch_requests_total %d", n),
+		"obarch_errors_total 0",
+		"obarch_workers 2",
+		"obarch_flight_recorder 1",
+		`obarch_image_info{path="",mode="compile",version="1"} 1`,
+		`obarch_queue_depth{worker="0"} 0`,
+		`obarch_queue_depth{worker="1"} 0`,
+		fmt.Sprintf(`obarch_service_latency_seconds_bucket{le="+Inf"} %d`, n),
+		fmt.Sprintf("obarch_service_latency_seconds_count %d", n),
+		fmt.Sprintf(`obarch_http_latency_seconds_bucket{le="+Inf"} %d`, n),
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Counters that must be live, not just present.
+	for _, prefix := range []string{"obarch_instructions_total ", "obarch_cycles_total ", "obarch_itlb_lookups_total ", "go_goroutines ", "go_memstats_heap_alloc_bytes ", "obarch_uptime_seconds "} {
+		found := false
+		for _, line := range strings.Split(body, "\n") {
+			var v float64
+			if n, _ := fmt.Sscanf(line, prefix+"%g", &v); strings.HasPrefix(line, prefix) && n == 1 && v > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("/metrics: %q absent or zero", strings.TrimSpace(prefix))
+		}
+	}
+	// Every HELP has a TYPE, the exposition-format invariant scrapers
+	// actually depend on.
+	if h, ty := strings.Count(body, "# HELP"), strings.Count(body, "# TYPE"); h != ty || h == 0 {
+		t.Errorf("/metrics: %d HELP lines vs %d TYPE lines", h, ty)
+	}
+	if ct := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.Header.Get("Content-Type")
+	}(); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type %q lacks exposition version", ct)
+	}
+}
+
+// TestStatsIdentityAndSpans checks the /stats additions: node identity,
+// image provenance, runtime gauges, and the per-stage span percentiles.
+func TestStatsIdentityAndSpans(t *testing.T) {
+	h, pool := newSuiteServer(t, 2, "")
+	defer pool.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	driveTraffic(t, ts)
+
+	status, body := get(t, ts, "/stats")
+	if status != http.StatusOK {
+		t.Fatalf("/stats status %d", status)
+	}
+	var st struct {
+		StartTime string  `json:"start_time"`
+		UptimeS   float64 `json:"uptime_s"`
+		Image     struct {
+			Mode          string `json:"mode"`
+			FormatVersion int    `json:"format_version"`
+		} `json:"image"`
+		Runtime struct {
+			Goroutines     int    `json:"goroutines"`
+			HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+		} `json:"runtime"`
+		ServiceUS struct {
+			Count uint64 `json:"count"`
+			P50   int64  `json:"p50"`
+		} `json:"service_us"`
+		QueueUS struct {
+			Count uint64 `json:"count"`
+		} `json:"queue_us"`
+		DecodeUS struct {
+			Count uint64 `json:"count"`
+		} `json:"decode_us"`
+		EncodeUS struct {
+			Count uint64 `json:"count"`
+		} `json:"encode_us"`
+		FlightRecorder bool  `json:"flight_recorder"`
+		SlowlogUS      int64 `json:"slowlog_us"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("decode /stats: %v", err)
+	}
+	if ts, err := time.Parse(time.RFC3339Nano, st.StartTime); err != nil || time.Since(ts) < 0 {
+		t.Errorf("start_time %q: %v", st.StartTime, err)
+	}
+	if st.UptimeS <= 0 {
+		t.Errorf("uptime_s = %v", st.UptimeS)
+	}
+	if st.Image.Mode != "compile" || st.Image.FormatVersion != 1 {
+		t.Errorf("image provenance = %+v", st.Image)
+	}
+	if st.Runtime.Goroutines <= 0 || st.Runtime.HeapAllocBytes == 0 {
+		t.Errorf("runtime gauges = %+v", st.Runtime)
+	}
+	n := uint64(len(workload.Suite()))
+	if st.ServiceUS.Count != n {
+		t.Errorf("service_us count = %d, want %d", st.ServiceUS.Count, n)
+	}
+	if st.DecodeUS.Count != n || st.EncodeUS.Count != n {
+		t.Errorf("codec span counts = %d/%d, want %d", st.DecodeUS.Count, st.EncodeUS.Count, n)
+	}
+	if !st.FlightRecorder {
+		t.Error("flight_recorder should be on by default")
+	}
+	// Sequential /send traffic runs the inline fast lane, so queue_us
+	// stays empty — that is the lane working, not a missing stat.
+	if st.QueueUS.Count != 0 {
+		t.Logf("queue_us count = %d (some requests queued)", st.QueueUS.Count)
+	}
+}
+
+// newSlowServer is newSuiteServer over a pool whose slow threshold is
+// armed at 1ns, so every request is captured — `obarchd -slowlog 1ns`.
+func newSlowServer(t *testing.T) (*server, *serve.Pool) {
+	t.Helper()
+	sys := obarch.NewSystem(obarch.Options{})
+	programs := workload.Suite()
+	for _, p := range programs {
+		if err := sys.Load(p.Src); err != nil {
+			t.Fatalf("load %s: %v", p.Name, err)
+		}
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	pool := serve.NewPool(snap, serve.Config{Workers: 2, Timeout: 30 * time.Second, SlowThreshold: time.Nanosecond})
+	return newServer(pool, programs, snap, ""), pool
+}
+
+// TestDebugSlowEndpoint arms a 1ns threshold so every request is slow,
+// then checks /debug/slow returns captures with decoded event chains.
+func TestDebugSlowEndpoint(t *testing.T) {
+	h, pool := newSlowServer(t)
+	defer pool.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	driveTraffic(t, ts)
+
+	status, body := get(t, ts, "/debug/slow")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/slow status %d", status)
+	}
+	var out struct {
+		ThresholdUS int64 `json:"threshold_us"`
+		Captures    []struct {
+			ID    uint64 `json:"id"`
+			Steps uint64 `json:"steps"`
+			Stats struct {
+				Instructions uint64
+			} `json:"stats"`
+			Chain []slowEvent `json:"chain"`
+		} `json:"captures"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("decode /debug/slow: %v", err)
+	}
+	if len(out.Captures) == 0 {
+		t.Fatal("no captures under live traffic")
+	}
+	for i, c := range out.Captures {
+		if c.ID == 0 || c.Steps == 0 || c.Stats.Instructions != c.Steps {
+			t.Errorf("capture %d: id=%d steps=%d stats=%+v", i, c.ID, c.Steps, c.Stats)
+		}
+		if len(c.Chain) < 2 {
+			t.Errorf("capture %d chain has %d events", i, len(c.Chain))
+			continue
+		}
+		last := c.Chain[len(c.Chain)-1]
+		if last.Kind != "exec_end" && last.Kind != "abort" {
+			t.Errorf("capture %d chain ends with %q", i, last.Kind)
+		}
+		for _, ev := range c.Chain {
+			if ev.Req != c.ID {
+				t.Errorf("capture %d chain holds foreign event %+v", i, ev)
+			}
+		}
+	}
+}
+
+// TestPprofGatedByDebugFlag: the profiler is absent by default and
+// mounted by mountDebug, as the -debug flag does.
+func TestPprofGatedByDebugFlag(t *testing.T) {
+	h, pool := newSuiteServer(t, 1, "")
+	defer pool.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	if status, _ := get(t, ts, "/debug/pprof/"); status != http.StatusNotFound {
+		t.Errorf("/debug/pprof/ without -debug: status %d, want 404", status)
+	}
+	h.mountDebug()
+	if status, body := get(t, ts, "/debug/pprof/"); status != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ with -debug: status %d", status)
+	}
+	if status, _ := get(t, ts, "/debug/pprof/cmdline"); status != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: status %d", status)
+	}
+}

@@ -202,6 +202,29 @@ func (s *Stats) Add(o Stats) {
 	s.LookupCycles += o.LookupCycles
 }
 
+// Sub removes another snapshot's counters from s, yielding the delta
+// between two points in one machine's life — the per-request accounting a
+// slow-request capture reports. Kept beside Add for the same reason.
+func (s *Stats) Sub(o Stats) {
+	s.Instructions -= o.Instructions
+	s.Cycles -= o.Cycles
+	s.Sends -= o.Sends
+	s.PrimOps -= o.PrimOps
+	s.ControlOps -= o.ControlOps
+	s.Returns -= o.Returns
+	s.LIFOReturns -= o.LIFOReturns
+	s.NonLIFO -= o.NonLIFO
+	s.Branches -= o.Branches
+	s.TakenBranches -= o.TakenBranches
+	s.CtxOperandRefs -= o.CtxOperandRefs
+	s.MemRefs -= o.MemRefs
+	s.MemRefsToCtx -= o.MemRefsToCtx
+	s.CtxAllocs -= o.CtxAllocs
+	s.ObjAllocs -= o.ObjAllocs
+	s.SendCycles -= o.SendCycles
+	s.LookupCycles -= o.LookupCycles
+}
+
 // RefsToContextShare returns the fraction of all memory references that hit
 // contexts — the paper's 91% claim (§2.3).
 func (s Stats) RefsToContextShare() float64 {

@@ -79,6 +79,16 @@ type Collector struct {
 // Active reports whether a cycle is in progress (mark done, sweep pending).
 func (c *Collector) Active() bool { return c.active }
 
+// Remaining returns the number of segments still pending in the active
+// cycle's sweep, 0 when no cycle is in progress — the payload of a
+// flight-recorder gc_end event.
+func (c *Collector) Remaining() int {
+	if !c.active {
+		return 0
+	}
+	return len(c.sweep) - c.cursor
+}
+
 // Start writes back the context cache, runs the mark phase, and arms the
 // incremental sweep over a snapshot of the live-segment list. The heap's
 // space is flipped to allocate-black until the sweep completes.

@@ -1,0 +1,233 @@
+package serve_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/serve"
+	"repro/internal/word"
+)
+
+// TestFlightEventsUnderTraffic drives all three submission paths and
+// checks the recorder holds the chains they should have left: queued
+// requests show enqueue→dispatch→exec_end, inline requests show
+// exec_start→exec_end, and queue waits feed the queue-wait histogram.
+func TestFlightEventsUnderTraffic(t *testing.T) {
+	snap, progs := suiteSnapshot(t)
+	pool := serve.NewPool(snap, serve.Config{Workers: 2, Routing: serve.RoutingRR})
+	defer pool.Close()
+	p := progs[0]
+	req := serve.Request{Receiver: word.FromInt(p.Size), Selector: p.Entry}
+
+	if res := pool.Do(req); res.Err != nil {
+		t.Fatalf("Do: %v", res.Err)
+	}
+	if res := pool.Go(req).Wait(); res.Err != nil {
+		t.Fatalf("Go: %v", res.Err)
+	}
+	for _, res := range pool.DoAll([]serve.Request{req, req, req}) {
+		if res.Err != nil {
+			t.Fatalf("DoAll: %v", res.Err)
+		}
+	}
+
+	rec := pool.FlightRecorder()
+	if rec == nil {
+		t.Fatal("recorder should be on by default")
+	}
+	if rec.Shards() != 2 {
+		t.Fatalf("recorder has %d shards, want 2", rec.Shards())
+	}
+	evs := rec.Events()
+	kinds := map[flight.Kind]int{}
+	for _, ev := range evs {
+		kinds[ev.Kind]++
+	}
+	// Do ran inline (idle pool): one exec_start. Go queued one request;
+	// DoAll's three keyless requests split round-robin across the two
+	// shards into two sub-batches, each stamping one enqueue — three
+	// enqueues, four dispatches. Every request ended: five exec_ends.
+	if kinds[flight.KindExecStart] != 1 {
+		t.Errorf("exec_start count = %d, want 1: %v", kinds[flight.KindExecStart], kinds)
+	}
+	if kinds[flight.KindEnqueue] != 3 {
+		t.Errorf("enqueue count = %d, want 3: %v", kinds[flight.KindEnqueue], kinds)
+	}
+	if kinds[flight.KindDispatch] != 4 {
+		t.Errorf("dispatch count = %d, want 4: %v", kinds[flight.KindDispatch], kinds)
+	}
+	if kinds[flight.KindExecEnd] != 5 {
+		t.Errorf("exec_end count = %d, want 5: %v", kinds[flight.KindExecEnd], kinds)
+	}
+	if kinds[flight.KindAbort] != 0 {
+		t.Errorf("abort count = %d, want 0", kinds[flight.KindAbort])
+	}
+	// Every dispatched request's wait landed in the queue-wait histogram.
+	if h := pool.QueueWaitHistogram(); h.Count() != 4 {
+		n := h.Count()
+		t.Errorf("queue-wait samples = %d, want 4", n)
+	}
+	// Per-request chains are coherent: each exec_end's request id has a
+	// dispatch or exec_start before it at a timestamp no later.
+	starts := map[uint64]int64{}
+	for _, ev := range evs {
+		if ev.Kind == flight.KindDispatch || ev.Kind == flight.KindExecStart {
+			starts[ev.Req] = ev.TS
+		}
+	}
+	ends := 0
+	for _, ev := range evs {
+		if ev.Kind != flight.KindExecEnd {
+			continue
+		}
+		ends++
+		ts, ok := starts[ev.Req]
+		if !ok {
+			t.Errorf("exec_end for req %d has no start event", ev.Req)
+		} else if ev.TS < ts {
+			t.Errorf("exec_end for req %d at %d precedes its start at %d", ev.Req, ev.TS, ts)
+		}
+	}
+	if ends != 5 {
+		t.Errorf("chained exec_ends = %d, want 5", ends)
+	}
+}
+
+// TestNoFlightRecorderAblation: the ablated pool serves identically (the
+// parity test proves accounting; this pins the API surface) and answers
+// nil/empty everywhere observability is asked for.
+func TestNoFlightRecorderAblation(t *testing.T) {
+	snap, progs := suiteSnapshot(t)
+	pool := serve.NewPool(snap, serve.Config{Workers: 2, NoFlightRecorder: true})
+	defer pool.Close()
+	p := progs[0]
+	req := serve.Request{Receiver: word.FromInt(p.Size), Selector: p.Entry}
+	if res := pool.Do(req); res.Err != nil {
+		t.Fatalf("Do: %v", res.Err)
+	}
+	if res := pool.Go(req).Wait(); res.Err != nil {
+		t.Fatalf("Go: %v", res.Err)
+	}
+	if pool.FlightRecorder() != nil {
+		t.Error("ablated pool should have a nil recorder")
+	}
+	if h := pool.QueueWaitHistogram(); h.Count() != 0 {
+		n := h.Count()
+		t.Errorf("ablated pool observed %d queue waits, want 0", n)
+	}
+}
+
+// TestSlowCapture arms a 1ns threshold so every request is "slow" and
+// checks the capture carries the spans, the per-request stats delta, and
+// the event chain; then that SlowKeep bounds the ring newest-first.
+func TestSlowCapture(t *testing.T) {
+	snap, progs := suiteSnapshot(t)
+	pool := serve.NewPool(snap, serve.Config{
+		Workers:       1,
+		SlowThreshold: time.Nanosecond,
+		SlowKeep:      2,
+	})
+	defer pool.Close()
+	if pool.SlowThreshold() != time.Nanosecond {
+		t.Fatalf("SlowThreshold = %v", pool.SlowThreshold())
+	}
+	p := progs[0]
+	for i := 0; i < 3; i++ {
+		req := serve.Request{Receiver: word.FromInt(p.Size), Selector: p.Entry, Key: uint64(i + 1)}
+		if res := pool.Go(req).Wait(); res.Err != nil {
+			t.Fatalf("request %d: %v", i, res.Err)
+		}
+	}
+	slow := pool.SlowRequests()
+	if len(slow) != 2 {
+		t.Fatalf("kept %d captures, want SlowKeep=2", len(slow))
+	}
+	// Newest win: the two survivors are requests 2 and 3, oldest first.
+	if slow[0].Key != 2 || slow[1].Key != 3 {
+		t.Errorf("survivor keys = %d, %d; want 2, 3", slow[0].Key, slow[1].Key)
+	}
+	for i, c := range slow {
+		if c.ID == 0 || c.Worker != 0 || c.Selector != p.Entry {
+			t.Errorf("capture %d identity: %+v", i, c)
+		}
+		if c.Latency <= 0 || c.Steps == 0 || c.When.IsZero() {
+			t.Errorf("capture %d spans: latency=%v steps=%d when=%v", i, c.Latency, c.Steps, c.When)
+		}
+		if c.Stats.Instructions != c.Steps {
+			t.Errorf("capture %d stats delta: %d instructions vs %d steps", i, c.Stats.Instructions, c.Steps)
+		}
+		if len(c.Events) < 3 {
+			t.Errorf("capture %d has %d events, want the full chain", i, len(c.Events))
+		}
+		for _, ev := range c.Events {
+			if ev.Req != c.ID {
+				t.Errorf("capture %d holds foreign event %+v", i, ev)
+			}
+		}
+	}
+}
+
+// TestSlowCaptureDisabledByDefault: no threshold, no captures, no
+// pre-stats copying on the hot path.
+func TestSlowCaptureDisabledByDefault(t *testing.T) {
+	snap, progs := suiteSnapshot(t)
+	pool := serve.NewPool(snap, serve.Config{Workers: 1})
+	defer pool.Close()
+	p := progs[0]
+	req := serve.Request{Receiver: word.FromInt(p.Size), Selector: p.Entry}
+	if res := pool.Do(req); res.Err != nil {
+		t.Fatalf("Do: %v", res.Err)
+	}
+	if pool.SlowThreshold() != 0 {
+		t.Errorf("SlowThreshold = %v, want 0", pool.SlowThreshold())
+	}
+	if n := len(pool.SlowRequests()); n != 0 {
+		t.Errorf("captured %d requests with capture disabled", n)
+	}
+}
+
+// TestFlightReaderDuringTraffic drains merged recorder snapshots while
+// submitters hammer the pool from several goroutines — the /debug and
+// /metrics read pattern, and under -race the serve-level safety test.
+func TestFlightReaderDuringTraffic(t *testing.T) {
+	snap, progs := suiteSnapshot(t)
+	pool := serve.NewPool(snap, serve.Config{Workers: 2, FlightRingSize: 64})
+	defer pool.Close()
+	p := progs[0]
+	const submitters = 3
+	const perSubmitter = 40
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			req := serve.Request{Receiver: word.FromInt(p.Size), Selector: p.Entry, Key: uint64(g + 1)}
+			for i := 0; i < perSubmitter; i++ {
+				if res := pool.Do(req); res.Err != nil {
+					t.Errorf("submitter %d: %v", g, res.Err)
+					return
+				}
+			}
+		}(g)
+	}
+	rec := pool.FlightRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for _, ev := range rec.Events() {
+				if ev.Kind < flight.KindEnqueue || ev.Kind > flight.KindGCEnd {
+					t.Errorf("torn event kind: %+v", ev)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if len(rec.Events()) == 0 {
+		t.Error("no events survived the traffic")
+	}
+}

@@ -103,6 +103,26 @@ func TestRoutingParitySingleShard(t *testing.T) {
 	assertParity(t, "rr vs jsq (single shard)", sa, sb, va, vb)
 }
 
+// TestFlightRecorderParity proves the flight recorder is pure
+// observation: with the recorder on (default) and ablated
+// (NoFlightRecorder), the modelled core.Stats are bit-identical on every
+// counter and every answer matches. Run for both lifecycles so the
+// recorder's submit-path stamps are covered on each.
+func TestFlightRecorderParity(t *testing.T) {
+	for _, legacy := range []bool{false, true} {
+		cfg := serve.Config{Workers: 2, Routing: serve.RoutingRR, Batch: 4, LegacyLifecycle: legacy}
+		ablated := cfg
+		ablated.NoFlightRecorder = true
+		sa, va := runSequence(t, cfg, false)
+		sb, vb := runSequence(t, ablated, false)
+		label := "recorder on vs ablated (pooled)"
+		if legacy {
+			label = "recorder on vs ablated (legacy)"
+		}
+		assertParity(t, label, sa, sb, va, vb)
+	}
+}
+
 // TestRoutingValidation pins the Config.Routing contract: both named
 // policies and the empty default construct, anything else panics.
 func TestRoutingValidation(t *testing.T) {

@@ -45,6 +45,20 @@
 // exhausts its budget is aborted and the machine is reused, with the
 // abandoned context chain reclaimed by a periodic per-shard garbage
 // collection.
+//
+// Every request also leaves a trace: an always-on flight recorder (see
+// package flight) logs each lifecycle transition — enqueue, dispatch,
+// execute start/end, abort, GC slices — into a per-shard lock-free ring,
+// at zero allocations and a handful of atomic stores per event.
+// Submitters stamp the enqueue; everything else is written by whoever
+// holds the shard's execMu, reusing clock readings the serving path
+// already takes. On top of the recorder ride the per-request stage spans
+// (queue wait via QueueWaitHistogram, service via LatencyHistogram) and
+// the slow-request capture: any request over Config.SlowThreshold is
+// snapshotted — its event chain, spans, and the exact core.Stats delta it
+// cost the machine — into a bounded ring readable with SlowRequests.
+// Config.NoFlightRecorder ablates all of it; parity tests prove the
+// recorder changes no modelled accounting either way.
 package serve
 
 import (
@@ -57,6 +71,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/gc"
 	"repro/internal/stats"
 	"repro/internal/word"
@@ -149,11 +164,28 @@ type Config struct {
 	// request lifecycle, kept as the ablation for the zero-allocation
 	// benchmarks.
 	LegacyLifecycle bool
+	// NoFlightRecorder disables the flight recorder and everything built
+	// on it: lifecycle events, queue-wait spans, and the slow-request
+	// capture. The ablation for the recorder-overhead benchmarks; the
+	// modelled machines are bit-identical either way.
+	NoFlightRecorder bool
+	// FlightRingSize is each shard's event-ring slot count, rounded up
+	// to a power of two. 0 uses flight.DefaultRingSize.
+	FlightRingSize int
+	// SlowThreshold arms the slow-request capture: any request whose
+	// service time reaches it is snapshotted (event chain, spans, and
+	// per-request core.Stats delta) into a ring of SlowKeep captures.
+	// 0 disables the capture.
+	SlowThreshold time.Duration
+	// SlowKeep bounds how many slow captures are retained (newest win).
+	// 0 uses the default of 32.
+	SlowKeep int
 }
 
 const (
-	defaultGCEvery = 512
-	defaultBatch   = 16
+	defaultGCEvery  = 512
+	defaultBatch    = 16
+	defaultSlowKeep = 32
 )
 
 // ErrClosed is returned for requests submitted after Close.
@@ -272,10 +304,15 @@ func (f *Future) complete(res Result) {
 // job is one unit of queued work: either a single request with its result
 // cell, or a DoAll sub-batch — a set of indexes into a shared request
 // slice whose results land in the shared result slice, signalled through
-// the batch's wait group.
+// the batch's wait group. id and enq carry the flight-recorder identity:
+// the request id (for a sub-batch, the first request's — the rest follow
+// consecutively) and the enqueue timestamp in recorder nanoseconds.
 type job struct {
 	req Request
 	fut *Future
+
+	id  uint64
+	enq int64
 
 	// Batch mode (wg != nil): serve reqs[i] into out[i] for i in batch.
 	batch []int
@@ -369,6 +406,14 @@ type shard struct {
 	met shardMetrics
 	lat stats.ConcurrentHistogram
 
+	// fr is the shard's flight-recorder ring (nil under the ablation);
+	// reqSeq allocates request ids and qlat accumulates queue-wait
+	// spans, both per-shard so submitters never share a cache line
+	// across shards.
+	fr     *flight.Ring
+	reqSeq atomic.Uint64
+	qlat   stats.ConcurrentHistogram
+
 	// Driver-private GC cadence and ITLB baselines: sinceGC is only
 	// touched under execMu; the baselines are fixed at pool start so
 	// aggregates report only traffic served by this pool.
@@ -387,6 +432,17 @@ type Pool struct {
 	closed    atomic.Bool
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+
+	// Flight recorder and the slow-request capture built on it. The
+	// capture ring is mutex-guarded: it is only touched for requests
+	// over the slow threshold, which is off the common path by
+	// definition.
+	rec      *flight.Recorder
+	slowNS   int64
+	slowKeep int
+	slowMu   sync.Mutex
+	slow     []SlowCapture
+	slowNext int
 }
 
 // NewPool builds and starts a pool of cfg.Workers machines cloned from the
@@ -413,12 +469,21 @@ func NewPool(snap *core.Snapshot, cfg Config) *Pool {
 	default:
 		panic(fmt.Sprintf("serve: unknown routing policy %q (want %q or %q)", cfg.Routing, RoutingJSQ, RoutingRR))
 	}
+	if !cfg.NoFlightRecorder {
+		p.rec = flight.New(cfg.Workers, cfg.FlightRingSize)
+	}
+	p.slowNS = int64(cfg.SlowThreshold)
+	p.slowKeep = cfg.SlowKeep
+	if p.slowKeep <= 0 {
+		p.slowKeep = defaultSlowKeep
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		m := snap.NewMachine()
 		s := &shard{
 			id:    i,
 			m:     m,
 			queue: make(chan job, cfg.QueueDepth),
+			fr:    p.rec.Ring(i), // nil under the ablation
 		}
 		cs := m.ITLB.CacheStats()
 		s.itlbHitBase, s.itlbMissBase = cs.Hits, cs.Misses
@@ -487,6 +552,45 @@ func (p *Pool) enter(req Request) (*shard, bool) {
 	return s, true
 }
 
+// nextReqID allocates a pool-unique request id: the shard index in the
+// top bits over a per-shard sequence, so id allocation never contends
+// across shards and an id names its shard for free.
+func (s *shard) nextReqID() uint64 {
+	return uint64(s.id)<<48 | s.reqSeq.Add(1)&(1<<48-1)
+}
+
+// flightEnqueue allocates a request id and, with the recorder live,
+// stamps the enqueue event — depth is the shard backlog the request
+// joined. The returned timestamp anchors the queue-wait span; it is only
+// read when the shard's ring is live.
+func (s *shard) flightEnqueue(depth int64) (uint64, int64) {
+	id := s.nextReqID()
+	if s.fr == nil {
+		return id, 0
+	}
+	enq := s.fr.Now()
+	s.fr.RecordAt(flight.KindEnqueue, id, uint64(depth), enq)
+	return id, enq
+}
+
+// flightEnqueueBatch is flightEnqueue for a DoAll sub-batch: it reserves
+// n consecutive request ids and stamps a single enqueue event carrying
+// the first one.
+func (s *shard) flightEnqueueBatch(depth int64, n int) (uint64, int64) {
+	base := uint64(s.id)<<48 | (s.reqSeq.Add(uint64(n))-uint64(n)+1)&(1<<48-1)
+	if s.fr == nil {
+		return base, 0
+	}
+	enq := s.fr.Now()
+	s.fr.RecordAt(flight.KindEnqueue, base, uint64(depth), enq)
+	return base, enq
+}
+
+// enqInline marks a request that never queued: Do's inline fast path
+// executes on the caller's goroutine, so serveOne records the enqueue
+// and dispatch at the same instant with zero wait.
+const enqInline = int64(-1)
+
 // Go submits a request and returns a Future delivering its single result.
 // The Future's Wait must be called exactly once.
 func (p *Pool) Go(req Request) *Future {
@@ -496,8 +600,9 @@ func (p *Pool) Go(req Request) *Future {
 		f.complete(Result{Err: ErrClosed})
 		return f
 	}
-	s.pending.Add(1)
-	s.queue <- job{req: req, fut: f}
+	d := s.pending.Add(1)
+	id, enq := s.flightEnqueue(d)
+	s.queue <- job{req: req, fut: f, id: id, enq: enq}
 	s.inflight.Add(-1)
 	return f
 }
@@ -525,7 +630,7 @@ func (p *Pool) Do(req Request) Result {
 			// still guarantees a quiescent pool: no machine is running
 			// once Close returns, inline drivers included.
 			s.pending.Add(1)
-			res := p.serveOne(s, req)
+			res := p.serveOne(s, req, s.nextReqID(), enqInline)
 			s.pending.Add(-1)
 			s.execMu.Unlock()
 			s.inflight.Add(-1)
@@ -534,8 +639,9 @@ func (p *Pool) Do(req Request) Result {
 		s.execMu.Unlock()
 	}
 	f := p.newFuture()
-	s.pending.Add(1)
-	s.queue <- job{req: req, fut: f}
+	d := s.pending.Add(1)
+	id, enq := s.flightEnqueue(d)
+	s.queue <- job{req: req, fut: f, id: id, enq: enq}
 	s.inflight.Add(-1)
 	return f.Wait()
 }
@@ -578,8 +684,11 @@ func (p *Pool) DoAll(reqs []Request) []Result {
 				continue
 			}
 			wg.Add(1)
-			s.pending.Add(1)
-			s.queue <- job{reqs: reqs, out: out, batch: idxs[:n], wg: &wg}
+			d := s.pending.Add(1)
+			// One enqueue event covers the sub-batch; its requests take
+			// consecutive ids starting at the recorded one.
+			id, enq := s.flightEnqueueBatch(d, n)
+			s.queue <- job{reqs: reqs, out: out, batch: idxs[:n], wg: &wg, id: id, enq: enq}
 			s.inflight.Add(-1)
 			groups[si] = idxs[n:]
 			if len(groups[si]) > 0 {
@@ -660,6 +769,22 @@ func (p *Pool) LatencyHistogram() stats.Histogram {
 	return out
 }
 
+// QueueWaitHistogram merges the shards' queue-wait histograms: the time
+// between a request's enqueue and its dispatch, the first stage span.
+// Only populated while the flight recorder is live (the stamps are its).
+func (p *Pool) QueueWaitHistogram() stats.Histogram {
+	var out stats.Histogram
+	for _, s := range p.shards {
+		h := s.qlat.Snapshot()
+		out.Merge(&h)
+	}
+	return out
+}
+
+// FlightRecorder returns the pool's flight recorder, nil under the
+// Config.NoFlightRecorder ablation.
+func (p *Pool) FlightRecorder() *flight.Recorder { return p.rec }
+
 // MachineStats sums the machine-level cycle accounting across shards.
 // Meaningful only while the pool is quiescent (e.g. after Close), since
 // workers mutate their machines without synchronisation.
@@ -699,14 +824,14 @@ func (p *Pool) worker(s *shard) {
 // and retires its pending count. Callers hold the shard's execMu.
 func (p *Pool) serveJob(s *shard, j job) {
 	if j.wg != nil {
-		for _, i := range j.batch {
-			j.out[i] = p.serveOne(s, j.reqs[i])
+		for k, i := range j.batch {
+			j.out[i] = p.serveOne(s, j.reqs[i], j.id+uint64(k), j.enq)
 		}
 		s.pending.Add(-1)
 		j.wg.Done()
 		return
 	}
-	res := p.serveOne(s, j.req)
+	res := p.serveOne(s, j.req, j.id, j.enq)
 	// Retire the depth count before publishing the result: once every
 	// submitted request has been collected, QueueDepths is exactly zero.
 	s.pending.Add(-1)
@@ -715,8 +840,10 @@ func (p *Pool) serveJob(s *shard, j job) {
 
 // serveOne executes a request on the shard's machine, restoring the
 // machine to an idle state whatever happens. Callers hold execMu, which
-// makes this the shard's single metrics writer.
-func (p *Pool) serveOne(s *shard, req Request) Result {
+// makes this the shard's single metrics and flight-event writer: id is
+// the request's flight id and enq its enqueue timestamp in recorder
+// nanoseconds (enqInline for Do's never-queued fast path).
+func (p *Pool) serveOne(s *shard, req Request, id uint64, enq int64) Result {
 	m := s.m
 	budget := req.MaxSteps
 	if budget == 0 {
@@ -731,6 +858,29 @@ func (p *Pool) serveOne(s *shard, req Request) Result {
 		m.Cfg.MaxSteps = budget
 	}
 	start := time.Now()
+	fr := s.fr
+	var ts0, wait int64
+	if fr != nil {
+		// One event marks execution beginning: dispatch for a queued
+		// request (pickup and exec start are the same instant here, and
+		// the arg carries the queue wait against the submitter's enqueue
+		// stamp), exec_start for Do's inline fast lane, which never
+		// queued and so has no wait to report. All timestamps derive
+		// from the start reading above — the recorder adds no clock
+		// reads to the serving path.
+		ts0 = fr.TS(start)
+		if enq == enqInline {
+			fr.RecordAt(flight.KindExecStart, id, budget, ts0)
+		} else {
+			wait = ts0 - enq
+			fr.RecordAt(flight.KindDispatch, id, uint64(wait), ts0)
+			s.qlat.Observe(time.Duration(wait))
+		}
+	}
+	var preStats core.Stats
+	if p.slowNS > 0 {
+		preStats = m.Stats
+	}
 	if timeout != 0 {
 		m.SetDeadline(timeout)
 	}
@@ -757,6 +907,20 @@ func (p *Pool) serveOne(s *shard, req Request) Result {
 		// A trap mid-run leaves the context pair live; reset so the
 		// machine can serve the next request.
 		m.Abort()
+	}
+	if fr != nil {
+		tsEnd := ts0 + int64(res.Latency)
+		fr.RecordAt(flight.KindExecEnd, id, res.Steps, tsEnd)
+		if err != nil {
+			code := uint64(flight.AbortError)
+			if timedOut {
+				code = flight.AbortTimeout
+			}
+			fr.RecordAt(flight.KindAbort, id, code, tsEnd)
+		}
+	}
+	if p.slowNS > 0 && int64(res.Latency) >= p.slowNS {
+		p.captureSlow(s, req, id, time.Duration(wait), res, preStats)
 	}
 
 	mm := &s.met
@@ -799,11 +963,15 @@ func (p *Pool) serveOne(s *shard, req Request) Result {
 			chunk = 0 // one full sweep per step
 		}
 		gcStart := time.Now()
+		fr.RecordAt(flight.KindGCStart, 0, uint64(chunk), fr.TS(gcStart))
 		if !s.col.Active() {
 			s.col.Start(m)
 		}
 		_, done := s.col.Step(chunk)
 		pause := time.Since(gcStart)
+		// Arg is the sweep work still pending: 0 means this slice
+		// finished the cycle.
+		fr.RecordAt(flight.KindGCEnd, 0, uint64(s.col.Remaining()), fr.TS(gcStart)+int64(pause))
 		mm.begin()
 		mm.gcPause.Add(int64(pause))
 		if done {
@@ -813,3 +981,77 @@ func (p *Pool) serveOne(s *shard, req Request) Result {
 	}
 	return res
 }
+
+// SlowCapture is one slow request's story: its identity and spans, the
+// result, the exact machine-level accounting it consumed (a core.Stats
+// delta), and its flight-recorder event chain as captured at completion.
+type SlowCapture struct {
+	ID        uint64        `json:"id"`
+	Worker    int           `json:"worker"`
+	Selector  string        `json:"selector"`
+	Key       uint64        `json:"key,omitempty"`
+	When      time.Time     `json:"when"`
+	QueueWait time.Duration `json:"queue_wait_ns"`
+	Latency   time.Duration `json:"latency_ns"`
+	Steps     uint64        `json:"steps"`
+	Cycles    uint64        `json:"cycles"`
+	Err       string        `json:"error,omitempty"`
+
+	// Stats is what this single request cost the machine, counter by
+	// counter — the stats-after minus stats-before delta, GC work that
+	// rode behind the request excluded.
+	Stats core.Stats `json:"stats"`
+	// Events is the request's lifecycle chain from the shard's flight
+	// ring (empty if the recorder is ablated or the events were already
+	// overwritten).
+	Events []flight.Event `json:"events"`
+}
+
+// captureSlow snapshots a request that crossed the slow threshold into
+// the bounded capture ring (newest captures win). Called under execMu;
+// the mutex guards only readers, and only slow requests ever take it.
+func (p *Pool) captureSlow(s *shard, req Request, id uint64, wait time.Duration, res Result, pre core.Stats) {
+	delta := s.m.Stats
+	delta.Sub(pre)
+	c := SlowCapture{
+		ID:        id,
+		Worker:    s.id,
+		Selector:  req.Selector,
+		Key:       req.Key,
+		When:      time.Now(),
+		QueueWait: wait,
+		Latency:   res.Latency,
+		Steps:     res.Steps,
+		Cycles:    res.Cycles,
+		Stats:     delta,
+		Events:    s.fr.EventsFor(id),
+	}
+	if res.Err != nil {
+		c.Err = res.Err.Error()
+	}
+	p.slowMu.Lock()
+	if len(p.slow) < p.slowKeep {
+		p.slow = append(p.slow, c)
+	} else {
+		p.slow[p.slowNext] = c
+	}
+	p.slowNext = (p.slowNext + 1) % p.slowKeep
+	p.slowMu.Unlock()
+}
+
+// SlowRequests returns the retained slow captures, oldest first.
+func (p *Pool) SlowRequests() []SlowCapture {
+	p.slowMu.Lock()
+	defer p.slowMu.Unlock()
+	out := make([]SlowCapture, 0, len(p.slow))
+	if len(p.slow) < p.slowKeep {
+		return append(out, p.slow...)
+	}
+	for i := 0; i < p.slowKeep; i++ {
+		out = append(out, p.slow[(p.slowNext+i)%p.slowKeep])
+	}
+	return out
+}
+
+// SlowThreshold returns the armed slow-capture threshold (0: disabled).
+func (p *Pool) SlowThreshold() time.Duration { return time.Duration(p.slowNS) }

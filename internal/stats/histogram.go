@@ -102,6 +102,35 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return time.Duration(bucketUpper(HistogramBuckets - 1))
 }
 
+// CumulativeLE returns how many recorded samples are known to be at most
+// ns: the total count of every bucket wholly within the bound. Samples in
+// a bucket straddling ns are excluded, keeping the result consistent with
+// Quantile's upper-edge convention; the error is bounded by one bucket
+// (≤25%). This is the shape a Prometheus cumulative `le` bucket wants.
+func (h *Histogram) CumulativeLE(ns int64) uint64 {
+	var cum uint64
+	for i, c := range h.Counts {
+		if bucketUpper(i) > ns {
+			break
+		}
+		cum += c
+	}
+	return cum
+}
+
+// ApproxSumNS estimates the sum of all recorded samples in nanoseconds,
+// pricing every sample at its bucket's upper edge — the same ≤25%-error
+// upper-bound convention as Quantile. Prometheus `_sum` material.
+func (h *Histogram) ApproxSumNS() float64 {
+	var sum float64
+	for i, c := range h.Counts {
+		if c != 0 {
+			sum += float64(c) * float64(bucketUpper(i))
+		}
+	}
+	return sum
+}
+
 // String summarises the histogram as count + headline percentiles.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d p50=%v p90=%v p99=%v",
