@@ -6,6 +6,7 @@ package obarch
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"runtime"
 	"testing"
@@ -504,6 +505,30 @@ func BenchmarkPoolGoBurst(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*burst), "ns/send")
 		})
+	}
+}
+
+// BenchmarkShedPath measures the overload refusal itself: admission is
+// closed outright (MaxInFlight < 0 — the deterministic stand-in for a
+// pool at its ceiling), so every Do is rejected before touching a shard
+// queue or a machine. This is the path that runs millions of times a
+// second exactly when the server is drowning, so it must stay
+// zero-allocation — CI asserts 0 allocs/op on it.
+func BenchmarkShedPath(b *testing.B) {
+	snap := tinySnapshot(b)
+	pool := serve.NewPool(snap, serve.Config{
+		Workers:     1,
+		MaxInFlight: -1,
+		GCEvery:     -1,
+	})
+	defer pool.Close()
+	req := serve.Request{Receiver: word.FromInt(21), Selector: "double"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := pool.Do(req); !errors.Is(res.Err, serve.ErrOverloaded) {
+			b.Fatalf("closed admission answered %v", res.Err)
+		}
 	}
 }
 

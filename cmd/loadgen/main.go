@@ -26,6 +26,14 @@
 // asserts (via /stats) that the server is actually running the policy
 // being measured, so A/B numbers cannot be mislabelled.
 //
+// When the server pushes back — 429 at admission, 503 for a deadline
+// shed, or a failed connection — the send retries up to -retries times
+// on exponential backoff with full jitter starting at -backoff (capped
+// at 1s), so a drill against an overloaded or chaos-armed server
+// measures recovery instead of dissolving into a retry storm. Every
+// refusal and retry is counted by kind in the report and -out artifact.
+// Batched refusals arrive in-band per send and are counted, not retried.
+//
 // With -save, loadgen finishes a run by POSTing /save, asking the server
 // to persist its machine image to the path it was started with (-image),
 // so a load test doubles as the write path of a warm-restart drill.
@@ -97,6 +105,8 @@ func main() {
 	save := flag.Bool("save", false, "POST /save after the run, persisting the server's machine image")
 	skew := flag.Float64("skew", 0, "fraction of sends carrying a skewed affinity key (0: all keyless)")
 	routing := flag.String("routing", "", `assert the server's keyless routing policy ("jsq" or "rr") before running`)
+	retries := flag.Int("retries", 3, "retry budget per send for 429/503/transport refusals (0: fail fast)")
+	backoff := flag.Duration("backoff", 5*time.Millisecond, "first retry backoff; doubles per attempt with full jitter, capped at 1s")
 	out := flag.String("out", "", "write the full run result (config, percentiles, error counts, server stage spans) as JSON to this file")
 	flag.Parse()
 
@@ -134,11 +144,12 @@ func main() {
 	}
 
 	var (
-		wg     sync.WaitGroup
-		sent   atomic.Int64 // individual sends
-		posts  atomic.Int64 // HTTP requests
-		failed atomic.Int64
-		keyed  atomic.Int64
+		wg       sync.WaitGroup
+		sent     atomic.Int64 // individual sends
+		posts    atomic.Int64 // HTTP requests
+		failed   atomic.Int64
+		keyed    atomic.Int64
+		refusals refusalCounters
 	)
 	// Per-client latency histograms, merged after the run: the recording
 	// path is a plain array increment, no shared state.
@@ -150,6 +161,7 @@ func main() {
 		go func(c int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewPCG(uint64(c), 0x9e3779b97f4a7c15))
+			rt := &retryer{max: *retries, base: *backoff, rng: rng, c: &refusals, posts: &posts}
 			hist := &hists[c]
 			record := func(lat time.Duration) {
 				hist.Observe(lat)
@@ -176,6 +188,10 @@ func main() {
 					for i, p := range expect {
 						switch {
 						case got[i].Error != "":
+							// Batch refusals arrive in-band under HTTP
+							// 200 and are not retried — a refused batch
+							// entry is one lost send, counted by kind.
+							refusals.classify(got[i].Error)
 							failed.Add(1)
 							fmt.Fprintf(os.Stderr, "loadgen: client %d %s: %s\n", c, p.Name, got[i].Error)
 						case !*warm:
@@ -200,9 +216,11 @@ func main() {
 					}
 					if *batch == 1 {
 						t0 := time.Now()
-						got, err := send(*addr, sendRequest{Receiver: recv, Selector: p.Entry, Key: key})
+						// The recorded latency is what the client lived
+						// through: refused attempts and their backoffs
+						// included.
+						got, err := rt.send(*addr, sendRequest{Receiver: recv, Selector: p.Entry, Key: key})
 						record(time.Since(t0))
-						posts.Add(1)
 						sent.Add(1)
 						if err != nil {
 							failed.Add(1)
@@ -251,6 +269,10 @@ func main() {
 	}
 	fmt.Printf("sends: %d  http requests: %d  failures: %d  wall: %v\n",
 		n, posts.Load(), failed.Load(), wall.Round(time.Millisecond))
+	if v := refusals.retries.Load() + refusals.rejected.Load() + refusals.shed.Load() + refusals.transport.Load(); v > 0 {
+		fmt.Printf("pushback: %d rejected (429)  %d shed (503)  %d transport  %d retries taken\n",
+			refusals.rejected.Load(), refusals.shed.Load(), refusals.transport.Load(), refusals.retries.Load())
+	}
 	fmt.Printf("throughput: %.1f sends/s (%.1f req/s) across %d clients\n",
 		float64(n)/wall.Seconds(), float64(posts.Load())/wall.Seconds(), *clients)
 	// Quantile returns its bucket's upper bound, which can overshoot the
@@ -290,6 +312,7 @@ func main() {
 			Config: runConfig{
 				Addr: *addr, Clients: *clients, Rounds: *rounds, Program: *name,
 				Warm: *warm, Batch: *batch, Skew: *skew, Routing: *routing,
+				Retries: *retries, BackoffMS: float64(backoff.Microseconds()) / 1e3,
 			},
 			StartedAt:   start.UTC(),
 			WallMS:      float64(wall.Microseconds()) / 1e3,
@@ -297,6 +320,10 @@ func main() {
 			Posts:       posts.Load(),
 			Failures:    failed.Load(),
 			Keyed:       keyed.Load(),
+			Retries:     refusals.retries.Load(),
+			Rejected:    refusals.rejected.Load(),
+			Shed:        refusals.shed.Load(),
+			Transport:   refusals.transport.Load(),
 			SendsPerSec: float64(n) / wall.Seconds(),
 			ReqPerSec:   float64(posts.Load()) / wall.Seconds(),
 			Client: clientPercentiles{
@@ -335,14 +362,16 @@ func main() {
 // runConfig is the knobs a run was driven with, preserved in -out
 // artifacts so two runs can only be compared like for like.
 type runConfig struct {
-	Addr    string  `json:"addr"`
-	Clients int     `json:"clients"`
-	Rounds  int     `json:"rounds"`
-	Program string  `json:"program,omitempty"`
-	Warm    bool    `json:"warm,omitempty"`
-	Batch   int     `json:"batch"`
-	Skew    float64 `json:"skew,omitempty"`
-	Routing string  `json:"routing,omitempty"`
+	Addr      string  `json:"addr"`
+	Clients   int     `json:"clients"`
+	Rounds    int     `json:"rounds"`
+	Program   string  `json:"program,omitempty"`
+	Warm      bool    `json:"warm,omitempty"`
+	Batch     int     `json:"batch"`
+	Skew      float64 `json:"skew,omitempty"`
+	Routing   string  `json:"routing,omitempty"`
+	Retries   int     `json:"retries"`
+	BackoffMS float64 `json:"backoff_ms"`
 }
 
 // clientPercentiles is the client-observed whole-round-trip latency
@@ -392,6 +421,10 @@ type runArtifact struct {
 	Posts       int64             `json:"http_requests"`
 	Failures    int64             `json:"failures"`
 	Keyed       int64             `json:"keyed_sends,omitempty"`
+	Retries     int64             `json:"retries,omitempty"`
+	Rejected    int64             `json:"rejected,omitempty"`
+	Shed        int64             `json:"shed,omitempty"`
+	Transport   int64             `json:"transport_errors,omitempty"`
 	SendsPerSec float64           `json:"sends_per_sec"`
 	ReqPerSec   float64           `json:"req_per_sec"`
 	Client      clientPercentiles `json:"client_latency"`
@@ -477,25 +510,29 @@ func fetchPrograms(addr string) ([]program, error) {
 	return out, nil
 }
 
-func send(addr string, req sendRequest) (int32, error) {
+// send posts one message send and reports the HTTP status alongside the
+// result, so the retry loop can tell an admission refusal (429) or a
+// deadline shed (503) from a machine error. Status 0 means the request
+// never got an HTTP answer at all — a transport failure.
+func send(addr string, req sendRequest) (int32, int, error) {
 	body, _ := json.Marshal(req)
 	resp, err := http.Post(addr+"/send", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	var out sendResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return 0, fmt.Errorf("decode /send: %w", err)
+		return 0, resp.StatusCode, fmt.Errorf("decode /send: %w", err)
 	}
 	if out.Error != "" {
-		return 0, fmt.Errorf("machine error: %s", out.Error)
+		return 0, resp.StatusCode, fmt.Errorf("server error: %s", out.Error)
 	}
 	f, ok := out.Result.(float64)
 	if !ok {
-		return 0, fmt.Errorf("non-numeric result %v", out.Result)
+		return 0, resp.StatusCode, fmt.Errorf("non-numeric result %v", out.Result)
 	}
-	return int32(f), nil
+	return int32(f), resp.StatusCode, nil
 }
 
 func sendBatch(addr string, reqs []sendRequest) ([]sendResponse, error) {

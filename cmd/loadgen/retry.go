@@ -1,0 +1,94 @@
+// Client-side backoff: when obarchd pushes back (429 at admission, 503
+// for a deadline shed, or the connection itself fails), hammering the
+// same node straight away is how a load test turns into a retry storm.
+// Refused sends instead retry on exponential backoff with full jitter,
+// and every form of pushback is counted so the run report and -out
+// artifact show how hard the server defended itself.
+package main
+
+import (
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// refusalCounters aggregates every client's view of server pushback.
+type refusalCounters struct {
+	retries   atomic.Int64 // backoff-then-retry cycles actually taken
+	rejected  atomic.Int64 // 429 admission refusals observed
+	shed      atomic.Int64 // 503 deadline sheds observed
+	transport atomic.Int64 // connection-level failures observed
+}
+
+// classify sorts one inline batch failure by its error text: the batch
+// path reports per-send refusals in-band under HTTP 200, so the message
+// is all there is to go on. Unrecognised errors are real failures and
+// stay unclassified.
+func (c *refusalCounters) classify(msg string) {
+	switch {
+	case strings.Contains(msg, "overloaded"):
+		c.rejected.Add(1)
+	case strings.Contains(msg, "expired"):
+		c.shed.Add(1)
+	}
+}
+
+// retryer drives one client's refused sends through the backoff loop.
+// rng is the client's own deterministic stream (shared with its key
+// picker), so a seeded run jitters reproducibly.
+type retryer struct {
+	max   int           // retries after the first attempt
+	base  time.Duration // first backoff; doubles per attempt
+	rng   interface{ Int64N(int64) int64 }
+	c     *refusalCounters
+	posts *atomic.Int64 // every HTTP attempt, retries included
+}
+
+// backoffDelay is full-jitter exponential backoff: uniform over
+// (0, base<<attempt], capped at one second. Full jitter (rather than
+// jitter around the midpoint) is what de-synchronises a fleet of
+// clients that were all refused by the same overload spike.
+func (r *retryer) backoffDelay(attempt int) time.Duration {
+	d := r.base << attempt
+	if d > time.Second || d <= 0 {
+		d = time.Second
+	}
+	return time.Duration(r.rng.Int64N(int64(d))) + 1
+}
+
+// retryable classifies one attempt's outcome into the refusal counters
+// and reports whether backing off and retrying can help: admission
+// refusals and sheds are transient by construction, transport errors
+// usually mean the node is restarting, and everything else (machine
+// errors, malformed responses) would just fail identically again.
+func (r *retryer) retryable(status int, err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case status == http.StatusTooManyRequests:
+		r.c.rejected.Add(1)
+		return true
+	case status == http.StatusServiceUnavailable:
+		r.c.shed.Add(1)
+		return true
+	case status == 0:
+		r.c.transport.Add(1)
+		return true
+	}
+	return false
+}
+
+// send posts one request, retrying refusals until they stick or the
+// budget runs out. The returned error is the last attempt's.
+func (r *retryer) send(addr string, req sendRequest) (int32, error) {
+	for attempt := 0; ; attempt++ {
+		val, status, err := send(addr, req)
+		r.posts.Add(1)
+		if !r.retryable(status, err) || attempt >= r.max {
+			return val, err
+		}
+		r.c.retries.Add(1)
+		time.Sleep(r.backoffDelay(attempt))
+	}
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"math/rand/v2"
+)
+
+func newRetryer(max int, base time.Duration) (*retryer, *refusalCounters, *atomic.Int64) {
+	c := &refusalCounters{}
+	posts := &atomic.Int64{}
+	rng := rand.New(rand.NewPCG(1, 2))
+	return &retryer{max: max, base: base, rng: rng, c: c, posts: posts}, c, posts
+}
+
+// TestBackoffDelay pins the full-jitter envelope: every delay is drawn
+// from (0, base<<attempt], the ceiling doubles per attempt, and the
+// whole ladder caps at one second no matter how deep the retry goes.
+func TestBackoffDelay(t *testing.T) {
+	rt, _, _ := newRetryer(10, 10*time.Millisecond)
+	for attempt := 0; attempt < 8; attempt++ {
+		ceil := 10 * time.Millisecond << attempt
+		if ceil > time.Second {
+			ceil = time.Second
+		}
+		for i := 0; i < 200; i++ {
+			d := rt.backoffDelay(attempt)
+			if d <= 0 || d > ceil {
+				t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, ceil)
+			}
+		}
+	}
+	// A base so large the shift overflows must still cap, not wedge.
+	rt.base = time.Duration(1) << 60
+	if d := rt.backoffDelay(5); d <= 0 || d > time.Second {
+		t.Fatalf("overflowing base: delay %v outside (0, 1s]", d)
+	}
+}
+
+// TestRetrySendEventuallySucceeds: a server that refuses twice with 429
+// then serves must cost exactly three posts, two counted rejections, two
+// retries — and hand back the real result with no error.
+func TestRetrySendEventuallySucceeds(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintln(w, `{"result":null,"error":"serve: pool overloaded","worker":0}`)
+			return
+		}
+		fmt.Fprintln(w, `{"result":42,"error":"","worker":0}`)
+	}))
+	defer ts.Close()
+
+	rt, c, posts := newRetryer(3, time.Microsecond)
+	got, err := rt.send(ts.URL, sendRequest{Receiver: 1, Selector: "x"})
+	if err != nil {
+		t.Fatalf("retried send failed: %v", err)
+	}
+	if got != 42 {
+		t.Errorf("result = %d, want 42", got)
+	}
+	if posts.Load() != 3 || c.rejected.Load() != 2 || c.retries.Load() != 2 {
+		t.Errorf("posts/rejected/retries = %d/%d/%d, want 3/2/2",
+			posts.Load(), c.rejected.Load(), c.retries.Load())
+	}
+	if c.shed.Load() != 0 || c.transport.Load() != 0 {
+		t.Errorf("shed/transport = %d/%d, want 0/0", c.shed.Load(), c.transport.Load())
+	}
+}
+
+// TestRetrySendBudgetExhausted: a server that always sheds (503) burns
+// the whole budget — max retries plus the first attempt — and the last
+// refusal surfaces as the error.
+func TestRetrySendBudgetExhausted(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"result":null,"error":"serve: deadline expired before dispatch","worker":0}`)
+	}))
+	defer ts.Close()
+
+	rt, c, posts := newRetryer(2, time.Microsecond)
+	if _, err := rt.send(ts.URL, sendRequest{Receiver: 1, Selector: "x"}); err == nil {
+		t.Fatal("exhausted retries answered no error")
+	}
+	if posts.Load() != 3 || c.shed.Load() != 3 || c.retries.Load() != 2 {
+		t.Errorf("posts/shed/retries = %d/%d/%d, want 3/3/2",
+			posts.Load(), c.shed.Load(), c.retries.Load())
+	}
+}
+
+// TestRetrySendMachineErrorNotRetried: a 422 is the machine's final
+// answer — one post, no retries, no refusal counts.
+func TestRetrySendMachineErrorNotRetried(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		fmt.Fprintln(w, `{"result":null,"error":"doesNotUnderstand: quadruple","worker":0}`)
+	}))
+	defer ts.Close()
+
+	rt, c, posts := newRetryer(3, time.Microsecond)
+	if _, err := rt.send(ts.URL, sendRequest{Receiver: 1, Selector: "x"}); err == nil {
+		t.Fatal("machine error answered no error")
+	}
+	if posts.Load() != 1 || c.retries.Load() != 0 || c.rejected.Load() != 0 || c.shed.Load() != 0 {
+		t.Errorf("posts/retries/rejected/shed = %d/%d/%d/%d, want 1/0/0/0",
+			posts.Load(), c.retries.Load(), c.rejected.Load(), c.shed.Load())
+	}
+}
+
+// TestRetrySendTransport: a dead endpoint counts transport failures and
+// retries them — the node might be mid-restart.
+func TestRetrySendTransport(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // the URL now refuses connections
+
+	rt, c, posts := newRetryer(1, time.Microsecond)
+	if _, err := rt.send(ts.URL, sendRequest{Receiver: 1, Selector: "x"}); err == nil {
+		t.Fatal("dead endpoint answered no error")
+	}
+	if posts.Load() != 2 || c.transport.Load() != 2 || c.retries.Load() != 1 {
+		t.Errorf("posts/transport/retries = %d/%d/%d, want 2/2/1",
+			posts.Load(), c.transport.Load(), c.retries.Load())
+	}
+}
+
+// TestClassifyBatchErrors pins the in-band batch refusal classification.
+func TestClassifyBatchErrors(t *testing.T) {
+	c := &refusalCounters{}
+	c.classify("serve: pool overloaded")
+	c.classify("serve: deadline expired before dispatch")
+	c.classify("doesNotUnderstand: quadruple")
+	if c.rejected.Load() != 1 || c.shed.Load() != 1 || c.transport.Load() != 0 {
+		t.Errorf("rejected/shed/transport = %d/%d/%d, want 1/1/0",
+			c.rejected.Load(), c.shed.Load(), c.transport.Load())
+	}
+}

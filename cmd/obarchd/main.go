@@ -13,10 +13,25 @@
 // /save persists the serving snapshot to that path (atomically, via a
 // temp file and rename), so the next boot is a warm restart.
 //
-// On SIGINT/SIGTERM the daemon shuts down gracefully: the listener stops
-// accepting, in-flight HTTP requests get -drain to finish, and the pool
-// is closed — which serves every queued request and stops each worker at
-// a request boundary, so shutdown never lands mid-send or mid-GC-sweep.
+// On SIGINT/SIGTERM the daemon shuts down gracefully: /readyz flips
+// not-ready first (so load balancers stop routing here), then the
+// listener stops accepting, in-flight HTTP requests get -drain to
+// finish, and the pool is closed — which serves every queued request and
+// stops each worker at a request boundary, so shutdown never lands
+// mid-send or mid-GC-sweep.
+//
+// Overload and self-healing. The pool degrades instead of collapsing:
+// enqueue is bounded (a full shard queue refuses instead of blocking),
+// -maxinflight caps admitted-but-unfinished requests pool-wide, and a
+// queued request whose deadline expired while it waited is shed at
+// dispatch without executing. /send maps those refusals to HTTP 429
+// (rejected at admission) and 503 (shed after expiring), both with a
+// Retry-After header; machine errors stay 422. A worker panic never
+// kills the daemon: recovery barriers convert it into a failed result,
+// quarantine the suspect machine, and re-stamp a fresh worker from the
+// serving snapshot. -chaos arms a seeded, deterministic fault plan
+// (panics, stalls, dispatch clogs) for drills against exactly those
+// paths.
 //
 // The HTTP request path is a pooled fast lane: bodies land in recycled
 // buffers, the fixed send/batch wire shape is parsed and rendered by a
@@ -29,7 +44,8 @@
 //
 // Observability. Every worker shard feeds an always-on, lock-free flight
 // recorder (see internal/flight): a fixed-size ring of request lifecycle
-// events — enqueue, dispatch, exec start/end, abort, GC slices — written
+// events — enqueue, dispatch, exec start/end, abort, reject, shed,
+// panic, restamp, GC slices — written
 // with zero allocations on the serving path. On top of it the daemon
 // explains itself four ways: /stats aggregates counters, per-stage span
 // percentiles (queue wait, service, decode, encode), node identity
@@ -44,10 +60,14 @@
 //
 // Endpoints:
 //
-//	POST /send        {"receiver": 21, "selector": "double", "args": []}
+//	POST /send        {"receiver": 21, "selector": "double", "args": []};
+//	                  answers 200, 422 on machine errors, 429 + Retry-After
+//	                  when refused at admission, 503 + Retry-After when shed
+//	                  after its deadline expired in queue
 //	POST /batch       [{"receiver": 21, "selector": "double"}, ...] — executed
 //	                  through the pool's sharded DoAll fast path; the response
-//	                  is the result array in request order
+//	                  is the result array in request order, with per-request
+//	                  failures (overload refusals included) reported inline
 //	POST /save        persist the serving snapshot to the -image path
 //	GET  /programs    the loaded workload programs (name, size, entry, check)
 //	GET  /stats       aggregated pool metrics (add ?format=text for a table);
@@ -63,7 +83,11 @@
 //	GET  /debug/slow  recent slow-request captures: spans, per-request
 //	                  core.Stats delta, and the flight-recorder event chain
 //	GET  /debug/pprof CPU/heap/goroutine profiling (only with -debug)
-//	GET  /healthz     liveness probe
+//	GET  /healthz     liveness probe: 200 while the process serves HTTP
+//	GET  /readyz      readiness probe: 200 while accepting traffic; 503
+//	                  with the reason ("draining", "overloaded",
+//	                  "quarantine-heavy") when new traffic should go
+//	                  elsewhere
 package main
 
 import (
@@ -80,7 +104,9 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -107,10 +133,16 @@ func main() {
 	slowlog := flag.Duration("slowlog", 100*time.Millisecond, "capture requests slower than this for GET /debug/slow (0: disabled)")
 	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof")
 	flight := flag.Bool("flight", true, "record request lifecycle events in the per-shard flight recorder")
+	maxInFlight := flag.Int("maxinflight", 0, "pool-wide cap on admitted-but-unfinished requests (0: unlimited, <0: refuse everything)")
+	chaos := flag.String("chaos", "", `deterministic fault plan, e.g. "seed=42,panic=100,stall=50:2ms,clog=64:1ms" (empty: none)`)
 	flag.Parse()
 
 	if *routing != serve.RoutingJSQ && *routing != serve.RoutingRR {
 		log.Fatalf("obarchd: -routing %q: want %q or %q", *routing, serve.RoutingJSQ, serve.RoutingRR)
+	}
+	faults, err := parseChaos(*chaos)
+	if err != nil {
+		log.Fatalf("obarchd: -chaos: %v", err)
 	}
 	snap, programs, boot, err := bootSnapshot(*imagePath, *suite, flag.Args())
 	if err != nil {
@@ -126,7 +158,12 @@ func main() {
 		Routing:          *routing,
 		NoFlightRecorder: !*flight,
 		SlowThreshold:    *slowlog,
+		MaxInFlight:      *maxInFlight,
+		Faults:           faults,
 	})
+	if faults != nil {
+		log.Printf("obarchd: chaos armed: %s", *chaos)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -143,23 +180,26 @@ func main() {
 	}
 	srv := &http.Server{Handler: h}
 	log.Printf("obarchd: serving %d programs on %s with %d workers", len(programs), l.Addr(), pool.Workers())
-	serveAndDrain(srv, l, pool, *drain, sig)
+	h.serveAndDrain(srv, l, *drain, sig)
 	met := pool.Metrics()
 	log.Printf("obarchd: drained; served %d requests (%d errors)", met.Requests, met.Errors)
 }
 
 // serveAndDrain runs the HTTP server until a signal arrives, then shuts
-// down gracefully: the listener stops accepting, in-flight HTTP requests
-// get the drain budget to finish, and the pool is closed — Close serves
-// every already-queued request and stops each worker at a request
-// boundary, so exit never races a live send or an incremental GC sweep.
-// Split from main so the shutdown path is testable.
-func serveAndDrain(srv *http.Server, l net.Listener, pool *serve.Pool, drain time.Duration, sig <-chan os.Signal) {
+// down gracefully: /readyz flips not-ready first (load balancers see a
+// leaving node before its listener vanishes), then the listener stops
+// accepting, in-flight HTTP requests get the drain budget to finish, and
+// the pool is closed — Close serves every already-queued request and
+// stops each worker at a request boundary, so exit never races a live
+// send or an incremental GC sweep. A method on server so tests can drive
+// the whole shutdown path.
+func (s *server) serveAndDrain(srv *http.Server, l net.Listener, drain time.Duration, sig <-chan os.Signal) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		s := <-sig
-		log.Printf("obarchd: %v: draining", s)
+		sg := <-sig
+		log.Printf("obarchd: %v: draining", sg)
+		s.draining.Store(true)
 		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
@@ -170,7 +210,73 @@ func serveAndDrain(srv *http.Server, l net.Listener, pool *serve.Pool, drain tim
 		log.Fatalf("obarchd: %v", err)
 	}
 	<-done
-	pool.Close()
+	s.pool.Close()
+}
+
+// parseChaos parses the -chaos fault plan: comma-separated key=value
+// pairs. "seed=S" seeds the per-shard fault phases (0, the default, is
+// fully predictable: every cadence fires on exact multiples), "panic=N"
+// panics every Nth send on each shard, "stall=N:DUR" sleeps DUR before
+// every Nth send, "clog=N:DUR" sleeps DUR in the dispatch loop every Nth
+// job. An empty spec means no plan.
+func parseChaos(spec string) (*serve.Faults, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	f := &serve.Faults{}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("%q: want key=value", kv)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("seed %q: want an unsigned integer", val)
+			}
+			f.Seed = n
+		case "panic":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("panic %q: want a non-negative integer", val)
+			}
+			f.PanicEvery = n
+		case "stall":
+			n, d, err := parseEveryDur(val)
+			if err != nil {
+				return nil, fmt.Errorf("stall %v", err)
+			}
+			f.StallEvery, f.Stall = n, d
+		case "clog":
+			n, d, err := parseEveryDur(val)
+			if err != nil {
+				return nil, fmt.Errorf("clog %v", err)
+			}
+			f.ClogEvery, f.Clog = n, d
+		default:
+			return nil, fmt.Errorf("unknown key %q (want seed, panic, stall, or clog)", key)
+		}
+	}
+	return f, nil
+}
+
+// parseEveryDur parses a cadence-with-duration chaos value, "N:DUR"
+// (e.g. "50:2ms").
+func parseEveryDur(val string) (int, time.Duration, error) {
+	ns, ds, ok := strings.Cut(val, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("%q: want N:duration", val)
+	}
+	n, err := strconv.Atoi(ns)
+	if err != nil || n < 0 {
+		return 0, 0, fmt.Errorf("%q: cadence: want a non-negative integer", val)
+	}
+	d, err := time.ParseDuration(ds)
+	if err != nil || d < 0 {
+		return 0, 0, fmt.Errorf("%q: bad duration %q", val, ds)
+	}
+	return n, d, nil
 }
 
 // bootInfo is the serving snapshot's provenance — how this node came to
@@ -281,6 +387,8 @@ type programInfo struct {
 // imagePath, when set, is where POST /save persists it. fast selects the
 // pooled hand-written wire codec; httpLat records whole-handler latency
 // (decode, queueing, service, encode) for the /stats percentiles.
+// draining flips when shutdown begins, before the listener closes, so
+// /readyz steers load balancers away from a leaving node.
 type server struct {
 	pool      *serve.Pool
 	programs  []workload.Program
@@ -290,6 +398,7 @@ type server struct {
 	fast      bool
 	boot      bootInfo
 	start     time.Time
+	draining  atomic.Bool
 	httpLat   stats.ConcurrentHistogram
 	decLat    stats.ConcurrentHistogram // request read+parse span
 	encLat    stats.ConcurrentHistogram // response encode+write span
@@ -308,7 +417,37 @@ func newServer(pool *serve.Pool, programs []workload.Program, snap *obarch.Snaps
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s
+}
+
+// notReady answers why this node should not receive new traffic, or ""
+// while it should. Checked in severity order: a draining node is leaving
+// no matter what the pool says; an overloaded pool refuses admission
+// anyway; and when quarantine re-stamps are churning through more than
+// half the shards, capacity is not what the balancer thinks it is.
+func (s *server) notReady() string {
+	switch {
+	case s.draining.Load():
+		return "draining"
+	case s.pool.Overloaded():
+		return "overloaded"
+	case 2*s.pool.UnhealthyShards() > s.pool.Workers():
+		return "quarantine-heavy"
+	}
+	return ""
+}
+
+// handleReady is GET /readyz: 200 "ready" while the node should receive
+// traffic, 503 with the reason when it should not. Distinct from
+// /healthz (liveness): a draining or overloaded node is alive — the
+// process must not be restarted — it just wants no new work.
+func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if reason := s.notReady(); reason != "" {
+		http.Error(w, reason, http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -436,9 +575,12 @@ func (s *server) handleSend(w http.ResponseWriter, r *http.Request) {
 	s.decLat.Observe(time.Since(start))
 	res := s.pool.Do(poolReq)
 	enc := time.Now()
-	status := http.StatusOK
-	if res.Err != nil {
-		status = http.StatusUnprocessableEntity
+	status := statusFor(res.Err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		// Both refusals are transient by construction — the queue was
+		// full, or this request sat past its own deadline — so tell the
+		// client when to come back instead of letting it hammer.
+		w.Header().Set("Retry-After", "1")
 	}
 	if s.fast {
 		if out, ok := appendSendResponse(c.out[:0], res); ok {
@@ -463,6 +605,23 @@ func (s *server) writeRaw(w http.ResponseWriter, status int, body []byte, start,
 		log.Printf("obarchd: write response: %v", err)
 	}
 	s.encLat.Observe(time.Since(enc))
+}
+
+// statusFor maps a pool result to its HTTP status: overload refusals
+// are 429 (this node is saturated; back off and retry), deadline sheds
+// are 503 (the request died waiting in queue; retry, ideally elsewhere),
+// and every other machine error stays 422 — the request executed and
+// the machine said no, so retrying the same send buys nothing.
+func statusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, serve.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, serve.ErrExpired):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
 }
 
 // toRequest converts one wire send into a pool request.
@@ -625,37 +784,50 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "decode            %s\n", dec.String())
 		fmt.Fprintf(w, "encode            %s\n", enc.String())
 		fmt.Fprintf(w, "routing           %s\n", s.pool.Routing())
+		fmt.Fprintf(w, "in flight         %d\n", s.pool.InFlight())
+		ready := "true"
+		if reason := s.notReady(); reason != "" {
+			ready = "false (" + reason + ")"
+		}
+		fmt.Fprintf(w, "ready             %s\n", ready)
 		fmt.Fprintf(w, "uptime            %v\n", time.Since(s.start).Round(time.Second))
 		fmt.Fprintf(w, "image             mode=%s version=%d path=%s\n", s.boot.Mode, s.boot.FormatVersion, s.boot.ImagePath)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"requests":        met.Requests,
-		"errors":          met.Errors,
-		"timeouts":        met.Timeouts,
-		"mean_latency_us": met.MeanLatency().Microseconds(),
-		"max_latency_us":  met.MaxLatency.Microseconds(),
-		"instructions":    met.Instructions,
-		"cycles":          met.Cycles,
-		"itlb_hit_ratio":  met.ITLB.Value(),
-		"gcs":             met.GCs,
-		"gc_pause_us":     met.GCPause.Microseconds(),
-		"workers":         s.pool.Workers(),
-		"routing":         s.pool.Routing(),
-		"queue_depths":    s.pool.QueueDepths(),
-		"latency_us":      percentiles(service),
-		"service_us":      percentiles(service),
-		"queue_us":        percentiles(qwait),
-		"decode_us":       percentiles(dec),
-		"encode_us":       percentiles(enc),
-		"http_latency_us": percentiles(hlat),
-		"shards":          s.pool.ShardMetrics(),
-		"start_time":      s.start.UTC().Format(time.RFC3339Nano),
-		"uptime_s":        time.Since(s.start).Seconds(),
-		"image":           s.boot,
-		"runtime":         runtimeGauges(),
-		"flight_recorder": s.pool.FlightRecorder() != nil,
-		"slowlog_us":      s.pool.SlowThreshold().Microseconds(),
+		"requests":         met.Requests,
+		"errors":           met.Errors,
+		"timeouts":         met.Timeouts,
+		"rejected":         met.Rejected,
+		"shed_expired":     met.SheddedExpired,
+		"panics":           met.Panics,
+		"restamps":         met.Restamps,
+		"mean_latency_us":  met.MeanLatency().Microseconds(),
+		"max_latency_us":   met.MaxLatency.Microseconds(),
+		"instructions":     met.Instructions,
+		"cycles":           met.Cycles,
+		"itlb_hit_ratio":   met.ITLB.Value(),
+		"gcs":              met.GCs,
+		"gc_pause_us":      met.GCPause.Microseconds(),
+		"workers":          s.pool.Workers(),
+		"routing":          s.pool.Routing(),
+		"queue_depths":     s.pool.QueueDepths(),
+		"in_flight":        s.pool.InFlight(),
+		"unhealthy_shards": s.pool.UnhealthyShards(),
+		"ready":            s.notReady() == "",
+		"latency_us":       percentiles(service),
+		"service_us":       percentiles(service),
+		"queue_us":         percentiles(qwait),
+		"decode_us":        percentiles(dec),
+		"encode_us":        percentiles(enc),
+		"http_latency_us":  percentiles(hlat),
+		"shards":           s.pool.ShardMetrics(),
+		"start_time":       s.start.UTC().Format(time.RFC3339Nano),
+		"uptime_s":         time.Since(s.start).Seconds(),
+		"image":            s.boot,
+		"runtime":          runtimeGauges(),
+		"flight_recorder":  s.pool.FlightRecorder() != nil,
+		"slowlog_us":       s.pool.SlowThreshold().Microseconds(),
 	})
 }
 

@@ -343,7 +343,7 @@ func TestServerGracefulShutdown(t *testing.T) {
 	served := make(chan struct{})
 	go func() {
 		defer close(served)
-		serveAndDrain(srv, l, pool, 10*time.Second, sig)
+		h.serveAndDrain(srv, l, 10*time.Second, sig)
 	}()
 
 	// Keep a batch of requests in flight while the signal lands.

@@ -65,6 +65,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeCounter(&b, "obarch_requests_total", "Requests served by the machine pool.", met.Requests)
 	writeCounter(&b, "obarch_errors_total", "Requests answered with any error.", met.Errors)
 	writeCounter(&b, "obarch_timeouts_total", "Requests aborted by deadline or interrupt traps.", met.Timeouts)
+	writeCounter(&b, "obarch_rejected_total", "Requests refused at admission (full queue or in-flight ceiling).", met.Rejected)
+	writeCounter(&b, "obarch_shed_expired_total", "Queued requests shed at dispatch because their deadline expired waiting.", met.SheddedExpired)
+	writeCounter(&b, "obarch_panics_total", "Worker panics caught by the recovery barriers.", met.Panics)
+	writeCounter(&b, "obarch_restamps_total", "Quarantined machines re-stamped fresh from the serving snapshot.", met.Restamps)
 	writeCounter(&b, "obarch_instructions_total", "Interpreted machine instructions across all shards.", met.Instructions)
 	writeCounter(&b, "obarch_cycles_total", "Simulated machine cycles across all shards.", met.Cycles)
 	writeCounter(&b, "obarch_itlb_hits_total", "Instruction-TLB (method cache) hits.", met.ITLB.Hits)
@@ -77,6 +81,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for i, d := range s.pool.QueueDepths() {
 		fmt.Fprintf(&b, "obarch_queue_depth{worker=\"%d\"} %d\n", i, d)
 	}
+	writeGauge(&b, "obarch_in_flight", "Admitted-but-unfinished requests across the pool.", float64(s.pool.InFlight()))
+	writeGauge(&b, "obarch_unhealthy_shards", "Shards whose last request panicked and whose fresh machine is unprobed.", float64(s.pool.UnhealthyShards()))
+	ready := 1.0
+	if s.notReady() != "" {
+		ready = 0
+	}
+	writeGauge(&b, "obarch_ready", "1 while /readyz answers 200, 0 while new traffic should go elsewhere.", ready)
 	writeGauge(&b, "obarch_start_time_seconds", "Unix time the daemon started.", float64(s.start.UnixNano())/1e9)
 	writeGauge(&b, "obarch_uptime_seconds", "Seconds since the daemon started.", time.Since(s.start).Seconds())
 	fr := 0.0

@@ -1,0 +1,263 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// newConfigServer is newSuiteServer with the pool config under test
+// control — the overload and chaos tests need ceilings and fault plans
+// the default server never arms.
+func newConfigServer(t *testing.T, cfg serve.Config) (*server, *serve.Pool) {
+	t.Helper()
+	sys := obarch.NewSystem(obarch.Options{})
+	programs := workload.Suite()
+	for _, p := range programs {
+		if err := sys.Load(p.Src); err != nil {
+			t.Fatalf("load %s: %v", p.Name, err)
+		}
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	pool := serve.NewPool(snap, cfg)
+	return newServer(pool, programs, snap, ""), pool
+}
+
+// TestStatusFor pins the refusal-to-status contract, wrapped errors
+// included: overload is the client's cue to back off (429), a shed
+// deadline is the node's cue to try elsewhere (503), and everything the
+// machine itself rejected stays 422.
+func TestStatusFor(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, http.StatusOK},
+		{serve.ErrOverloaded, http.StatusTooManyRequests},
+		{fmt.Errorf("shard 3: %w", serve.ErrOverloaded), http.StatusTooManyRequests},
+		{serve.ErrExpired, http.StatusServiceUnavailable},
+		{fmt.Errorf("queued 5ms: %w", serve.ErrExpired), http.StatusServiceUnavailable},
+		{serve.ErrPanic, http.StatusUnprocessableEntity},
+		{errors.New("doesNotUnderstand: quadruple"), http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		if got := statusFor(c.err); got != c.want {
+			t.Errorf("statusFor(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestParseChaos covers the -chaos grammar: the empty plan, every key,
+// and the malformed specs that must refuse at boot rather than arm a
+// half-read plan.
+func TestParseChaos(t *testing.T) {
+	if f, err := parseChaos(""); f != nil || err != nil {
+		t.Errorf(`parseChaos("") = %+v, %v; want nil, nil`, f, err)
+	}
+	f, err := parseChaos("seed=42,panic=100,stall=50:2ms,clog=64:1ms")
+	if err != nil {
+		t.Fatalf("full spec: %v", err)
+	}
+	want := serve.Faults{Seed: 42, PanicEvery: 100, StallEvery: 50, Stall: 2 * time.Millisecond, ClogEvery: 64, Clog: time.Millisecond}
+	if *f != want {
+		t.Errorf("full spec = %+v, want %+v", *f, want)
+	}
+	if f, err = parseChaos("panic=7"); err != nil || f.PanicEvery != 7 || f.Seed != 0 {
+		t.Errorf("panic-only spec = %+v, %v", f, err)
+	}
+	for _, bad := range []string{
+		"bogus",         // no key=value shape
+		"wat=1",         // unknown key
+		"seed=x",        // non-numeric seed
+		"seed=-1",       // negative seed
+		"panic=x",       // non-numeric cadence
+		"panic=-1",      // negative cadence
+		"stall=5",       // missing duration
+		"stall=x:1ms",   // non-numeric cadence with duration
+		"stall=5:xx",    // unparseable duration
+		"clog=5:-1ms",   // negative duration
+		"panic=1,,",     // empty clause
+		"panic=1,wat=2", // good then bad
+	} {
+		if f, err := parseChaos(bad); err == nil {
+			t.Errorf("parseChaos(%q) = %+v, want error", bad, f)
+		}
+	}
+}
+
+// TestServerOverloadRefusal closes admission outright (MaxInFlight < 0)
+// and checks the whole refusal surface at once: /send answers 429 with
+// Retry-After, /readyz flips to 503 "overloaded", and /stats and
+// /metrics both account the rejection.
+func TestServerOverloadRefusal(t *testing.T) {
+	h, pool := newConfigServer(t, serve.Config{Workers: 1, MaxInFlight: -1, Timeout: 30 * time.Second})
+	defer pool.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	p := workload.Suite()[0]
+	body := fmt.Sprintf(`{"receiver": %d, "selector": %q}`, p.Size, p.Entry)
+	resp, err := http.Post(ts.URL+"/send", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /send: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("/send under closed admission: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", ra)
+	}
+	var out sendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode refusal body: %v", err)
+	}
+	if !strings.Contains(out.Error, "overloaded") {
+		t.Errorf("refusal error = %q, want it to name the overload", out.Error)
+	}
+
+	rr, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	defer rr.Body.Close()
+	if rr.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz under overload: status %d, want 503", rr.StatusCode)
+	}
+	reason, err := io.ReadAll(rr.Body)
+	if err != nil {
+		t.Fatalf("read /readyz body: %v", err)
+	}
+	if got := strings.TrimSpace(string(reason)); got != "overloaded" {
+		t.Errorf("/readyz reason = %q, want \"overloaded\"", got)
+	}
+
+	sr, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	defer sr.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+		t.Fatalf("decode /stats: %v", err)
+	}
+	if got, _ := st["rejected"].(float64); got < 1 {
+		t.Errorf("/stats rejected = %v, want >= 1", st["rejected"])
+	}
+	if ready, _ := st["ready"].(bool); ready {
+		t.Error("/stats reports ready under closed admission")
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer mr.Body.Close()
+	raw, err := io.ReadAll(mr.Body)
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	text := string(raw)
+	for _, want := range []string{"obarch_rejected_total", "obarch_ready 0", "obarch_in_flight"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestReadyzDrainFlip: a healthy node is ready; the moment the drain
+// flag is up (what serveAndDrain sets before closing the listener) the
+// probe answers 503 "draining" while /healthz keeps reporting liveness.
+func TestReadyzDrainFlip(t *testing.T) {
+	h, pool := newSuiteServer(t, 2, "")
+	defer pool.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s body: %v", path, err)
+		}
+		return resp.StatusCode, strings.TrimSpace(string(b))
+	}
+	if status, body := get("/readyz"); status != http.StatusOK || body != "ready" {
+		t.Fatalf("healthy /readyz = %d %q, want 200 \"ready\"", status, body)
+	}
+	h.draining.Store(true)
+	if status, body := get("/readyz"); status != http.StatusServiceUnavailable || body != "draining" {
+		t.Fatalf("draining /readyz = %d %q, want 503 \"draining\"", status, body)
+	}
+	if status, _ := get("/healthz"); status != http.StatusOK {
+		t.Fatalf("draining /healthz = %d, want 200: drain must not look like death", status)
+	}
+}
+
+// TestReadyzQuarantineHeavy drives a single-shard pool whose every send
+// panics: the recovery barrier turns the panic into a 422 result, the
+// shard goes unhealthy, and with the majority of shards (1 of 1) in
+// quarantine churn /readyz steers traffic away.
+func TestReadyzQuarantineHeavy(t *testing.T) {
+	h, pool := newConfigServer(t, serve.Config{
+		Workers: 1,
+		Faults:  &serve.Faults{PanicEvery: 1},
+		Timeout: 30 * time.Second,
+	})
+	defer pool.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	p := workload.Suite()[0]
+	body := fmt.Sprintf(`{"receiver": %d, "selector": %q}`, p.Size, p.Entry)
+	resp, err := http.Post(ts.URL+"/send", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /send: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("panicked send: status %d, want 422", resp.StatusCode)
+	}
+	var out sendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode panicked send: %v", err)
+	}
+	if !strings.Contains(out.Error, "panicked") {
+		t.Errorf("panicked send error = %q, want it to name the panic", out.Error)
+	}
+
+	rr, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	defer rr.Body.Close()
+	reason, err := io.ReadAll(rr.Body)
+	if err != nil {
+		t.Fatalf("read /readyz body: %v", err)
+	}
+	if got := strings.TrimSpace(string(reason)); rr.StatusCode != http.StatusServiceUnavailable || got != "quarantine-heavy" {
+		t.Fatalf("/readyz after panic = %d %q, want 503 \"quarantine-heavy\"", rr.StatusCode, got)
+	}
+	met := pool.Metrics()
+	if met.Panics != 1 || met.Restamps != 1 {
+		t.Errorf("panics/restamps = %d/%d, want 1/1", met.Panics, met.Restamps)
+	}
+}

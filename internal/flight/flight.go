@@ -52,12 +52,35 @@ const (
 	// KindGCEnd is that slice finishing. Arg is the number of segments
 	// still pending in the cycle's sweep (0: the cycle completed).
 	KindGCEnd
+	// KindReject is a request refused at admission: its shard's queue was
+	// full, so the pool shed it instead of blocking the submitter. Arg is
+	// the shard backlog at the refusal. Written by the submitter, not the
+	// shard driver — the ring's reservation cursor makes that safe.
+	KindReject
+	// KindShed is a queued request dropped at dispatch because its
+	// wall-clock deadline had already expired while it waited: the machine
+	// was never touched. Arg is the queue wait in nanoseconds.
+	KindShed
+	// KindPanic is a worker panic caught by the shard's recovery barrier
+	// and converted into a failed result. Arg is PanicChaos for
+	// chaos-injected panics, PanicReal for everything else.
+	KindPanic
+	// KindRestamp is a quarantined machine's replacement being stamped
+	// from the pool snapshot after a panic. Arg is the re-stamp cost in
+	// nanoseconds.
+	KindRestamp
 )
 
 // Abort reasons carried in a KindAbort event's Arg.
 const (
 	AbortError   = 1
 	AbortTimeout = 2
+)
+
+// Panic provenance carried in a KindPanic event's Arg.
+const (
+	PanicReal  = 1
+	PanicChaos = 2
 )
 
 // String names the kind for reports and /debug/slow.
@@ -77,6 +100,14 @@ func (k Kind) String() string {
 		return "gc_start"
 	case KindGCEnd:
 		return "gc_end"
+	case KindReject:
+		return "reject"
+	case KindShed:
+		return "shed"
+	case KindPanic:
+		return "panic"
+	case KindRestamp:
+		return "restamp"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

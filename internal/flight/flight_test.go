@@ -15,6 +15,10 @@ func TestKindString(t *testing.T) {
 		KindAbort:     "abort",
 		KindGCStart:   "gc_start",
 		KindGCEnd:     "gc_end",
+		KindReject:    "reject",
+		KindShed:      "shed",
+		KindPanic:     "panic",
+		KindRestamp:   "restamp",
 		Kind(99):      "kind(99)",
 	}
 	for k, s := range want {

@@ -1,0 +1,203 @@
+// Panic isolation and the deterministic chaos harness. The recovery
+// half turns a worker panic into a failed Result: a recover barrier
+// around machine execution (invoke) plus a second barrier around the
+// shard driver (dispatch) catch the panic, the suspect machine is
+// quarantined, and a fresh worker is re-stamped from the pool snapshot —
+// the same bulk clone that built the pool, now doubling as the repair
+// mechanism. The chaos half injects the faults those barriers exist for,
+// at seeded, reproducible points, so the recovery paths are exercised by
+// deterministic tests instead of trusted on faith.
+package serve
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/gc"
+	"repro/internal/word"
+)
+
+// Faults is a deterministic fault plan (Config.Faults): each shard
+// injects faults on a fixed schedule derived from the plan and its shard
+// index alone, so a seeded run reproduces the same faults at the same
+// points every time. Counts are per shard: PanicEvery = 2 panics that
+// shard's 2nd, 4th, 6th... execution (with Seed = 0; a nonzero Seed
+// shifts each shard's schedule by a seeded per-shard phase so faults
+// stop lining up across shards).
+type Faults struct {
+	// Seed derives each shard's injection phases. 0 means no phase: all
+	// shards fault on exact multiples of their Every cadences — the
+	// fully predictable plan unit tests want.
+	Seed uint64
+	// PanicEvery panics every Nth machine execution on each shard —
+	// inside the recovery barrier, exactly where a real interpreter bug
+	// would land. 0 disables panic injection.
+	PanicEvery int
+	// StallEvery sleeps Stall before every Nth machine execution,
+	// modelling a wedged interpreter or a scheduling glitch. 0 disables.
+	StallEvery int
+	Stall      time.Duration
+	// ClogEvery sleeps Clog at every Nth queue dispatch — before the
+	// driver serves the job, with the queue backing up behind it — the
+	// reproducible way to build queue pressure. 0 disables.
+	ClogEvery int
+	Clog      time.Duration
+}
+
+// chaosState is one shard's arm of the fault plan. All fields are only
+// touched by whoever holds the shard's execMu, like the machine the
+// faults target.
+type chaosState struct {
+	plan       Faults
+	execN      uint64
+	dispN      uint64
+	panicPhase uint64
+	stallPhase uint64
+	clogPhase  uint64
+}
+
+// newChaosState fixes shard i's injection schedule from the plan.
+func newChaosState(f Faults, shard int) *chaosState {
+	c := &chaosState{plan: f}
+	if f.Seed != 0 {
+		rng := rand.New(rand.NewPCG(f.Seed, uint64(shard)*0x9e3779b97f4a7c15+0x2545f4914f6cdd1d))
+		if f.PanicEvery > 0 {
+			c.panicPhase = rng.Uint64N(uint64(f.PanicEvery))
+		}
+		if f.StallEvery > 0 {
+			c.stallPhase = rng.Uint64N(uint64(f.StallEvery))
+		}
+		if f.ClogEvery > 0 {
+			c.clogPhase = rng.Uint64N(uint64(f.ClogEvery))
+		}
+	}
+	return c
+}
+
+// chaosPanic is the value an injected panic throws, so the barriers (and
+// the flight recorder) can tell injected faults from real ones.
+type chaosPanic struct {
+	Shard int
+	N     uint64
+}
+
+func (c chaosPanic) String() string {
+	return fmt.Sprintf("chaos-injected panic (shard %d, execution %d)", c.Shard, c.N)
+}
+
+// beforeSend injects execution faults — a stall, then a panic if both
+// are due — counting machine executions on this shard.
+func (c *chaosState) beforeSend(shard int) {
+	c.execN++
+	if e := c.plan.StallEvery; e > 0 && c.plan.Stall > 0 && (c.execN+c.stallPhase)%uint64(e) == 0 {
+		time.Sleep(c.plan.Stall)
+	}
+	if e := c.plan.PanicEvery; e > 0 && (c.execN+c.panicPhase)%uint64(e) == 0 {
+		panic(chaosPanic{Shard: shard, N: c.execN})
+	}
+}
+
+// beforeDispatch injects the dispatch clog, counting queue dispatches.
+func (c *chaosState) beforeDispatch() {
+	c.dispN++
+	if e := c.plan.ClogEvery; e > 0 && c.plan.Clog > 0 && (c.dispN+c.clogPhase)%uint64(e) == 0 {
+		time.Sleep(c.plan.Clog)
+	}
+}
+
+// invoke runs one machine execution behind the recovery barrier: a panic
+// — the machine's or an injected one — is converted into an ErrPanic
+// error with panicked set, and execution falls through to serveOne's
+// bookkeeping instead of unwinding the driver. Callers hold execMu.
+func (p *Pool) invoke(s *shard, req Request) (v word.Word, err error, panicked, chaosHit bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			_, chaosHit = r.(chaosPanic)
+			err = fmt.Errorf("%w: %v", ErrPanic, r)
+		}
+	}()
+	if c := s.chaos; c != nil {
+		c.beforeSend(s.id)
+	}
+	v, err = s.m.Send(req.Receiver, req.Selector, req.Args...)
+	return
+}
+
+// quarantine handles a caught panic on a shard: the interrupted machine
+// is retired (its accounting folded into the shard's accumulators so
+// nothing un-conserves) and a fresh worker is re-stamped from the pool
+// snapshot. Called under execMu, from serveOne's barrier or the driver's.
+func (p *Pool) quarantine(s *shard, id uint64, lat time.Duration, start time.Time, chaosHit bool) {
+	s.met.panics.Add(1)
+	s.unhealthy.Store(true)
+	t0 := time.Now()
+	p.restamp(s)
+	cost := time.Since(t0)
+	if fr := s.fr; fr != nil {
+		ts := fr.TS(start) + int64(lat)
+		code := uint64(flight.PanicReal)
+		if chaosHit {
+			code = flight.PanicChaos
+		}
+		fr.RecordAt(flight.KindPanic, id, code, ts)
+		fr.RecordAt(flight.KindRestamp, id, uint64(cost), ts+int64(cost))
+	}
+}
+
+// restamp swaps the shard's machine for a fresh clone of the pool
+// snapshot. The retired machine's stats move into the shard's
+// accumulators first — MachineStats and the ITLB ratio conserve across
+// the swap — and the collector and GC cadence restart with the clean
+// heap. Called under execMu.
+func (p *Pool) restamp(s *shard) {
+	s.retired.Add(s.m.Stats)
+	cs := s.m.ITLB.CacheStats()
+	s.itlbHitAcc += cs.Hits - s.itlbHitBase
+	s.itlbTotalAcc += (cs.Hits - s.itlbHitBase) + (cs.Misses - s.itlbMissBase)
+	s.m = p.snap.NewMachine()
+	ncs := s.m.ITLB.CacheStats()
+	s.itlbHitBase, s.itlbMissBase = ncs.Hits, ncs.Misses
+	s.col = gc.Collector{}
+	s.sinceGC = 0
+	s.met.restamps.Add(1)
+}
+
+// driverPanic is the shard driver's last-resort barrier handler: a panic
+// that escaped serveOne's own barrier (so the serving path's bookkeeping
+// never ran for this job) still answers the job, retires its counters,
+// and re-stamps the machine, keeping the worker goroutine alive. Called
+// under execMu.
+func (p *Pool) driverPanic(s *shard, j job, r any) {
+	s.met.panics.Add(1)
+	s.unhealthy.Store(true)
+	p.restamp(s)
+	err := fmt.Errorf("%w: %v", ErrPanic, r)
+	if fr := s.fr; fr != nil {
+		_, chaosHit := r.(chaosPanic)
+		code := uint64(flight.PanicReal)
+		if chaosHit {
+			code = flight.PanicChaos
+		}
+		now := fr.Now()
+		fr.RecordAt(flight.KindPanic, j.id, code, now)
+		fr.RecordAt(flight.KindRestamp, j.id, 0, now)
+	}
+	s.pending.Add(-1)
+	if j.wg != nil {
+		p.release(int64(len(j.batch)))
+		for _, i := range j.batch {
+			// Entries served before the panic keep their results; the
+			// rest — never touched, still zero — take the panic error.
+			if j.out[i].Err == nil && j.out[i].Latency == 0 {
+				j.out[i] = Result{Err: err, Worker: s.id}
+			}
+		}
+		j.wg.Done()
+		return
+	}
+	p.release(1)
+	j.fut.complete(Result{Err: err, Worker: s.id})
+}

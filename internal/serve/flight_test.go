@@ -218,7 +218,7 @@ func TestFlightReaderDuringTraffic(t *testing.T) {
 		defer close(done)
 		for i := 0; i < 200; i++ {
 			for _, ev := range rec.Events() {
-				if ev.Kind < flight.KindEnqueue || ev.Kind > flight.KindGCEnd {
+				if ev.Kind < flight.KindEnqueue || ev.Kind > flight.KindRestamp {
 					t.Errorf("torn event kind: %+v", ev)
 					return
 				}

@@ -123,6 +123,32 @@ func TestFlightRecorderParity(t *testing.T) {
 	}
 }
 
+// TestRecoveryAndChaosParity proves the robustness machinery is pure
+// mechanism: with recovery ablated (NoRecovery), with an armed-but-empty
+// fault plan (chaos off), and with a never-reached admission ceiling,
+// the modelled core.Stats are bit-identical to the default pool on every
+// counter and every answer matches — the same bar the recorder and
+// lifecycle ablations already meet.
+func TestRecoveryAndChaosParity(t *testing.T) {
+	base := serve.Config{Workers: 2, Routing: serve.RoutingRR, Batch: 4}
+	sa, va := runSequence(t, base, false)
+
+	ablated := base
+	ablated.NoRecovery = true
+	sb, vb := runSequence(t, ablated, false)
+	assertParity(t, "recovery barriers on vs ablated", sa, sb, va, vb)
+
+	armed := base
+	armed.Faults = &serve.Faults{Seed: 99} // armed plan, no fault cadences
+	sc, vc := runSequence(t, armed, false)
+	assertParity(t, "chaos armed-but-empty vs off", sa, sc, va, vc)
+
+	ceiling := base
+	ceiling.MaxInFlight = 1 << 30
+	sd, vd := runSequence(t, ceiling, false)
+	assertParity(t, "admission ceiling armed vs off", sa, sd, va, vd)
+}
+
 // TestRoutingValidation pins the Config.Routing contract: both named
 // policies and the empty default construct, anything else panics.
 func TestRoutingValidation(t *testing.T) {

@@ -46,9 +46,36 @@
 // abandoned context chain reclaimed by a periodic per-shard garbage
 // collection.
 //
+// The pool degrades instead of collapsing when pushed past capacity,
+// and heals itself when a worker is lost:
+//
+//   - Admission control: enqueue is bounded — a full shard queue refuses
+//     the request with ErrOverloaded instead of blocking the submitter,
+//     and Config.MaxInFlight adds a pool-wide ceiling on admitted-but-
+//     unfinished requests. The refusal path allocates nothing: an
+//     overloaded server must not buy heap pressure with its "no".
+//   - Deadline-aware shedding: a queued request whose wall-clock budget
+//     expired while it waited is shed at dispatch with ErrExpired —
+//     counted separately from execution timeouts — without the machine
+//     ever running it.
+//   - Panic isolation: recover barriers around machine execution and the
+//     shard driver convert a worker panic into a failed Result
+//     (ErrPanic) instead of a dead process. The possibly-corrupt machine
+//     is quarantined and a fresh worker is re-stamped from the pool
+//     snapshot — the same bulk clone that built the pool (~100µs), now
+//     serving as the recovery mechanism. Config.NoRecovery ablates the
+//     barriers; parity tests prove the machinery is invisible to the
+//     modelled stats when nothing panics.
+//   - Deterministic chaos: Config.Faults arms a seeded fault plan that
+//     injects panics, execution stalls, and dispatch clogs at
+//     reproducible points, so the recovery paths are exercised by tests
+//     rather than trusted. A nil plan (the default) is bit-identical to
+//     a pool without the harness.
+//
 // Every request also leaves a trace: an always-on flight recorder (see
 // package flight) logs each lifecycle transition — enqueue, dispatch,
-// execute start/end, abort, GC slices — into a per-shard lock-free ring,
+// execute start/end, abort, shed, reject, panic, restamp, GC slices —
+// into a per-shard lock-free ring,
 // at zero allocations and a handful of atomic stores per event.
 // Submitters stamp the enqueue; everything else is written by whoever
 // holds the shard's execMu, reusing clock readings the serving path
@@ -180,6 +207,23 @@ type Config struct {
 	// SlowKeep bounds how many slow captures are retained (newest win).
 	// 0 uses the default of 32.
 	SlowKeep int
+	// MaxInFlight caps admitted-but-unfinished requests across the whole
+	// pool; admission past the cap refuses with ErrOverloaded. 0 means
+	// unlimited (the ceiling counter is not even maintained). Negative
+	// closes admission entirely — every request is refused — which is the
+	// drain/maintenance mode and the deterministic fixture for the
+	// shed-path benchmarks.
+	MaxInFlight int
+	// NoRecovery ablates the panic-isolation machinery: no recover
+	// barriers, no quarantine, no snapshot re-stamp — a worker panic
+	// kills the process, the pre-recovery behaviour. The ablation for the
+	// recovery parity tests.
+	NoRecovery bool
+	// Faults, when non-nil, arms the deterministic chaos harness: seeded
+	// panics, execution stalls, and dispatch clogs injected at
+	// reproducible points (see Faults). nil — the default — injects
+	// nothing and models identically to a pool without the harness.
+	Faults *Faults
 }
 
 const (
@@ -191,12 +235,49 @@ const (
 // ErrClosed is returned for requests submitted after Close.
 var ErrClosed = errors.New("serve: pool is closed")
 
+// ErrOverloaded is returned for requests refused at admission: the
+// destination shard's queue was full, or the pool's in-flight ceiling
+// (Config.MaxInFlight) was reached. The request was never queued and no
+// machine saw it; the caller should back off and retry.
+var ErrOverloaded = errors.New("serve: pool overloaded")
+
+// ErrExpired is returned for requests shed at dispatch: the wall-clock
+// timeout expired while the request sat in its shard's queue, so
+// executing it could only waste a worker on an answer nobody is waiting
+// for. The machine was never touched.
+var ErrExpired = errors.New("serve: deadline expired before dispatch")
+
+// ErrPanic wraps a worker panic caught by the shard's recovery barrier.
+// The request's machine was quarantined and replaced from the pool
+// snapshot; the pool keeps serving.
+var ErrPanic = errors.New("serve: worker panicked")
+
 // Metrics aggregates what the pool has done. Latency totals count service
 // time only; queueing delay is visible to callers as Do latency instead.
+//
+// Accounting conserves: every submitted request lands in exactly one of
+// Requests (it executed, successfully or not), Rejected (refused at
+// admission, never queued), or SheddedExpired (queued but shed at
+// dispatch) — plus the ErrClosed refusals of a closing pool, which are
+// not counted here.
 type Metrics struct {
 	Requests uint64 `json:"requests"`
 	Errors   uint64 `json:"errors"`   // requests answered with any error
 	Timeouts uint64 `json:"timeouts"` // ...of which deadline or interrupt traps
+
+	// Rejected counts requests refused at admission — full shard queue or
+	// the pool's in-flight ceiling. SheddedExpired counts queued requests
+	// shed at dispatch because their deadline expired while they waited;
+	// neither ever touched a machine.
+	Rejected       uint64 `json:"rejected"`
+	SheddedExpired uint64 `json:"shedded_expired"`
+
+	// Panics counts worker panics converted into failed results by the
+	// recovery barriers (these also count in Requests and Errors);
+	// Restamps counts the quarantined machines replaced from the pool
+	// snapshot — one per panic unless recovery is ablated.
+	Panics   uint64 `json:"panics"`
+	Restamps uint64 `json:"restamps"`
 
 	TotalLatency time.Duration `json:"total_latency_ns"`
 	MaxLatency   time.Duration `json:"max_latency_ns"`
@@ -227,6 +308,10 @@ func (m *Metrics) merge(o Metrics) {
 	m.Requests += o.Requests
 	m.Errors += o.Errors
 	m.Timeouts += o.Timeouts
+	m.Rejected += o.Rejected
+	m.SheddedExpired += o.SheddedExpired
+	m.Panics += o.Panics
+	m.Restamps += o.Restamps
 	m.TotalLatency += o.TotalLatency
 	if o.MaxLatency > m.MaxLatency {
 		m.MaxLatency = o.MaxLatency
@@ -246,6 +331,10 @@ func (m Metrics) Report() *stats.Table {
 	t.AddRow("requests", fmt.Sprintf("%d", m.Requests))
 	t.AddRow("errors", fmt.Sprintf("%d", m.Errors))
 	t.AddRow("timeouts", fmt.Sprintf("%d", m.Timeouts))
+	t.AddRow("rejected", fmt.Sprintf("%d", m.Rejected))
+	t.AddRow("shed expired", fmt.Sprintf("%d", m.SheddedExpired))
+	t.AddRow("panics", fmt.Sprintf("%d", m.Panics))
+	t.AddRow("restamps", fmt.Sprintf("%d", m.Restamps))
 	t.AddRow("mean latency", m.MeanLatency().String())
 	t.AddRow("max latency", m.MaxLatency.String())
 	t.AddRow("instructions", fmt.Sprintf("%d", m.Instructions))
@@ -347,7 +436,16 @@ type shardMetrics struct {
 	itlbTotal    atomic.Uint64
 	gcs          atomic.Uint64
 	gcPause      atomic.Int64
-	_            metricsPad
+
+	// Overload and recovery counters sit outside the seqlock discipline:
+	// each is an independent monotonic count, never read as part of a
+	// multi-counter invariant, and rejected is bumped by submitters — who
+	// must not touch the seqlock, whose writer is whoever holds execMu.
+	rejected    atomic.Uint64
+	shedExpired atomic.Uint64
+	panics      atomic.Uint64
+	restamps    atomic.Uint64
+	_           metricsPad
 }
 
 // begin opens a writer critical section (seq goes odd).
@@ -377,6 +475,10 @@ func (mm *shardMetrics) snapshot() Metrics {
 			GCPause:      time.Duration(mm.gcPause.Load()),
 		}
 		if mm.seq.Load() == s1 {
+			m.Rejected = mm.rejected.Load()
+			m.SheddedExpired = mm.shedExpired.Load()
+			m.Panics = mm.panics.Load()
+			m.Restamps = mm.restamps.Load()
 			return m
 		}
 	}
@@ -415,11 +517,23 @@ type shard struct {
 	qlat   stats.ConcurrentHistogram
 
 	// Driver-private GC cadence and ITLB baselines: sinceGC is only
-	// touched under execMu; the baselines are fixed at pool start so
+	// touched under execMu; the baselines are reset at every (re)stamp so
 	// aggregates report only traffic served by this pool.
 	sinceGC      int
 	itlbHitBase  uint64
 	itlbMissBase uint64
+
+	// Recovery state. retired accumulates the machine-level stats of
+	// quarantined machines so MachineStats conserves across re-stamps;
+	// itlbHitAcc/itlbTotalAcc do the same for the ITLB ratio (all under
+	// execMu). unhealthy is set when the shard's last execution panicked
+	// and cleared by its next success — the readiness signal. chaos is
+	// the shard's arm of the fault plan (nil when unarmed).
+	retired      core.Stats
+	itlbHitAcc   uint64
+	itlbTotalAcc uint64
+	unhealthy    atomic.Bool
+	chaos        *chaosState
 }
 
 // Pool is a sharded serving pool over machines cloned from one snapshot.
@@ -427,6 +541,23 @@ type Pool struct {
 	cfg    Config
 	jsq    bool
 	shards []*shard
+
+	// snap is retained as the recovery source: a panicking shard's
+	// machine is quarantined and a fresh one re-stamped from it. epoch
+	// anchors the deadline arithmetic of the shed path (it equals the
+	// flight recorder's epoch when the recorder is live, so enqueue
+	// stamps double as deadline anchors); guard is the recovery barriers'
+	// on/off switch (off under Config.NoRecovery).
+	snap  *core.Snapshot
+	epoch time.Time
+	guard bool
+
+	// maxIF/ifTotal are the pool-wide in-flight ceiling and its counter
+	// (only maintained when a ceiling is set); rejectedPool counts
+	// refusals made before a shard was even chosen, folded into Metrics.
+	maxIF        int64
+	ifTotal      atomic.Int64
+	rejectedPool atomic.Uint64
 
 	rr        atomic.Uint64 // round-robin cursor for RoutingRR
 	closed    atomic.Bool
@@ -460,7 +591,11 @@ func NewPool(snap *core.Snapshot, cfg Config) *Pool {
 	if cfg.Batch <= 0 {
 		cfg.Batch = defaultBatch
 	}
-	p := &Pool{cfg: cfg}
+	if cfg.Faults != nil {
+		f := *cfg.Faults // callers must not mutate an armed plan
+		cfg.Faults = &f
+	}
+	p := &Pool{cfg: cfg, snap: snap, guard: !cfg.NoRecovery, maxIF: int64(cfg.MaxInFlight)}
 	switch cfg.Routing {
 	case "", RoutingJSQ:
 		p.jsq = true
@@ -471,6 +606,9 @@ func NewPool(snap *core.Snapshot, cfg Config) *Pool {
 	}
 	if !cfg.NoFlightRecorder {
 		p.rec = flight.New(cfg.Workers, cfg.FlightRingSize)
+		p.epoch = p.rec.Epoch()
+	} else {
+		p.epoch = time.Now()
 	}
 	p.slowNS = int64(cfg.SlowThreshold)
 	p.slowKeep = cfg.SlowKeep
@@ -487,6 +625,9 @@ func NewPool(snap *core.Snapshot, cfg Config) *Pool {
 		}
 		cs := m.ITLB.CacheStats()
 		s.itlbHitBase, s.itlbMissBase = cs.Hits, cs.Misses
+		if cfg.Faults != nil {
+			s.chaos = newChaosState(*cfg.Faults, i)
+		}
 		p.shards = append(p.shards, s)
 	}
 	for _, s := range p.shards {
@@ -534,22 +675,64 @@ func (p *Pool) shardFor(req Request) *shard {
 	return p.shards[p.rr.Add(1)%n]
 }
 
-// enter routes a request and claims its shard's in-flight counter. On
-// success the caller must release the counter with s.inflight.Add(-1)
-// once its enqueue (or inline execution) is done. The counter-then-flag
-// order pairs with Close's flag-then-counter order: a submitter that saw
-// the pool open is always waited out before the queues close.
-func (p *Pool) enter(req Request) (*shard, bool) {
+// admit claims n slots under the pool's in-flight ceiling, refusing with
+// ErrOverloaded when the ceiling is closed (MaxInFlight < 0) or the
+// claim would cross it. With no ceiling configured this is a single
+// predictable branch — the unlimited pool pays nothing for the feature.
+func (p *Pool) admit(n int64) error {
+	if p.maxIF == 0 {
+		return nil
+	}
+	if p.maxIF < 0 {
+		return ErrOverloaded
+	}
+	if v := p.ifTotal.Add(n); v > p.maxIF {
+		p.ifTotal.Add(-n)
+		return ErrOverloaded
+	}
+	return nil
+}
+
+// release returns n admitted slots, once per admitted request: at
+// completion, or at the rejection/refusal that un-admitted it.
+func (p *Pool) release(n int64) {
+	if p.maxIF > 0 {
+		p.ifTotal.Add(-n)
+	}
+}
+
+// enter routes a request past admission and claims its shard's in-flight
+// counter. On success the caller must release the counter with
+// s.inflight.Add(-1) once its enqueue (or inline execution) is done, and
+// owns one admitted ceiling slot. The counter-then-flag order pairs with
+// Close's flag-then-counter order: a submitter that saw the pool open is
+// always waited out before the queues close.
+func (p *Pool) enter(req Request) (*shard, error) {
 	if p.closed.Load() {
-		return nil, false
+		return nil, ErrClosed
+	}
+	if err := p.admit(1); err != nil {
+		p.rejectedPool.Add(1)
+		return nil, err
 	}
 	s := p.shardFor(req)
 	s.inflight.Add(1)
 	if p.closed.Load() {
 		s.inflight.Add(-1)
-		return nil, false
+		p.release(1)
+		return nil, ErrClosed
 	}
-	return s, true
+	return s, nil
+}
+
+// reject refuses a request whose shard queue was full: the distinct
+// flight event and counter, on the shard the request would have joined.
+// Written by the submitter — the ring and the counter both allow that.
+func (p *Pool) reject(s *shard, id uint64, depth int64) {
+	s.met.rejected.Add(1)
+	if fr := s.fr; fr != nil {
+		fr.Record(flight.KindReject, id, uint64(depth))
+	}
 }
 
 // nextReqID allocates a pool-unique request id: the shard index in the
@@ -559,31 +742,50 @@ func (s *shard) nextReqID() uint64 {
 	return uint64(s.id)<<48 | s.reqSeq.Add(1)&(1<<48-1)
 }
 
-// flightEnqueue allocates a request id and, with the recorder live,
-// stamps the enqueue event — depth is the shard backlog the request
-// joined. The returned timestamp anchors the queue-wait span; it is only
-// read when the shard's ring is live.
-func (s *shard) flightEnqueue(depth int64) (uint64, int64) {
+// stampEnqueue allocates a request id and timestamps the enqueue —
+// depth is the shard backlog the request joined. With the recorder live
+// the stamp is also the enqueue event; either way it anchors the
+// queue-wait span and the shed path's deadline arithmetic (the recorder
+// epoch and the pool epoch are the same instant). With the recorder
+// ablated the clock is only read when a timeout makes the stamp
+// meaningful, keeping the ablation's submit path clock-free.
+func (p *Pool) stampEnqueue(s *shard, depth int64, req Request) (uint64, int64) {
 	id := s.nextReqID()
-	if s.fr == nil {
+	if s.fr != nil {
+		enq := s.fr.Now()
+		s.fr.RecordAt(flight.KindEnqueue, id, uint64(depth), enq)
+		return id, enq
+	}
+	if req.Timeout == 0 && p.cfg.Timeout == 0 {
 		return id, 0
 	}
-	enq := s.fr.Now()
-	s.fr.RecordAt(flight.KindEnqueue, id, uint64(depth), enq)
-	return id, enq
+	return id, int64(time.Since(p.epoch))
 }
 
-// flightEnqueueBatch is flightEnqueue for a DoAll sub-batch: it reserves
+// stampEnqueueBatch is stampEnqueue for a DoAll sub-batch: it reserves
 // n consecutive request ids and stamps a single enqueue event carrying
 // the first one.
-func (s *shard) flightEnqueueBatch(depth int64, n int) (uint64, int64) {
+func (p *Pool) stampEnqueueBatch(s *shard, depth int64, reqs []Request, batch []int) (uint64, int64) {
+	n := len(batch)
 	base := uint64(s.id)<<48 | (s.reqSeq.Add(uint64(n))-uint64(n)+1)&(1<<48-1)
-	if s.fr == nil {
-		return base, 0
+	if s.fr != nil {
+		enq := s.fr.Now()
+		s.fr.RecordAt(flight.KindEnqueue, base, uint64(depth), enq)
+		return base, enq
 	}
-	enq := s.fr.Now()
-	s.fr.RecordAt(flight.KindEnqueue, base, uint64(depth), enq)
-	return base, enq
+	if p.cfg.Timeout == 0 {
+		timed := false
+		for _, i := range batch {
+			if reqs[i].Timeout != 0 {
+				timed = true
+				break
+			}
+		}
+		if !timed {
+			return base, 0
+		}
+	}
+	return base, int64(time.Since(p.epoch))
 }
 
 // enqInline marks a request that never queued: Do's inline fast path
@@ -592,17 +794,29 @@ func (s *shard) flightEnqueueBatch(depth int64, n int) (uint64, int64) {
 const enqInline = int64(-1)
 
 // Go submits a request and returns a Future delivering its single result.
-// The Future's Wait must be called exactly once.
+// The Future's Wait must be called exactly once. Submission never blocks:
+// a full shard queue (or a reached in-flight ceiling) completes the
+// Future immediately with ErrOverloaded instead of parking the caller
+// behind a backlog it cannot see.
 func (p *Pool) Go(req Request) *Future {
 	f := p.newFuture()
-	s, ok := p.enter(req)
-	if !ok {
-		f.complete(Result{Err: ErrClosed})
+	s, err := p.enter(req)
+	if err != nil {
+		f.complete(Result{Err: err})
 		return f
 	}
 	d := s.pending.Add(1)
-	id, enq := s.flightEnqueue(d)
-	s.queue <- job{req: req, fut: f, id: id, enq: enq}
+	id, enq := p.stampEnqueue(s, d, req)
+	select {
+	case s.queue <- job{req: req, fut: f, id: id, enq: enq}:
+	default:
+		// Queue full: shed at the door. s.inflight is still held, so the
+		// queue cannot close under this window even though the send lost.
+		s.pending.Add(-1)
+		p.release(1)
+		p.reject(s, id, d)
+		f.complete(Result{Err: ErrOverloaded, Worker: s.id})
+	}
 	s.inflight.Add(-1)
 	return f
 }
@@ -619,9 +833,9 @@ func (p *Pool) Go(req Request) *Future {
 // execution itself counts in pending, so the JSQ depth signal sees busy
 // shards whichever path drives them.
 func (p *Pool) Do(req Request) Result {
-	s, ok := p.enter(req)
-	if !ok {
-		return Result{Err: ErrClosed}
+	s, err := p.enter(req)
+	if err != nil {
+		return Result{Err: err}
 	}
 	if s.execMu.TryLock() {
 		if s.pending.Load() == 0 {
@@ -634,14 +848,22 @@ func (p *Pool) Do(req Request) Result {
 			s.pending.Add(-1)
 			s.execMu.Unlock()
 			s.inflight.Add(-1)
+			p.release(1)
 			return res
 		}
 		s.execMu.Unlock()
 	}
 	f := p.newFuture()
 	d := s.pending.Add(1)
-	id, enq := s.flightEnqueue(d)
-	s.queue <- job{req: req, fut: f, id: id, enq: enq}
+	id, enq := p.stampEnqueue(s, d, req)
+	select {
+	case s.queue <- job{req: req, fut: f, id: id, enq: enq}:
+	default:
+		s.pending.Add(-1)
+		p.release(1)
+		p.reject(s, id, d)
+		f.complete(Result{Err: ErrOverloaded, Worker: s.id})
+	}
 	s.inflight.Add(-1)
 	return f.Wait()
 }
@@ -652,7 +874,10 @@ func (p *Pool) Do(req Request) Result {
 // and each group is enqueued as sub-batches of at most cfg.Batch requests,
 // interleaved round-robin across shards so every worker starts its share
 // immediately and sub-batches pipeline behind one another instead of one
-// result hand-off per request.
+// result hand-off per request. Admission applies per sub-batch: a full
+// shard queue or a reached in-flight ceiling fails that sub-batch's
+// requests with ErrOverloaded in place while the rest of the batch
+// proceeds.
 func (p *Pool) DoAll(reqs []Request) []Result {
 	out := make([]Result, len(reqs))
 	if len(reqs) == 0 {
@@ -683,12 +908,39 @@ func (p *Pool) DoAll(reqs []Request) []Result {
 				groups[si] = nil
 				continue
 			}
+			if err := p.admit(int64(n)); err != nil {
+				// The ceiling refuses whole sub-batches; the batch's
+				// remaining sub-batches still try their own shards.
+				s.inflight.Add(-1)
+				s.met.rejected.Add(uint64(n))
+				for _, i := range idxs[:n] {
+					out[i] = Result{Err: err, Worker: s.id}
+				}
+				groups[si] = idxs[n:]
+				if len(groups[si]) > 0 {
+					remaining = true
+				}
+				continue
+			}
 			wg.Add(1)
 			d := s.pending.Add(1)
 			// One enqueue event covers the sub-batch; its requests take
 			// consecutive ids starting at the recorded one.
-			id, enq := s.flightEnqueueBatch(d, n)
-			s.queue <- job{reqs: reqs, out: out, batch: idxs[:n], wg: &wg, id: id, enq: enq}
+			id, enq := p.stampEnqueueBatch(s, d, reqs, idxs[:n])
+			select {
+			case s.queue <- job{reqs: reqs, out: out, batch: idxs[:n], wg: &wg, id: id, enq: enq}:
+			default:
+				wg.Done()
+				s.pending.Add(-1)
+				p.release(int64(n))
+				s.met.rejected.Add(uint64(n))
+				if fr := s.fr; fr != nil {
+					fr.Record(flight.KindReject, id, uint64(d))
+				}
+				for _, i := range idxs[:n] {
+					out[i] = Result{Err: ErrOverloaded, Worker: s.id}
+				}
+			}
 			s.inflight.Add(-1)
 			groups[si] = idxs[n:]
 			if len(groups[si]) > 0 {
@@ -733,7 +985,42 @@ func (p *Pool) Metrics() Metrics {
 	for _, s := range p.shards {
 		out.merge(s.met.snapshot())
 	}
+	out.Rejected += p.rejectedPool.Load()
 	return out
+}
+
+// InFlight returns the admitted-but-unfinished request count the ceiling
+// tracks. Only maintained when Config.MaxInFlight is positive; 0
+// otherwise.
+func (p *Pool) InFlight() int64 {
+	if p.maxIF <= 0 {
+		return 0
+	}
+	return p.ifTotal.Load()
+}
+
+// Overloaded reports whether admission is currently refusing keyless
+// capacity: the ceiling is closed (MaxInFlight < 0) or the in-flight
+// count sits at it. A pool without a ceiling never reports overloaded —
+// full queues are per-shard and transient. The readiness signal.
+func (p *Pool) Overloaded() bool {
+	if p.maxIF < 0 {
+		return true
+	}
+	return p.maxIF > 0 && p.ifTotal.Load() >= p.maxIF
+}
+
+// UnhealthyShards counts shards whose most recent execution panicked and
+// that have not served a success since their re-stamp — the
+// quarantine-heavy readiness signal.
+func (p *Pool) UnhealthyShards() int {
+	n := 0
+	for _, s := range p.shards {
+		if s.unhealthy.Load() {
+			n++
+		}
+	}
+	return n
 }
 
 // QueueDepths returns each shard's instantaneous backlog — queued jobs
@@ -785,13 +1072,16 @@ func (p *Pool) QueueWaitHistogram() stats.Histogram {
 // Config.NoFlightRecorder ablation.
 func (p *Pool) FlightRecorder() *flight.Recorder { return p.rec }
 
-// MachineStats sums the machine-level cycle accounting across shards.
-// Meaningful only while the pool is quiescent (e.g. after Close), since
-// workers mutate their machines without synchronisation.
+// MachineStats sums the machine-level cycle accounting across shards,
+// quarantined-and-retired machines included, so the total conserves
+// across re-stamps. Meaningful only while the pool is quiescent (e.g.
+// after Close), since workers mutate their machines without
+// synchronisation.
 func (p *Pool) MachineStats() core.Stats {
 	var out core.Stats
 	for _, s := range p.shards {
 		out.Add(s.m.Stats)
+		out.Add(s.retired)
 	}
 	return out
 }
@@ -803,7 +1093,7 @@ func (p *Pool) worker(s *shard) {
 	defer p.wg.Done()
 	for j := range s.queue {
 		s.execMu.Lock()
-		p.serveJob(s, j)
+		p.dispatch(s, j)
 		for n := 1; n < p.cfg.Batch; n++ {
 			select {
 			case j2, ok := <-s.queue:
@@ -811,7 +1101,7 @@ func (p *Pool) worker(s *shard) {
 					s.execMu.Unlock()
 					return // closed and drained
 				}
-				p.serveJob(s, j2)
+				p.dispatch(s, j2)
 			default:
 				n = p.cfg.Batch // queue momentarily empty; block in range again
 			}
@@ -820,14 +1110,38 @@ func (p *Pool) worker(s *shard) {
 	}
 }
 
+// dispatch runs one queue entry behind the shard driver's recovery
+// barrier: serveOne's own barrier catches machine-execution panics, so
+// anything arriving here escaped the serving path's bookkeeping — the
+// handler still answers the job, retires its counters and re-stamps the
+// machine, keeping the driver goroutine (and the process) alive. Under
+// Config.NoRecovery the barrier is gone and a panic propagates.
+func (p *Pool) dispatch(s *shard, j job) {
+	if !p.guard {
+		p.serveJob(s, j)
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			p.driverPanic(s, j, r)
+		}
+	}()
+	p.serveJob(s, j)
+}
+
 // serveJob dispatches one queue entry — a single request or a sub-batch —
-// and retires its pending count. Callers hold the shard's execMu.
+// and retires its pending count and ceiling slots. Callers hold the
+// shard's execMu.
 func (p *Pool) serveJob(s *shard, j job) {
+	if c := s.chaos; c != nil {
+		c.beforeDispatch()
+	}
 	if j.wg != nil {
 		for k, i := range j.batch {
 			j.out[i] = p.serveOne(s, j.reqs[i], j.id+uint64(k), j.enq)
 		}
 		s.pending.Add(-1)
+		p.release(int64(len(j.batch)))
 		j.wg.Done()
 		return
 	}
@@ -835,13 +1149,15 @@ func (p *Pool) serveJob(s *shard, j job) {
 	// Retire the depth count before publishing the result: once every
 	// submitted request has been collected, QueueDepths is exactly zero.
 	s.pending.Add(-1)
+	p.release(1)
 	j.fut.complete(res)
 }
 
 // serveOne executes a request on the shard's machine, restoring the
-// machine to an idle state whatever happens. Callers hold execMu, which
-// makes this the shard's single metrics and flight-event writer: id is
-// the request's flight id and enq its enqueue timestamp in recorder
+// machine to an idle state whatever happens — by re-stamping it from the
+// snapshot if "whatever" was a panic. Callers hold execMu, which makes
+// this the shard's single metrics and flight-event writer: id is the
+// request's flight id and enq its enqueue timestamp in recorder
 // nanoseconds (enqInline for Do's never-queued fast path).
 func (p *Pool) serveOne(s *shard, req Request, id uint64, enq int64) Result {
 	m := s.m
@@ -853,12 +1169,27 @@ func (p *Pool) serveOne(s *shard, req Request, id uint64, enq int64) Result {
 	if timeout == 0 {
 		timeout = p.cfg.Timeout
 	}
+	start := time.Now()
+	fr := s.fr
+	if enq > 0 && timeout != 0 {
+		// Shed a request whose deadline already expired while it queued:
+		// the submitter's enqueue stamp counts from the pool epoch, so
+		// one subtraction decides, and the machine is never touched. No
+		// allocation happens on this path — an overloaded pool sheds for
+		// free.
+		if wait := int64(start.Sub(p.epoch)) - enq; wait > int64(timeout) {
+			s.met.shedExpired.Add(1)
+			if fr != nil {
+				fr.RecordAt(flight.KindShed, id, uint64(wait), fr.TS(start))
+				s.qlat.Observe(time.Duration(wait))
+			}
+			return Result{Err: ErrExpired, Worker: s.id}
+		}
+	}
 	savedMax := m.Cfg.MaxSteps
 	if budget != 0 {
 		m.Cfg.MaxSteps = budget
 	}
-	start := time.Now()
-	fr := s.fr
 	var ts0, wait int64
 	if fr != nil {
 		// One event marks execution beginning: dispatch for a queued
@@ -886,10 +1217,18 @@ func (p *Pool) serveOne(s *shard, req Request, id uint64, enq int64) Result {
 	}
 	steps0, cycles0 := m.Stats.Instructions, m.Stats.Cycles
 
-	v, err := m.Send(req.Receiver, req.Selector, req.Args...)
+	var v word.Word
+	var err error
+	panicked, chaosHit := false, false
+	if p.guard {
+		v, err, panicked, chaosHit = p.invoke(s, req)
+	} else {
+		if c := s.chaos; c != nil {
+			c.beforeSend(s.id)
+		}
+		v, err = m.Send(req.Receiver, req.Selector, req.Args...)
+	}
 
-	m.Cfg.MaxSteps = savedMax
-	m.Deadline = 0
 	res := Result{
 		Value:   v,
 		Err:     err,
@@ -899,19 +1238,23 @@ func (p *Pool) serveOne(s *shard, req Request, id uint64, enq int64) Result {
 		Latency: time.Since(start),
 	}
 	timedOut := false
-	if err != nil {
-		var trap *core.Trap
-		if errors.As(err, &trap) {
-			timedOut = trap.Kind == "timeout" || trap.Kind == "interrupt"
+	if !panicked {
+		m.Cfg.MaxSteps = savedMax
+		m.Deadline = 0
+		if err != nil {
+			var trap *core.Trap
+			if errors.As(err, &trap) {
+				timedOut = trap.Kind == "timeout" || trap.Kind == "interrupt"
+			}
+			// A trap mid-run leaves the context pair live; reset so the
+			// machine can serve the next request.
+			m.Abort()
 		}
-		// A trap mid-run leaves the context pair live; reset so the
-		// machine can serve the next request.
-		m.Abort()
 	}
 	if fr != nil {
 		tsEnd := ts0 + int64(res.Latency)
 		fr.RecordAt(flight.KindExecEnd, id, res.Steps, tsEnd)
-		if err != nil {
+		if err != nil && !panicked {
 			code := uint64(flight.AbortError)
 			if timedOut {
 				code = flight.AbortTimeout
@@ -919,8 +1262,13 @@ func (p *Pool) serveOne(s *shard, req Request, id uint64, enq int64) Result {
 			fr.RecordAt(flight.KindAbort, id, code, tsEnd)
 		}
 	}
+	if panicked {
+		// The interrupted machine is suspect: never restore or Abort it —
+		// quarantine it and re-stamp a fresh worker from the snapshot.
+		p.quarantine(s, id, res.Latency, start, chaosHit)
+	}
 	if p.slowNS > 0 && int64(res.Latency) >= p.slowNS {
-		p.captureSlow(s, req, id, time.Duration(wait), res, preStats)
+		p.captureSlow(s, m, req, id, time.Duration(wait), res, preStats)
 	}
 
 	mm := &s.met
@@ -939,11 +1287,22 @@ func (p *Pool) serveOne(s *shard, req Request, id uint64, enq int64) Result {
 	}
 	mm.instructions.Add(res.Steps)
 	mm.cycles.Add(res.Cycles)
-	cs := m.ITLB.CacheStats()
-	mm.itlbHits.Store(cs.Hits - s.itlbHitBase)
-	mm.itlbTotal.Store((cs.Hits - s.itlbHitBase) + (cs.Misses - s.itlbMissBase))
+	// s.m, not m: after a quarantine the live machine (and the bases) are
+	// the re-stamped one's, with the retired machine's traffic carried in
+	// the accumulators.
+	cs := s.m.ITLB.CacheStats()
+	mm.itlbHits.Store(s.itlbHitAcc + cs.Hits - s.itlbHitBase)
+	mm.itlbTotal.Store(s.itlbTotalAcc + (cs.Hits - s.itlbHitBase) + (cs.Misses - s.itlbMissBase))
 	mm.end()
 	s.lat.Observe(res.Latency)
+	if err == nil && s.unhealthy.Load() {
+		s.unhealthy.Store(false)
+	}
+	if panicked {
+		// The re-stamped machine is factory-fresh: no abort garbage to
+		// collect, and the shard's GC cadence restarted with it.
+		return res
+	}
 
 	s.sinceGC++
 	due := p.cfg.GCEvery > 0 && (s.sinceGC >= p.cfg.GCEvery || err != nil)
@@ -1010,8 +1369,10 @@ type SlowCapture struct {
 // captureSlow snapshots a request that crossed the slow threshold into
 // the bounded capture ring (newest captures win). Called under execMu;
 // the mutex guards only readers, and only slow requests ever take it.
-func (p *Pool) captureSlow(s *shard, req Request, id uint64, wait time.Duration, res Result, pre core.Stats) {
-	delta := s.m.Stats
+// m is the machine that executed the request — after a quarantine that
+// is the retired machine, not s.m.
+func (p *Pool) captureSlow(s *shard, m *core.Machine, req Request, id uint64, wait time.Duration, res Result, pre core.Stats) {
+	delta := m.Stats
 	delta.Sub(pre)
 	c := SlowCapture{
 		ID:        id,
