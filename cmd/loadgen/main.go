@@ -38,6 +38,14 @@
 // to persist its machine image to the path it was started with (-image),
 // so a load test doubles as the write path of a warm-restart drill.
 //
+// With -expect-rotation, loadgen POSTs /rotate mid-run — once traffic is
+// demonstrably in flight — and fails the run unless the rotation
+// succeeds, the server's rotation counter ticks, and not one send was
+// lost: the zero-downtime live-rotation drill as a single command.
+// -p99budget DUR independently fails the run if the client-observed p99
+// exceeds the budget, which is how the rotation drill proves the swap
+// didn't just avoid errors but also stayed out of the tail.
+//
 // After the run, loadgen asks the server's /stats for its per-stage span
 // percentiles (queue wait, service, decode, encode — the flight
 // recorder's view of the same traffic) and prints them next to the
@@ -108,6 +116,8 @@ func main() {
 	retries := flag.Int("retries", 3, "retry budget per send for 429/503/transport refusals (0: fail fast)")
 	backoff := flag.Duration("backoff", 5*time.Millisecond, "first retry backoff; doubles per attempt with full jitter, capped at 1s")
 	out := flag.String("out", "", "write the full run result (config, percentiles, error counts, server stage spans) as JSON to this file")
+	expectRotation := flag.Bool("expect-rotation", false, "POST /rotate mid-run and fail unless it succeeds with zero lost sends")
+	p99Budget := flag.Duration("p99budget", 0, "fail the run if the client-observed p99 exceeds this (0: no budget)")
 	flag.Parse()
 
 	if *routing != "" {
@@ -243,7 +253,26 @@ func main() {
 			flush()
 		}(c)
 	}
+	// The rotation drill runs concurrently with the clients: wait until
+	// traffic is demonstrably in flight, then swap the serving image out
+	// from under it. A 409 means something else is mid-swap — back off and
+	// try again; anything else is a verdict.
+	var rot *rotationReport
+	rotDone := make(chan struct{})
+	if *expectRotation {
+		go func() {
+			defer close(rotDone)
+			deadline := time.Now().Add(5 * time.Second)
+			for sent.Load() < int64(*clients) && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			rot = postRotate(*addr)
+		}()
+	} else {
+		close(rotDone)
+	}
 	wg.Wait()
+	<-rotDone
 	wall := time.Since(start)
 
 	n := sent.Load()
@@ -287,6 +316,16 @@ func main() {
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), maxLat.Round(time.Microsecond))
 
+	failures := failed.Load() > 0
+	if *p99Budget > 0 {
+		if p99 := pct(0.99); p99 > *p99Budget {
+			fmt.Fprintf(os.Stderr, "loadgen: p99 %v exceeds budget %v\n", p99.Round(time.Microsecond), *p99Budget)
+			failures = true
+		} else {
+			fmt.Printf("p99 budget: %v within %v\n", p99.Round(time.Microsecond), *p99Budget)
+		}
+	}
+
 	// The server's view of the same traffic: per-stage span percentiles
 	// from the flight recorder, plus the node's identity. A pre-PR-6
 	// server answers /stats without these fields; report what's there.
@@ -307,12 +346,35 @@ func main() {
 		printStage("http", srv.HTTPLatencyUS)
 	}
 
+	// The rotation drill's verdict: the POST must have succeeded, the
+	// server's counter must have ticked, and — checked with the shared
+	// failure flag below — not one send may have been lost across the swap.
+	if *expectRotation {
+		switch {
+		case rot == nil || rot.Error != "":
+			msg := "rotation goroutine never ran"
+			if rot != nil {
+				msg = rot.Error
+			}
+			fmt.Fprintf(os.Stderr, "loadgen: expect-rotation: %s\n", msg)
+			failures = true
+		case srv == nil || srv.Rotations < 1:
+			fmt.Fprintln(os.Stderr, "loadgen: expect-rotation: server reports no completed rotation")
+			failures = true
+		default:
+			fmt.Printf("rotation: swapped onto %s in %.1fms mid-traffic (server rotations: %d, failures: %d)\n",
+				rot.Path, rot.ElapsedMS, srv.Rotations, srv.RotateFailures)
+		}
+	}
+
 	if *out != "" {
 		artifact := runArtifact{
 			Config: runConfig{
 				Addr: *addr, Clients: *clients, Rounds: *rounds, Program: *name,
 				Warm: *warm, Batch: *batch, Skew: *skew, Routing: *routing,
 				Retries: *retries, BackoffMS: float64(backoff.Microseconds()) / 1e3,
+				ExpectRotation: *expectRotation,
+				P99BudgetMS:    float64(p99Budget.Microseconds()) / 1e3,
 			},
 			StartedAt:   start.UTC(),
 			WallMS:      float64(wall.Microseconds()) / 1e3,
@@ -334,7 +396,8 @@ func main() {
 				P999:  pct(0.999).Microseconds(),
 				Max:   maxLat.Microseconds(),
 			},
-			Server: srv,
+			Server:   srv,
+			Rotation: rot,
 		}
 		data, err := json.MarshalIndent(artifact, "", "  ")
 		if err != nil {
@@ -354,7 +417,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if failed.Load() > 0 {
+	if failures {
 		os.Exit(1)
 	}
 }
@@ -372,6 +435,18 @@ type runConfig struct {
 	Routing   string  `json:"routing,omitempty"`
 	Retries   int     `json:"retries"`
 	BackoffMS float64 `json:"backoff_ms"`
+
+	ExpectRotation bool    `json:"expect_rotation,omitempty"`
+	P99BudgetMS    float64 `json:"p99_budget_ms,omitempty"`
+}
+
+// rotationReport is the -expect-rotation drill's outcome as kept in the
+// -out artifact: what the POST /rotate answered, or why it failed.
+type rotationReport struct {
+	Path      string  `json:"path,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	Rotations uint64  `json:"rotations,omitempty"`
+	Error     string  `json:"error,omitempty"`
 }
 
 // clientPercentiles is the client-observed whole-round-trip latency
@@ -399,17 +474,21 @@ type stagePercentiles struct {
 // the per-stage spans. Pointers stay nil against servers that predate a
 // field, and omit cleanly from the artifact.
 type serverView struct {
-	StartTime     string            `json:"start_time,omitempty"`
-	UptimeS       float64           `json:"uptime_s,omitempty"`
-	Image         json.RawMessage   `json:"image,omitempty"`
-	Routing       string            `json:"routing,omitempty"`
-	Workers       int               `json:"workers,omitempty"`
-	Requests      uint64            `json:"requests,omitempty"`
-	ServiceUS     *stagePercentiles `json:"service_us,omitempty"`
-	QueueUS       *stagePercentiles `json:"queue_us,omitempty"`
-	DecodeUS      *stagePercentiles `json:"decode_us,omitempty"`
-	EncodeUS      *stagePercentiles `json:"encode_us,omitempty"`
-	HTTPLatencyUS *stagePercentiles `json:"http_latency_us,omitempty"`
+	StartTime      string            `json:"start_time,omitempty"`
+	UptimeS        float64           `json:"uptime_s,omitempty"`
+	Image          json.RawMessage   `json:"image,omitempty"`
+	Routing        string            `json:"routing,omitempty"`
+	Workers        int               `json:"workers,omitempty"`
+	Requests       uint64            `json:"requests,omitempty"`
+	Rotations      uint64            `json:"rotations,omitempty"`
+	RotateFailures uint64            `json:"rotate_failures,omitempty"`
+	Checkpoint     json.RawMessage   `json:"checkpoint,omitempty"`
+	CheckpointAge  *float64          `json:"checkpoint_age_s,omitempty"`
+	ServiceUS      *stagePercentiles `json:"service_us,omitempty"`
+	QueueUS        *stagePercentiles `json:"queue_us,omitempty"`
+	DecodeUS       *stagePercentiles `json:"decode_us,omitempty"`
+	EncodeUS       *stagePercentiles `json:"encode_us,omitempty"`
+	HTTPLatencyUS  *stagePercentiles `json:"http_latency_us,omitempty"`
 }
 
 // runArtifact is the -out document: one self-contained record of a run.
@@ -429,6 +508,41 @@ type runArtifact struct {
 	ReqPerSec   float64           `json:"req_per_sec"`
 	Client      clientPercentiles `json:"client_latency"`
 	Server      *serverView       `json:"server,omitempty"`
+	Rotation    *rotationReport   `json:"rotation,omitempty"`
+}
+
+// postRotate runs the rotation drill's POST /rotate (empty body: the
+// server rotates onto its own -image path). A 409 — something else
+// mid-swap — is retried on a short backoff; every other failure is final.
+func postRotate(addr string) *rotationReport {
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(addr+"/rotate", "application/json", nil)
+		if err != nil {
+			return &rotationReport{Error: err.Error()}
+		}
+		var out struct {
+			Path      string `json:"path"`
+			Rotations uint64 `json:"rotations"`
+			ElapsedUS int64  `json:"elapsed_us"`
+			Error     string `json:"error"`
+		}
+		decodeErr := json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusConflict && attempt < 10:
+			time.Sleep(50 * time.Millisecond)
+			continue
+		case resp.StatusCode != http.StatusOK:
+			msg := out.Error
+			if msg == "" {
+				msg = fmt.Sprintf("status %d", resp.StatusCode)
+			}
+			return &rotationReport{Error: fmt.Sprintf("POST /rotate: %s", msg)}
+		case decodeErr != nil:
+			return &rotationReport{Error: fmt.Sprintf("decode /rotate: %v", decodeErr)}
+		}
+		return &rotationReport{Path: out.Path, ElapsedMS: float64(out.ElapsedUS) / 1e3, Rotations: out.Rotations}
+	}
 }
 
 // fetchStageStats reads the server's identity and per-stage percentiles

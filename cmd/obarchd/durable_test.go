@@ -1,0 +1,485 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/image"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// writeSuiteImage compiles the workload suite (plus any extra source) and
+// persists it as an image file, returning the path and the snapshot.
+func writeSuiteImage(t *testing.T, dir, name, extraSrc string) (string, *obarch.Snapshot) {
+	t.Helper()
+	sys := obarch.NewSystem(obarch.Options{})
+	for _, p := range workload.Suite() {
+		if err := sys.Load(p.Src); err != nil {
+			t.Fatalf("load %s: %v", p.Name, err)
+		}
+	}
+	if extraSrc != "" {
+		if err := sys.Load(extraSrc); err != nil {
+			t.Fatalf("load extra source: %v", err)
+		}
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obarch.WriteImage(f, snap); err != nil {
+		t.Fatalf("write image: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, snap
+}
+
+// TestRecoveryLadderBoot walks the whole ladder: a corrupted newest
+// checkpoint generation is rejected (one rung) and the next generation
+// boots; with no valid checkpoints the -image file boots warm; with the
+// image also corrupted the boot compiles from source — and each outcome
+// is recorded in the bootInfo provenance.
+func TestRecoveryLadderBoot(t *testing.T) {
+	dir := t.TempDir()
+	imagePath, snap := writeSuiteImage(t, dir, "com.img", "")
+	ckptDir := filepath.Join(dir, "ckpt")
+	for gen := uint64(1); gen <= 2; gen++ {
+		if _, err := image.WriteCheckpoint(ckptDir, gen, snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bit-flip generation 2's image so its CRC fails.
+	imgPath := filepath.Join(ckptDir, "gen-000000000002", image.ImageName)
+	img, err := os.ReadFile(imgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[len(img)/2] ^= 0x01
+	if err := os.WriteFile(imgPath, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, programs, boot, err := bootSnapshot(imagePath, ckptDir, true, nil)
+	if err != nil {
+		t.Fatalf("ladder boot: %v", err)
+	}
+	if boot.Mode != "checkpoint" || boot.RecoveredGeneration != 1 || boot.RecoveryLadder != 1 {
+		t.Fatalf("boot = %+v, want checkpoint rung, generation 1, ladder 1", boot)
+	}
+	if len(programs) == 0 || got.NewMachine() == nil {
+		t.Fatal("checkpoint boot lost the programs or the snapshot")
+	}
+
+	// Rung 2: no checkpoint dir given — warm boot from the image file.
+	_, _, boot, err = bootSnapshot(imagePath, filepath.Join(dir, "empty-ckpt"), true, nil)
+	if err != nil {
+		t.Fatalf("warm boot: %v", err)
+	}
+	if boot.Mode != "warm" || boot.RecoveredGeneration != -1 || boot.RecoveryLadder != 0 {
+		t.Fatalf("boot = %+v, want warm rung, no generation, ladder 0", boot)
+	}
+
+	// Rung 3: image corrupted too — the boot compiles instead of dying,
+	// counting both rejected rungs.
+	raw, _ := os.ReadFile(imagePath)
+	raw[len(raw)/2] ^= 0x01
+	os.WriteFile(imagePath, raw, 0o644)
+	os.RemoveAll(ckptDir + "/gen-000000000001") // leave only the corrupt gen
+	_, _, boot, err = bootSnapshot(imagePath, ckptDir, true, nil)
+	if err != nil {
+		t.Fatalf("compile-rung boot: %v", err)
+	}
+	if boot.Mode != "compile" || boot.RecoveryLadder != 2 {
+		t.Fatalf("boot = %+v, want compile rung with ladder 2", boot)
+	}
+}
+
+// TestRotateEndpoint drives POST /rotate end to end: the pool swaps onto
+// an image holding a method the boot image lacks, with the new behaviour
+// visible afterwards, the counters bumped, and staging failures
+// answering 400 with the pool untouched.
+func TestRotateEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, oldSnap := writeSuiteImage(t, dir, "old.img", "")
+	newPath, _ := writeSuiteImage(t, dir, "new.img", `
+extend SmallInt [
+	method rotmark [ ^self + 99 ]
+]`)
+	pool := serve.NewPool(oldSnap, serve.Config{Workers: 2, Timeout: 30 * time.Second})
+	defer pool.Close()
+	h := newServer(pool, workload.Suite(), oldSnap, oldPath)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// The boot image does not understand rotmark.
+	if status, _ := postSendTo(t, ts, `{"receiver": 1, "selector": "rotmark"}`); status != http.StatusUnprocessableEntity {
+		t.Fatalf("pre-rotation rotmark: status %d, want 422", status)
+	}
+
+	resp, err := http.Post(ts.URL+"/rotate", "application/json", strings.NewReader(fmt.Sprintf(`{"path": %q}`, newPath)))
+	if err != nil {
+		t.Fatalf("POST /rotate: %v", err)
+	}
+	var out struct {
+		Path      string `json:"path"`
+		Rotations uint64 `json:"rotations"`
+		Workers   int    `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode /rotate: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out.Rotations != 1 || out.Path != newPath {
+		t.Fatalf("/rotate: status %d, body %+v", resp.StatusCode, out)
+	}
+
+	// New behaviour on every shard (keyed probes pin each one), old suite
+	// still intact.
+	for i := 0; i < pool.Workers(); i++ {
+		body := fmt.Sprintf(`{"receiver": 1, "selector": "rotmark", "key": %d}`, pool.Workers()+i)
+		status, res := postSendTo(t, ts, body)
+		if status != http.StatusOK {
+			t.Fatalf("post-rotation rotmark on shard %d: status %d (%s)", i, status, res.Error)
+		}
+		if got, ok := res.Result.(float64); !ok || got != 100 {
+			t.Fatalf("rotmark answered %v, want 100", res.Result)
+		}
+	}
+	p := workload.Suite()[0]
+	if status, _ := postSendTo(t, ts, fmt.Sprintf(`{"receiver": %d, "selector": %q}`, p.Size, p.Entry)); status != http.StatusOK {
+		t.Fatalf("suite program broken after rotation: status %d", status)
+	}
+
+	// Staging failures: a missing file and a non-image file both answer
+	// 400 and leave the pool serving.
+	for _, body := range []string{
+		fmt.Sprintf(`{"path": %q}`, filepath.Join(dir, "absent.img")),
+		fmt.Sprintf(`{"path": %q}`, mustJunkFile(t, dir)),
+	} {
+		resp, err := http.Post(ts.URL+"/rotate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad-image rotate: status %d, want 400", resp.StatusCode)
+		}
+	}
+	if status, _ := postSendTo(t, ts, `{"receiver": 1, "selector": "rotmark"}`); status != http.StatusOK {
+		t.Fatal("pool stopped serving after refused rotations")
+	}
+
+	// /stats carries the counters.
+	var st struct {
+		Rotations      uint64 `json:"rotations"`
+		RotateFailures uint64 `json:"rotate_failures"`
+	}
+	getJSON(t, ts, "/stats", &st)
+	if st.Rotations != 1 || st.RotateFailures != 0 {
+		t.Fatalf("stats rotations=%d failures=%d, want 1, 0", st.Rotations, st.RotateFailures)
+	}
+}
+
+func mustJunkFile(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "junk.img")
+	if err := os.WriteFile(path, []byte("not an image"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode %s: %v", path, err)
+	}
+}
+
+// TestRotateEndpointRollback arms a rotation stamp failure on shard 2:
+// /rotate must answer 500, the pool must keep serving the old image, and
+// the failure counter must tick.
+func TestRotateEndpointRollback(t *testing.T) {
+	dir := t.TempDir()
+	_, oldSnap := writeSuiteImage(t, dir, "old.img", "")
+	newPath, _ := writeSuiteImage(t, dir, "new.img", `
+extend SmallInt [
+	method rotmark [ ^self + 99 ]
+]`)
+	pool := serve.NewPool(oldSnap, serve.Config{
+		Workers: 3,
+		Timeout: 30 * time.Second,
+		Faults:  &serve.Faults{RotateFailAt: 2},
+	})
+	defer pool.Close()
+	ts := httptest.NewServer(newServer(pool, workload.Suite(), oldSnap, ""))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/rotate", "application/json", strings.NewReader(fmt.Sprintf(`{"path": %q}`, newPath)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failed rotation: status %d, want 500", resp.StatusCode)
+	}
+	// Rolled back: rotmark still unknown everywhere.
+	for i := 0; i < pool.Workers(); i++ {
+		body := fmt.Sprintf(`{"receiver": 1, "selector": "rotmark", "key": %d}`, pool.Workers()+i)
+		if status, _ := postSendTo(t, ts, body); status != http.StatusUnprocessableEntity {
+			t.Fatalf("shard %d serves the new image after rollback (status %d)", i, status)
+		}
+	}
+	var st struct {
+		Rotations      uint64 `json:"rotations"`
+		RotateFailures uint64 `json:"rotate_failures"`
+	}
+	getJSON(t, ts, "/stats", &st)
+	if st.Rotations != 0 || st.RotateFailures != 1 {
+		t.Fatalf("stats rotations=%d failures=%d, want 0, 1", st.Rotations, st.RotateFailures)
+	}
+}
+
+// TestReadyzRotating pins the mid-swap readiness signal: while a
+// rotation is blocked mid-swap (the pool held at quiescence), /readyz
+// answers 503 "rotating"; once the swap completes it answers 200.
+func TestReadyzRotating(t *testing.T) {
+	h, pool := newSuiteServer(t, 2, "")
+	defer pool.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	release := pool.Quiesce()
+	done := make(chan error, 1)
+	go func() { done <- pool.Rotate(h.snap) }()
+	// The rotation is now parked on shard 0's execMu with the rotating
+	// flag up; readiness must say so.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, 64)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && strings.TrimSpace(string(body[:n])) == "rotating" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz never reported rotating (last: %d %q)", resp.StatusCode, body[:n])
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("rotation failed: %v", err)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after rotation: %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestSaveCapturesLiveState pins the /save fix: the persisted image is
+// the pool's live state at a request boundary — including the
+// instructions traffic executed — not the frozen boot snapshot.
+func TestSaveCapturesLiveState(t *testing.T) {
+	imagePath := filepath.Join(t.TempDir(), "com.img")
+	h, pool := newSuiteServer(t, 1, imagePath)
+	defer pool.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	bootInstr := h.snap.Stats().Instructions
+	p := workload.Suite()[0]
+	for i := 0; i < 4; i++ {
+		if status, _ := postSend(t, ts, fmt.Sprintf(`{"receiver": %d, "selector": %q}`, p.Size, p.Entry)); status != http.StatusOK {
+			t.Fatalf("request %d failed", i)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/save", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/save: status %d", resp.StatusCode)
+	}
+	f, err := os.Open(imagePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	saved, err := obarch.ReadImage(f)
+	if err != nil {
+		t.Fatalf("read saved image: %v", err)
+	}
+	if saved.Stats().Instructions <= bootInstr {
+		t.Fatalf("saved image holds %d instructions, boot had %d — /save captured the boot snapshot, not live state",
+			saved.Stats().Instructions, bootInstr)
+	}
+}
+
+// TestCheckpointerLoop runs the background checkpointer against a live
+// pool: generations accumulate, pruning holds the keep bound, Stop takes
+// a final checkpoint, generation numbering continues across restarts,
+// and the age/generation stats surface through the server.
+func TestCheckpointerLoop(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	h, pool := newSuiteServer(t, 2, "")
+	defer pool.Close()
+
+	ckpt, err := newCheckpointer(pool, dir, 2, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ckpt = ckpt
+	go ckpt.run()
+	deadline := time.Now().Add(5 * time.Second)
+	for ckpt.taken.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("checkpointer took only %d checkpoints (failures: %d)", ckpt.taken.Load(), ckpt.failures.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ckpt.Stop()
+	taken := ckpt.taken.Load()
+	if taken < 4 { // the final Stop checkpoint is included
+		t.Fatalf("taken = %d after Stop, want the final capture counted", taken)
+	}
+	gens, err := image.ListGenerations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 {
+		t.Fatalf("%d generations on disk, want keep=2", len(gens))
+	}
+	if gens[len(gens)-1] != taken {
+		t.Fatalf("newest generation %d, want %d (one per capture)", gens[len(gens)-1], taken)
+	}
+	if age := h.checkpointAge(); age < 0 {
+		t.Fatalf("checkpointAge = %v after captures, want >= 0", age)
+	}
+	if gen := h.checkpointGen(); gen != int64(taken) {
+		t.Fatalf("checkpointGen = %d, want %d", gen, taken)
+	}
+	// Every surviving generation is loadable.
+	for _, gen := range gens {
+		if _, _, err := image.LoadCheckpoint(dir, gen); err != nil {
+			t.Fatalf("generation %d does not load: %v", gen, err)
+		}
+	}
+
+	// A restarted checkpointer continues the numbering and primes the
+	// age gauge from the newest manifest instead of reporting "never".
+	ckpt2, err := newCheckpointer(pool, dir, 2, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt2.nextGen != taken+1 {
+		t.Fatalf("restarted checkpointer starts at gen %d, want %d", ckpt2.nextGen, taken+1)
+	}
+	if ckpt2.lastGen.Load() != int64(taken) || ckpt2.lastNS.Load() == 0 {
+		t.Fatalf("restarted checkpointer not primed: gen=%d ns=%d", ckpt2.lastGen.Load(), ckpt2.lastNS.Load())
+	}
+}
+
+// TestCheckpointAgeSentinel pins the -1 sentinels: a server without a
+// checkpointer answers -1 everywhere, in /stats too.
+func TestCheckpointAgeSentinel(t *testing.T) {
+	h, pool := newSuiteServer(t, 1, "")
+	defer pool.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	if age := h.checkpointAge(); age != -1 {
+		t.Fatalf("checkpointAge without checkpointer = %v, want -1", age)
+	}
+	var st struct {
+		AgeS       float64 `json:"checkpoint_age_s"`
+		Checkpoint struct {
+			Enabled    bool  `json:"enabled"`
+			Generation int64 `json:"generation"`
+		} `json:"checkpoint"`
+		Image struct {
+			RecoveredGeneration int64 `json:"recovered_generation"`
+			RecoveryLadder      int   `json:"recovery_ladder"`
+		} `json:"image"`
+	}
+	getJSON(t, ts, "/stats", &st)
+	if st.AgeS != -1 || st.Checkpoint.Enabled || st.Checkpoint.Generation != -1 {
+		t.Fatalf("stats checkpoint block = %+v, want disabled sentinels", st)
+	}
+	if st.Image.RecoveredGeneration != 0 && st.Image.RecoveredGeneration != -1 {
+		t.Fatalf("recovered_generation = %d", st.Image.RecoveredGeneration)
+	}
+}
+
+// TestWatchRotates exercises the -watch poller: replacing the image file
+// on disk rotates the pool onto it without any request against /rotate.
+func TestWatchRotates(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, oldSnap := writeSuiteImage(t, dir, "com.img", "")
+	pool := serve.NewPool(oldSnap, serve.Config{Workers: 2, Timeout: 30 * time.Second})
+	defer pool.Close()
+	h := newServer(pool, workload.Suite(), oldSnap, oldPath)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	h.watchStop = make(chan struct{})
+	defer close(h.watchStop)
+	go h.watchImage(10*time.Millisecond, h.watchStop)
+
+	// Build the replacement elsewhere, then move it over the watched
+	// path (atomic, like a real deploy would).
+	newPath, _ := writeSuiteImage(t, dir, "staged.img", `
+extend SmallInt [
+	method rotmark [ ^self + 99 ]
+]`)
+	time.Sleep(30 * time.Millisecond) // let the watcher record its baseline
+	if err := os.Rename(newPath, oldPath); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, res := postSendTo(t, ts, `{"receiver": 1, "selector": "rotmark"}`)
+		if status == http.StatusOK {
+			if got, ok := res.Result.(float64); !ok || got != 100 {
+				t.Fatalf("rotmark answered %v, want 100", res.Result)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never rotated onto the replaced image")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if met := pool.Metrics(); met.Rotations < 1 {
+		t.Fatalf("rotations = %d after watch rotation", met.Rotations)
+	}
+}

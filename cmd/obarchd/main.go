@@ -7,11 +7,29 @@
 //	obarchd -suite=false prog.st other.st     # serve custom source files
 //	obarchd -image com.img                    # warm-boot from a persistent image
 //
-// With -image, the daemon loads the machine image from disk at boot when
-// the file exists — skipping compile+load entirely and starting with the
-// snapshot's warm ITLB — and compiles normally when it does not. POST
-// /save persists the serving snapshot to that path (atomically, via a
-// temp file and rename), so the next boot is a warm restart.
+// Durability. Boot descends a recovery ladder: the newest valid
+// checkpoint generation under -checkpoint-dir first (generations whose
+// manifest or image fails its CRC are rejected, one rung each), then the
+// -image file (an unreadable image falls through instead of failing the
+// boot), then compile-from-source. /stats and /metrics export the rung
+// taken (recovered_generation, recovery_ladder). With -checkpoint DUR, a
+// background checkpointer captures the pool's live state every DUR into
+// generation-numbered directories (atomic staging-dir + fsync + rename;
+// CRC-protected manifest), prunes to the newest -checkpoint-keep, and
+// takes a final checkpoint during graceful drain. POST /save persists the
+// live state to the -image path the same way (atomically, via a temp
+// file and rename) — both capture at a request-boundary quiescence, so
+// concurrent traffic delays a save by at most one request, never tears
+// it.
+//
+// Live rotation. POST /rotate stages a new image off the hot path
+// (hostile-input validation included) and swaps the pool onto it
+// shard-by-shard between requests: queues buffer during each shard's
+// stamp, so no request is dropped, failed, or globally paused. If any
+// shard's stamp fails the already-swapped shards roll back and the pool
+// is left exactly as found. -watch DUR polls the -image path and rotates
+// automatically when the file changes. /readyz reports "rotating" (503)
+// mid-swap so balancers prefer steadier peers.
 //
 // On SIGINT/SIGTERM the daemon shuts down gracefully: /readyz flips
 // not-ready first (so load balancers stop routing here), then the
@@ -68,7 +86,13 @@
 //	                  through the pool's sharded DoAll fast path; the response
 //	                  is the result array in request order, with per-request
 //	                  failures (overload refusals included) reported inline
-//	POST /save        persist the serving snapshot to the -image path
+//	POST /save        persist the pool's live state to the -image path,
+//	                  captured at a request-boundary quiescence
+//	POST /rotate      swap the pool onto a new image with zero downtime;
+//	                  optional body {"path": "..."} (default: the -image
+//	                  path); 409 while another rotation is mid-swap, 400
+//	                  for an invalid image (pool untouched), 500 for a
+//	                  mid-swap failure (pool rolled back)
 //	GET  /programs    the loaded workload programs (name, size, entry, check)
 //	GET  /stats       aggregated pool metrics (add ?format=text for a table);
 //	                  includes the routing policy, per-shard queue depths,
@@ -85,9 +109,9 @@
 //	GET  /debug/pprof CPU/heap/goroutine profiling (only with -debug)
 //	GET  /healthz     liveness probe: 200 while the process serves HTTP
 //	GET  /readyz      readiness probe: 200 while accepting traffic; 503
-//	                  with the reason ("draining", "overloaded",
-//	                  "quarantine-heavy") when new traffic should go
-//	                  elsewhere
+//	                  with the reason ("draining", "rotating",
+//	                  "overloaded", "quarantine-heavy") when new traffic
+//	                  should go elsewhere
 package main
 
 import (
@@ -135,6 +159,10 @@ func main() {
 	flight := flag.Bool("flight", true, "record request lifecycle events in the per-shard flight recorder")
 	maxInFlight := flag.Int("maxinflight", 0, "pool-wide cap on admitted-but-unfinished requests (0: unlimited, <0: refuse everything)")
 	chaos := flag.String("chaos", "", `deterministic fault plan, e.g. "seed=42,panic=100,stall=50:2ms,clog=64:1ms" (empty: none)`)
+	checkpoint := flag.Duration("checkpoint", 0, "capture a live checkpoint every DUR (0: disabled; requires -checkpoint-dir)")
+	checkpointDir := flag.String("checkpoint-dir", "", "checkpoint directory: recover the newest valid generation at boot, write new generations per -checkpoint")
+	checkpointKeep := flag.Int("checkpoint-keep", 5, "checkpoint generations to retain")
+	watch := flag.Duration("watch", 0, "poll the -image path every DUR and rotate onto it when it changes (0: disabled)")
 	flag.Parse()
 
 	if *routing != serve.RoutingJSQ && *routing != serve.RoutingRR {
@@ -144,7 +172,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("obarchd: -chaos: %v", err)
 	}
-	snap, programs, boot, err := bootSnapshot(*imagePath, *suite, flag.Args())
+	if *checkpoint > 0 && *checkpointDir == "" {
+		log.Fatalf("obarchd: -checkpoint requires -checkpoint-dir")
+	}
+	if *watch > 0 && *imagePath == "" {
+		log.Fatalf("obarchd: -watch requires -image")
+	}
+	snap, programs, boot, err := bootSnapshot(*imagePath, *checkpointDir, *suite, flag.Args())
 	if err != nil {
 		log.Fatalf("obarchd: %v", err)
 	}
@@ -178,6 +212,20 @@ func main() {
 	if *debug {
 		h.mountDebug()
 	}
+	if *checkpoint > 0 {
+		ckpt, err := newCheckpointer(pool, *checkpointDir, *checkpointKeep, *checkpoint)
+		if err != nil {
+			log.Fatalf("obarchd: -checkpoint-dir %s: %v", *checkpointDir, err)
+		}
+		h.ckpt = ckpt
+		go ckpt.run()
+		log.Printf("obarchd: checkpointing to %s every %v (keep %d)", *checkpointDir, *checkpoint, *checkpointKeep)
+	}
+	if *watch > 0 {
+		h.watchStop = make(chan struct{})
+		go h.watchImage(*watch, h.watchStop)
+		log.Printf("obarchd: watching %s every %v for live rotation", *imagePath, *watch)
+	}
 	srv := &http.Server{Handler: h}
 	log.Printf("obarchd: serving %d programs on %s with %d workers", len(programs), l.Addr(), pool.Workers())
 	h.serveAndDrain(srv, l, *drain, sig)
@@ -210,6 +258,15 @@ func (s *server) serveAndDrain(srv *http.Server, l net.Listener, drain time.Dura
 		log.Fatalf("obarchd: %v", err)
 	}
 	<-done
+	// Durability workers wind down before the pool: the watcher stops
+	// rotating, and the checkpointer takes its final capture — the
+	// freshest possible recovery point — while SnapshotLive still works.
+	if s.watchStop != nil {
+		close(s.watchStop)
+	}
+	if s.ckpt != nil {
+		s.ckpt.Stop()
+	}
 	s.pool.Close()
 }
 
@@ -285,23 +342,56 @@ func parseEveryDur(val string) (int, time.Duration, error) {
 type bootInfo struct {
 	// ImagePath is the -image path, empty when none was configured.
 	ImagePath string `json:"path,omitempty"`
-	// Mode is "warm" when the snapshot was loaded from a persisted
-	// image, "compile" when it was compiled from source at boot.
+	// Mode is the recovery-ladder rung the boot took: "checkpoint" when
+	// the snapshot was recovered from a checkpoint generation, "warm"
+	// when it was loaded from the persisted -image file, "compile" when
+	// it was compiled from source.
 	Mode string `json:"mode"`
 	// FormatVersion is the on-disk image codec version this build
 	// speaks (the version a warm boot read and POST /save writes).
 	FormatVersion int `json:"format_version"`
+	// RecoveredGeneration is the checkpoint generation the boot
+	// recovered, -1 on the lower rungs.
+	RecoveredGeneration int64 `json:"recovered_generation"`
+	// RecoveryLadder counts the rungs rejected on the way to Mode:
+	// corrupt or torn checkpoint generations skipped, plus an unreadable
+	// -image file fallen through. 0 is a first-rung boot.
+	RecoveryLadder int `json:"recovery_ladder"`
 }
 
-// bootSnapshot produces the serving snapshot: loaded from the image file
-// when one is given and present (warm start — no compile, warm ITLB),
-// compiled from the suite and/or source files otherwise. The returned
-// bootInfo records which of those happened.
-func bootSnapshot(imagePath string, suite bool, srcPaths []string) (*obarch.Snapshot, []workload.Program, bootInfo, error) {
-	info := bootInfo{ImagePath: imagePath, Mode: "compile", FormatVersion: image.FormatVersion}
+// bootSnapshot produces the serving snapshot by descending the recovery
+// ladder: the newest valid checkpoint generation under ckptDir first
+// (corrupt or torn generations are rejected and cost one rung each),
+// then the -image file (warm start — no compile, warm ITLB; an
+// unreadable image now falls through instead of failing the boot), then
+// compile-from-source. The returned bootInfo records the rung taken and
+// the rungs rejected.
+func bootSnapshot(imagePath, ckptDir string, suite bool, srcPaths []string) (*obarch.Snapshot, []workload.Program, bootInfo, error) {
+	info := bootInfo{ImagePath: imagePath, Mode: "compile", FormatVersion: image.FormatVersion, RecoveredGeneration: -1}
 	var programs []workload.Program
 	if suite {
 		programs = workload.Suite()
+	}
+	if ckptDir != "" {
+		snap, m, rejected, err := image.RecoverLatest(ckptDir)
+		info.RecoveryLadder += len(rejected)
+		for _, gen := range rejected {
+			log.Printf("obarchd: recovery: checkpoint gen %d rejected (corrupt or torn); falling to next rung", gen)
+		}
+		switch {
+		case err == nil:
+			if len(srcPaths) != 0 {
+				return nil, nil, info, fmt.Errorf("cannot load source files over checkpoint state in %s; clear it or drop the file arguments", ckptDir)
+			}
+			info.Mode = "checkpoint"
+			info.RecoveredGeneration = int64(m.Generation)
+			log.Printf("obarchd: recovered checkpoint gen %d from %s (captured %s)", m.Generation, ckptDir, time.Unix(0, m.CreatedUnixNS).UTC().Format(time.RFC3339))
+			return snap, programs, info, nil
+		case errors.Is(err, image.ErrNoCheckpoint):
+			log.Printf("obarchd: recovery: no valid checkpoint in %s; falling to -image", ckptDir)
+		default:
+			return nil, nil, info, fmt.Errorf("checkpoint dir %s: %w", ckptDir, err)
+		}
 	}
 	if imagePath != "" {
 		f, err := os.Open(imagePath)
@@ -318,7 +408,10 @@ func bootSnapshot(imagePath string, suite bool, srcPaths []string) (*obarch.Snap
 			start := time.Now()
 			snap, err := obarch.ReadImage(f)
 			if err != nil {
-				return nil, nil, info, fmt.Errorf("load image %s: %w", imagePath, err)
+				// The image rung failed: one more rung down, compile.
+				info.RecoveryLadder++
+				log.Printf("obarchd: recovery: image %s rejected (%v); falling to compile", imagePath, err)
+				break
 			}
 			log.Printf("obarchd: warm boot from %s in %v", imagePath, time.Since(start).Round(time.Microsecond))
 			info.Mode = "warm"
@@ -402,6 +495,13 @@ type server struct {
 	httpLat   stats.ConcurrentHistogram
 	decLat    stats.ConcurrentHistogram // request read+parse span
 	encLat    stats.ConcurrentHistogram // response encode+write span
+
+	// Durability wiring: ckpt is the background checkpointer (nil when
+	// -checkpoint is off), watchStop stops the -watch rotation poller
+	// (nil when -watch is off). Both are closed down by serveAndDrain
+	// before the pool.
+	ckpt      *checkpointer
+	watchStop chan struct{}
 }
 
 func newServer(pool *serve.Pool, programs []workload.Program, snap *obarch.Snapshot, imagePath string) *server {
@@ -410,6 +510,7 @@ func newServer(pool *serve.Pool, programs []workload.Program, snap *obarch.Snaps
 	s.mux.HandleFunc("POST /send", s.handleSend)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("POST /save", s.handleSave)
+	s.mux.HandleFunc("POST /rotate", s.handleRotate)
 	s.mux.HandleFunc("GET /programs", s.handlePrograms)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -423,13 +524,17 @@ func newServer(pool *serve.Pool, programs []workload.Program, snap *obarch.Snaps
 
 // notReady answers why this node should not receive new traffic, or ""
 // while it should. Checked in severity order: a draining node is leaving
-// no matter what the pool says; an overloaded pool refuses admission
-// anyway; and when quarantine re-stamps are churning through more than
-// half the shards, capacity is not what the balancer thinks it is.
+// no matter what the pool says; a rotating node serves correctly but a
+// balancer should prefer a steadier peer until the swap lands; an
+// overloaded pool refuses admission anyway; and when quarantine
+// re-stamps are churning through more than half the shards, capacity is
+// not what the balancer thinks it is.
 func (s *server) notReady() string {
 	switch {
 	case s.draining.Load():
 		return "draining"
+	case s.pool.Rotating():
+		return "rotating"
 	case s.pool.Overloaded():
 		return "overloaded"
 	case 2*s.pool.UnhealthyShards() > s.pool.Workers():
@@ -452,14 +557,24 @@ func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// handleSave persists the serving snapshot to the configured image path.
-// The snapshot is immutable, so saving never races the workers; the write
-// goes through a temp file and an atomic rename, so a crash mid-save can
-// never leave a truncated image where the next boot would read it (and the
-// codec's section CRCs would refuse such a file anyway).
+// handleSave persists the pool's live state to the configured image
+// path. The snapshot is captured through SnapshotLive — the pool
+// quiesces to a request boundary, so the image reflects every mutation
+// traffic has made, and a save under concurrent load can never catch a
+// machine mid-send (the race the old boot-snapshot save only avoided by
+// never saving live state at all). The write goes through a temp file
+// and an atomic rename, so a crash mid-save can never leave a truncated
+// image where the next boot would read it (and the codec's section CRCs
+// would refuse such a file anyway).
 func (s *server) handleSave(w http.ResponseWriter, _ *http.Request) {
 	if s.imagePath == "" {
 		http.Error(w, `{"error":"no image path configured; start obarchd with -image"}`, http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	snap, err := s.pool.SnapshotLive()
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusServiceUnavailable)
 		return
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(s.imagePath), ".obarch-image-*")
@@ -468,8 +583,7 @@ func (s *server) handleSave(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	defer os.Remove(tmp.Name())
-	start := time.Now()
-	if err := obarch.WriteImage(tmp, s.snap); err != nil {
+	if err := obarch.WriteImage(tmp, snap); err != nil {
 		tmp.Close()
 		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
 		return
@@ -792,6 +906,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "ready             %s\n", ready)
 		fmt.Fprintf(w, "uptime            %v\n", time.Since(s.start).Round(time.Second))
 		fmt.Fprintf(w, "image             mode=%s version=%d path=%s\n", s.boot.Mode, s.boot.FormatVersion, s.boot.ImagePath)
+		fmt.Fprintf(w, "recovery          rung=%s generation=%d ladder=%d\n", s.boot.Mode, s.boot.RecoveredGeneration, s.boot.RecoveryLadder)
+		taken, ckptFails := s.checkpointCounts()
+		fmt.Fprintf(w, "checkpoints       taken=%d failures=%d generation=%d age_s=%.1f\n", taken, ckptFails, s.checkpointGen(), s.checkpointAge())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -802,6 +919,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"shed_expired":     met.SheddedExpired,
 		"panics":           met.Panics,
 		"restamps":         met.Restamps,
+		"rotations":        met.Rotations,
+		"rotate_failures":  met.RotateFailures,
 		"mean_latency_us":  met.MeanLatency().Microseconds(),
 		"max_latency_us":   met.MaxLatency.Microseconds(),
 		"instructions":     met.Instructions,
@@ -815,6 +934,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"in_flight":        s.pool.InFlight(),
 		"unhealthy_shards": s.pool.UnhealthyShards(),
 		"ready":            s.notReady() == "",
+		"rotating":         s.pool.Rotating(),
 		"latency_us":       percentiles(service),
 		"service_us":       percentiles(service),
 		"queue_us":         percentiles(qwait),
@@ -828,7 +948,24 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"runtime":          runtimeGauges(),
 		"flight_recorder":  s.pool.FlightRecorder() != nil,
 		"slowlog_us":       s.pool.SlowThreshold().Microseconds(),
+		"checkpoint":       s.checkpointStats(),
+		"checkpoint_age_s": s.checkpointAge(),
 	})
+}
+
+// checkpointStats is the /stats checkpoint block: counters from the
+// background checkpointer plus the age of the newest checkpoint in
+// seconds (-1 when there is none — the "never checkpointed" sentinel a
+// dashboard can alert on).
+func (s *server) checkpointStats() map[string]any {
+	taken, failures := s.checkpointCounts()
+	return map[string]any{
+		"enabled":    s.ckpt != nil,
+		"taken":      taken,
+		"failures":   failures,
+		"generation": s.checkpointGen(),
+		"age_s":      s.checkpointAge(),
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

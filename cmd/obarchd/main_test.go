@@ -277,7 +277,7 @@ func TestServerSaveAndWarmBoot(t *testing.T) {
 
 	// Boot a second server from the image, exactly as `obarchd -image`
 	// does, and replay the suite against it.
-	snap, programs, boot, err := bootSnapshot(imagePath, true, nil)
+	snap, programs, boot, err := bootSnapshot(imagePath, "", true, nil)
 	if err != nil {
 		t.Fatalf("boot from image: %v", err)
 	}

@@ -69,6 +69,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeCounter(&b, "obarch_shed_expired_total", "Queued requests shed at dispatch because their deadline expired waiting.", met.SheddedExpired)
 	writeCounter(&b, "obarch_panics_total", "Worker panics caught by the recovery barriers.", met.Panics)
 	writeCounter(&b, "obarch_restamps_total", "Quarantined machines re-stamped fresh from the serving snapshot.", met.Restamps)
+	writeCounter(&b, "obarch_rotations_total", "Completed live image rotations (every shard swapped, zero dropped requests).", met.Rotations)
+	writeCounter(&b, "obarch_rotate_failures_total", "Rotations that failed mid-swap and were rolled back.", met.RotateFailures)
 	writeCounter(&b, "obarch_instructions_total", "Interpreted machine instructions across all shards.", met.Instructions)
 	writeCounter(&b, "obarch_cycles_total", "Simulated machine cycles across all shards.", met.Cycles)
 	writeCounter(&b, "obarch_itlb_hits_total", "Instruction-TLB (method cache) hits.", met.ITLB.Hits)
@@ -99,6 +101,21 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "# HELP obarch_image_info Serving image provenance: 1, labelled with path, load mode, and format version.\n# TYPE obarch_image_info gauge\n")
 	fmt.Fprintf(&b, "obarch_image_info{path=%q,mode=%q,version=\"%d\"} 1\n",
 		promEscape(s.boot.ImagePath), s.boot.Mode, s.boot.FormatVersion)
+
+	// Durability: the recovery rung the boot took, and the checkpointer's
+	// freshness. -1 gauges are the "never"/"not this rung" sentinels.
+	writeGauge(&b, "obarch_recovered_generation", "Checkpoint generation recovered at boot; -1 when boot took a lower rung.", float64(s.boot.RecoveredGeneration))
+	writeGauge(&b, "obarch_recovery_ladder", "Recovery rungs rejected at boot before one held (corrupt checkpoints, unreadable image).", float64(s.boot.RecoveryLadder))
+	taken, ckptFails := s.checkpointCounts()
+	writeCounter(&b, "obarch_checkpoints_total", "Live checkpoints captured by the background checkpointer.", taken)
+	writeCounter(&b, "obarch_checkpoint_failures_total", "Checkpoint attempts that failed (snapshot refused or write error).", ckptFails)
+	writeGauge(&b, "obarch_checkpoint_age_seconds", "Seconds since the newest checkpoint; -1 when none exists.", s.checkpointAge())
+	writeGauge(&b, "obarch_checkpoint_generation", "Newest checkpoint generation; -1 when none exists.", float64(s.checkpointGen()))
+	rotating := 0.0
+	if s.pool.Rotating() {
+		rotating = 1
+	}
+	writeGauge(&b, "obarch_rotating", "1 while a live image rotation is mid-swap.", rotating)
 
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)

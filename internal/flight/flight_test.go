@@ -8,18 +8,20 @@ import (
 
 func TestKindString(t *testing.T) {
 	want := map[Kind]string{
-		KindEnqueue:   "enqueue",
-		KindDispatch:  "dispatch",
-		KindExecStart: "exec_start",
-		KindExecEnd:   "exec_end",
-		KindAbort:     "abort",
-		KindGCStart:   "gc_start",
-		KindGCEnd:     "gc_end",
-		KindReject:    "reject",
-		KindShed:      "shed",
-		KindPanic:     "panic",
-		KindRestamp:   "restamp",
-		Kind(99):      "kind(99)",
+		KindEnqueue:    "enqueue",
+		KindDispatch:   "dispatch",
+		KindExecStart:  "exec_start",
+		KindExecEnd:    "exec_end",
+		KindAbort:      "abort",
+		KindGCStart:    "gc_start",
+		KindGCEnd:      "gc_end",
+		KindReject:     "reject",
+		KindShed:       "shed",
+		KindPanic:      "panic",
+		KindRestamp:    "restamp",
+		KindCheckpoint: "checkpoint",
+		KindRotate:     "rotate",
+		Kind(99):       "kind(99)",
 	}
 	for k, s := range want {
 		if got := k.String(); got != s {

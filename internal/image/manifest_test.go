@@ -1,0 +1,269 @@
+package image
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// ckptSnapshot builds a small warmed snapshot for checkpoint tests.
+func ckptSnapshot(t *testing.T) *core.Snapshot {
+	t.Helper()
+	p := workload.Arith()
+	m, err := workload.NewCOM(p, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WarmCOM(m, p); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	in := Manifest{
+		Generation:    42,
+		CreatedUnixNS: 1_700_000_000_000_000_000,
+		FormatVersion: FormatVersion,
+		ImageBytes:    123456,
+		ImageCRC:      0xdeadbeef,
+		Instructions:  987654321,
+	}
+	out, err := DecodeManifest(EncodeManifest(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip changed the manifest: %+v -> %+v", in, out)
+	}
+}
+
+// TestManifestRejectsCorruption flips every byte of a valid manifest in
+// turn: each corruption must be rejected (the trailing CRC covers the
+// whole record), and truncations and foreign magic must fail too.
+func TestManifestRejectsCorruption(t *testing.T) {
+	valid := EncodeManifest(Manifest{Generation: 7, FormatVersion: FormatVersion, ImageBytes: 10, ImageCRC: 1})
+	for off := range valid {
+		bad := bytes.Clone(valid)
+		bad[off] ^= 0x40
+		if _, err := DecodeManifest(bad); err == nil {
+			t.Errorf("bit flip at offset %d went undetected", off)
+		}
+	}
+	for n := 0; n < len(valid); n++ {
+		if _, err := DecodeManifest(valid[:n]); err == nil {
+			t.Errorf("truncation to %d bytes went undetected", n)
+		}
+	}
+	if _, err := DecodeManifest(append(bytes.Clone(valid), 0)); err == nil {
+		t.Error("trailing junk went undetected")
+	}
+}
+
+func TestWriteLoadCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	snap := ckptSnapshot(t)
+	m, err := WriteCheckpoint(dir, 3, snap)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if m.Generation != 3 || m.ImageBytes == 0 || m.CreatedUnixNS == 0 {
+		t.Fatalf("manifest under-filled: %+v", m)
+	}
+	if m.Instructions != snap.Stats().Instructions {
+		t.Errorf("manifest instructions %d, snapshot says %d", m.Instructions, snap.Stats().Instructions)
+	}
+	got, gm, err := LoadCheckpoint(dir, 3)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if gm != m {
+		t.Errorf("loaded manifest %+v differs from written %+v", gm, m)
+	}
+	if got.Stats().Instructions != snap.Stats().Instructions {
+		t.Errorf("recovered snapshot lost accounting")
+	}
+	if got.NewMachine() == nil {
+		t.Fatal("recovered snapshot clones to nil")
+	}
+	// No staging debris left behind.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if e.Name() != "gen-000000000003" {
+			t.Errorf("unexpected entry %q in checkpoint dir", e.Name())
+		}
+	}
+}
+
+func TestListGenerationsAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	snap := ckptSnapshot(t)
+	for _, gen := range []uint64{5, 1, 3, 2, 4} {
+		if _, err := WriteCheckpoint(dir, gen, snap); err != nil {
+			t.Fatalf("write gen %d: %v", gen, err)
+		}
+	}
+	// Foreign entries are ignored.
+	os.Mkdir(filepath.Join(dir, "not-a-gen"), 0o755)
+	os.WriteFile(filepath.Join(dir, "gen-9"), []byte("a file, not a dir"), 0o644)
+
+	gens, err := ListGenerations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{1, 2, 3, 4, 5}; len(gens) != 5 || gens[0] != 1 || gens[4] != 5 {
+		t.Fatalf("generations = %v, want %v", gens, want)
+	}
+
+	removed, err := Prune(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 3 || removed[0] != 1 || removed[2] != 3 {
+		t.Fatalf("pruned %v, want [1 2 3]", removed)
+	}
+	gens, _ = ListGenerations(dir)
+	if len(gens) != 2 || gens[0] != 4 || gens[1] != 5 {
+		t.Fatalf("survivors = %v, want [4 5]", gens)
+	}
+	// Pruning below the floor keeps one; pruning an empty dir is a no-op.
+	if removed, err := Prune(dir, 0); err != nil || len(removed) != 1 {
+		t.Fatalf("prune keep=0 removed %v (%v), want exactly one", removed, err)
+	}
+	if removed, err := Prune(t.TempDir(), 3); err != nil || removed != nil {
+		t.Fatalf("prune of empty dir: %v, %v", removed, err)
+	}
+}
+
+// TestRecoverLatestSkipsCorrupt is the recovery ladder's core property:
+// a corrupted newest generation (bit-flipped image) and a torn one
+// (manifest gone) are rejected and reported, and recovery lands on the
+// newest generation that verifies.
+func TestRecoverLatestSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	snap := ckptSnapshot(t)
+	for gen := uint64(1); gen <= 3; gen++ {
+		if _, err := WriteCheckpoint(dir, gen, snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bit-flip generation 3's image mid-file.
+	imgPath := filepath.Join(dir, genDirName(3), ImageName)
+	img, err := os.ReadFile(imgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[len(img)/2] ^= 0x01
+	if err := os.WriteFile(imgPath, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Tear generation 2: manifest missing entirely.
+	if err := os.Remove(filepath.Join(dir, genDirName(2), ManifestName)); err != nil {
+		t.Fatal(err)
+	}
+
+	got, m, rejected, err := RecoverLatest(dir)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if m.Generation != 1 {
+		t.Fatalf("recovered generation %d, want 1", m.Generation)
+	}
+	if len(rejected) != 2 || rejected[0] != 3 || rejected[1] != 2 {
+		t.Fatalf("rejected = %v, want [3 2] (newest-first)", rejected)
+	}
+	if got.NewMachine() == nil {
+		t.Fatal("recovered snapshot clones to nil")
+	}
+
+	// All generations bad: ErrNoCheckpoint, with every reject reported.
+	os.Remove(filepath.Join(dir, genDirName(1), ManifestName))
+	if _, _, rejected, err := RecoverLatest(dir); err != ErrNoCheckpoint || len(rejected) != 3 {
+		t.Fatalf("all-bad recovery: err=%v rejected=%v, want ErrNoCheckpoint and 3 rejects", err, rejected)
+	}
+	// Empty directory: same sentinel, nothing rejected.
+	if _, _, rejected, err := RecoverLatest(t.TempDir()); err != ErrNoCheckpoint || rejected != nil {
+		t.Fatalf("empty-dir recovery: err=%v rejected=%v", err, rejected)
+	}
+}
+
+// TestLoadCheckpointCrossChecks pins the validation order details: a
+// manifest whose generation disagrees with its directory, a wrong image
+// length, and a future image format version are each rejected.
+func TestLoadCheckpointCrossChecks(t *testing.T) {
+	dir := t.TempDir()
+	snap := ckptSnapshot(t)
+	m, err := WriteCheckpoint(dir, 1, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gdir := filepath.Join(dir, genDirName(1))
+
+	// Re-home the directory under a different generation name: the
+	// manifest inside still says 1.
+	if err := os.Rename(gdir, filepath.Join(dir, genDirName(9))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpoint(dir, 9); err == nil {
+		t.Error("generation/directory mismatch went undetected")
+	}
+	os.Rename(filepath.Join(dir, genDirName(9)), gdir)
+
+	// Append a byte to the image: length check fires before the CRC.
+	imgPath := filepath.Join(gdir, ImageName)
+	img, _ := os.ReadFile(imgPath)
+	os.WriteFile(imgPath, append(img, 0), 0o644)
+	if _, _, err := LoadCheckpoint(dir, 1); err == nil {
+		t.Error("image length mismatch went undetected")
+	}
+	os.WriteFile(imgPath, img, 0o644)
+
+	// A manifest recording an unreadable image format version.
+	future := m
+	future.FormatVersion = FormatVersion + 1
+	os.WriteFile(filepath.Join(gdir, ManifestName), EncodeManifest(future), 0o644)
+	if _, _, err := LoadCheckpoint(dir, 1); err == nil {
+		t.Error("future format version went undetected")
+	}
+}
+
+// FuzzDecodeManifest holds the manifest codec's hostile-input line, same
+// contract as FuzzReadImage: error or valid manifest, never a panic.
+func FuzzDecodeManifest(f *testing.F) {
+	valid := EncodeManifest(Manifest{
+		Generation:    12,
+		CreatedUnixNS: 1_700_000_000_000_000_000,
+		FormatVersion: FormatVersion,
+		ImageBytes:    4096,
+		ImageCRC:      0x1234abcd,
+		Instructions:  1 << 30,
+	})
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("OBARCKP\x00"))
+	f.Add(valid[:8])
+	f.Add(valid[:len(valid)/2])
+	f.Add(corrupt(valid, 4))
+	f.Add(corrupt(valid, len(valid)-1))
+	f.Add(append(bytes.Clone(valid), 0xff))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		// A parse that survives must round-trip exactly.
+		again, err := DecodeManifest(EncodeManifest(m))
+		if err != nil || again != m {
+			t.Fatalf("accepted manifest does not round-trip: %+v, %v", m, err)
+		}
+	})
+}

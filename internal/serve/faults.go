@@ -14,6 +14,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/flight"
 	"repro/internal/gc"
 	"repro/internal/word"
@@ -44,6 +45,13 @@ type Faults struct {
 	// reproducible way to build queue pressure. 0 disables.
 	ClogEvery int
 	Clog      time.Duration
+	// RotateFailAt fails the forward stamp of shard index RotateFailAt-1
+	// during every live rotation (Rotate), exercising the rollback path:
+	// shards stamped before it are rolled back onto the old snapshot.
+	// Rollback stamps themselves are never failed — a rollback that could
+	// wedge would be a worse failure mode than the one it repairs. 0
+	// disables.
+	RotateFailAt int
 }
 
 // chaosState is one shard's arm of the fault plan. All fields are only
@@ -147,22 +155,31 @@ func (p *Pool) quarantine(s *shard, id uint64, lat time.Duration, start time.Tim
 	}
 }
 
-// restamp swaps the shard's machine for a fresh clone of the pool
-// snapshot. The retired machine's stats move into the shard's
-// accumulators first — MachineStats and the ITLB ratio conserve across
-// the swap — and the collector and GC cadence restart with the clean
-// heap. Called under execMu.
+// restamp swaps the shard's machine for a fresh clone of its stamping
+// source (the boot snapshot, or whatever the last rotation installed).
+// Called under execMu.
 func (p *Pool) restamp(s *shard) {
+	s.swapMachine(s.src)
+	s.met.restamps.Add(1)
+}
+
+// swapMachine retires the shard's machine and stamps a fresh one from
+// snap, recording snap as the shard's stamping source. The retired
+// machine's stats move into the shard's accumulators first — MachineStats
+// and the ITLB ratio conserve across the swap — and the collector and GC
+// cadence restart with the clean heap. The shared mechanism under panic
+// re-stamps and live rotation. Called under execMu.
+func (s *shard) swapMachine(snap *core.Snapshot) {
 	s.retired.Add(s.m.Stats)
 	cs := s.m.ITLB.CacheStats()
 	s.itlbHitAcc += cs.Hits - s.itlbHitBase
 	s.itlbTotalAcc += (cs.Hits - s.itlbHitBase) + (cs.Misses - s.itlbMissBase)
-	s.m = p.snap.NewMachine()
+	s.m = snap.NewMachine()
+	s.src = snap
 	ncs := s.m.ITLB.CacheStats()
 	s.itlbHitBase, s.itlbMissBase = ncs.Hits, ncs.Misses
 	s.col = gc.Collector{}
 	s.sinceGC = 0
-	s.met.restamps.Add(1)
 }
 
 // driverPanic is the shard driver's last-resort barrier handler: a panic

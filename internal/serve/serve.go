@@ -279,6 +279,14 @@ type Metrics struct {
 	Panics   uint64 `json:"panics"`
 	Restamps uint64 `json:"restamps"`
 
+	// Rotations counts completed live image rotations — every shard
+	// stamped onto a new serving snapshot with zero dropped requests.
+	// RotateFailures counts rotation attempts that failed mid-swap and
+	// were rolled back onto the previous snapshot. Pool-level counters;
+	// per-shard metrics report them as zero.
+	Rotations      uint64 `json:"rotations"`
+	RotateFailures uint64 `json:"rotate_failures"`
+
 	TotalLatency time.Duration `json:"total_latency_ns"`
 	MaxLatency   time.Duration `json:"max_latency_ns"`
 
@@ -335,6 +343,8 @@ func (m Metrics) Report() *stats.Table {
 	t.AddRow("shed expired", fmt.Sprintf("%d", m.SheddedExpired))
 	t.AddRow("panics", fmt.Sprintf("%d", m.Panics))
 	t.AddRow("restamps", fmt.Sprintf("%d", m.Restamps))
+	t.AddRow("rotations", fmt.Sprintf("%d", m.Rotations))
+	t.AddRow("rotate failures", fmt.Sprintf("%d", m.RotateFailures))
 	t.AddRow("mean latency", m.MeanLatency().String())
 	t.AddRow("max latency", m.MaxLatency.String())
 	t.AddRow("instructions", fmt.Sprintf("%d", m.Instructions))
@@ -523,12 +533,18 @@ type shard struct {
 	itlbHitBase  uint64
 	itlbMissBase uint64
 
-	// Recovery state. retired accumulates the machine-level stats of
-	// quarantined machines so MachineStats conserves across re-stamps;
+	// Recovery state. src is the shard's stamping source: the snapshot a
+	// panic re-stamp clones a fresh machine from. It starts as the pool's
+	// boot snapshot and is advanced by live rotation — per shard, so a
+	// half-finished rotation that must roll back leaves every shard with
+	// a source consistent with its machine. Only touched under execMu.
+	// retired accumulates the machine-level stats of quarantined (and
+	// rotated-out) machines so MachineStats conserves across re-stamps;
 	// itlbHitAcc/itlbTotalAcc do the same for the ITLB ratio (all under
 	// execMu). unhealthy is set when the shard's last execution panicked
 	// and cleared by its next success — the readiness signal. chaos is
 	// the shard's arm of the fault plan (nil when unarmed).
+	src          *core.Snapshot
 	retired      core.Stats
 	itlbHitAcc   uint64
 	itlbTotalAcc uint64
@@ -542,15 +558,24 @@ type Pool struct {
 	jsq    bool
 	shards []*shard
 
-	// snap is retained as the recovery source: a panicking shard's
-	// machine is quarantined and a fresh one re-stamped from it. epoch
-	// anchors the deadline arithmetic of the shed path (it equals the
-	// flight recorder's epoch when the recorder is live, so enqueue
+	// epoch anchors the deadline arithmetic of the shed path (it equals
+	// the flight recorder's epoch when the recorder is live, so enqueue
 	// stamps double as deadline anchors); guard is the recovery barriers'
-	// on/off switch (off under Config.NoRecovery).
-	snap  *core.Snapshot
+	// on/off switch (off under Config.NoRecovery). The recovery source
+	// itself lives per shard (shard.src) so live rotation can advance it
+	// shard-by-shard.
 	epoch time.Time
 	guard bool
+
+	// Rotation machinery: rotMu serialises rotations (and keeps two
+	// operators from interleaving half-swaps), rotating is the /readyz
+	// signal, and the counter pair feeds Metrics. Checkpoint/rotation
+	// work never touches serveOne — it synchronises on the same per-shard
+	// execMu the serving path already holds.
+	rotMu          sync.Mutex
+	rotating       atomic.Bool
+	rotations      atomic.Uint64
+	rotateFailures atomic.Uint64
 
 	// maxIF/ifTotal are the pool-wide in-flight ceiling and its counter
 	// (only maintained when a ceiling is set); rejectedPool counts
@@ -595,7 +620,7 @@ func NewPool(snap *core.Snapshot, cfg Config) *Pool {
 		f := *cfg.Faults // callers must not mutate an armed plan
 		cfg.Faults = &f
 	}
-	p := &Pool{cfg: cfg, snap: snap, guard: !cfg.NoRecovery, maxIF: int64(cfg.MaxInFlight)}
+	p := &Pool{cfg: cfg, guard: !cfg.NoRecovery, maxIF: int64(cfg.MaxInFlight)}
 	switch cfg.Routing {
 	case "", RoutingJSQ:
 		p.jsq = true
@@ -620,6 +645,7 @@ func NewPool(snap *core.Snapshot, cfg Config) *Pool {
 		s := &shard{
 			id:    i,
 			m:     m,
+			src:   snap,
 			queue: make(chan job, cfg.QueueDepth),
 			fr:    p.rec.Ring(i), // nil under the ablation
 		}
@@ -986,6 +1012,8 @@ func (p *Pool) Metrics() Metrics {
 		out.merge(s.met.snapshot())
 	}
 	out.Rejected += p.rejectedPool.Load()
+	out.Rotations = p.rotations.Load()
+	out.RotateFailures = p.rotateFailures.Load()
 	return out
 }
 
