@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Kill-and-recover drill: prove the durability story end to end, the ugly
-# way. A race-built obarchd serves real loadgen traffic while the
+# way. A race-built obarchd serves real loadgen traffic — over the obwire
+# binary transport, so the drill covers both wires — while the
 # background checkpointer writes generations; we SIGKILL it mid-flight (no
 # drain, no final checkpoint), corrupt the newest generation's image to
 # force the recovery ladder to actually reject a rung, restart from the
@@ -20,6 +21,7 @@ set -euo pipefail
 
 WORK="$(mktemp -d)"
 ADDR="127.0.0.1:${KILLRECOVER_PORT:-8441}"
+BADDR="127.0.0.1:$(( ${KILLRECOVER_PORT:-8441} + 1 ))"
 BASE="http://$ADDR"
 CKPT="$WORK/ckpt"
 LOG="$WORK/obarchd.log"
@@ -54,14 +56,16 @@ echo "killrecover: phase 1 — serve traffic, checkpoint every 300ms"
 # -workers 1 so every program the suite replays warms the one shard the
 # checkpoint snapshots: the recovered image must carry a fully warm
 # method cache for the itlb_hit_ratio == 1 assertion below.
-"$WORK/obarchd" -addr "$ADDR" -workers 1 -checkpoint 300ms -checkpoint-dir "$CKPT" \
-  -checkpoint-keep 4 >"$LOG" 2>&1 &
+"$WORK/obarchd" -addr "$ADDR" -binary-addr "$BADDR" -workers 1 -checkpoint 300ms \
+  -checkpoint-dir "$CKPT" -checkpoint-keep 4 >"$LOG" 2>&1 &
 PID=$!
 wait_ready
 
-# Traffic while the checkpointer runs; loadgen itself asserts zero
-# failures and every checksum.
-"$WORK/loadgen" -addr "$BASE" -clients 4 -rounds 6 >/dev/null
+# Traffic while the checkpointer runs — over the pipelined binary
+# transport, so the checkpoint drill also soaks the obwire path; loadgen
+# itself asserts zero failures and every checksum.
+"$WORK/loadgen" -addr "$BASE" -transport binary -binary-addr "$BADDR" -pipeline 4 \
+  -clients 4 -rounds 6 >/dev/null
 
 # Wait until at least two complete generations exist, so corrupting the
 # newest still leaves a valid one to recover.
@@ -90,15 +94,18 @@ open(path, "wb").write(b)
 EOF
 
 echo "killrecover: phase 3 — restart from the checkpoint directory"
-"$WORK/obarchd" -addr "$ADDR" -checkpoint 300ms -checkpoint-dir "$CKPT" \
-  -checkpoint-keep 4 -image "$WORK/com.img" >>"$LOG" 2>&1 &
+"$WORK/obarchd" -addr "$ADDR" -binary-addr "$BADDR" -checkpoint 300ms \
+  -checkpoint-dir "$CKPT" -checkpoint-keep 4 -image "$WORK/com.img" >>"$LOG" 2>&1 &
 PID=$!
 wait_ready
 
-# A known fixed number of posts so conservation is exact: 2 clients,
-# 3 rounds, 6 suite programs = 36 sends, retries disabled.
+# A known fixed number of sends so conservation is exact: 2 clients,
+# 3 rounds, 6 suite programs = 36 sends, retries disabled, one binary
+# frame per send (depth 1) — every frame must land in exactly one of the
+# server's three counters.
 POSTS=36
-"$WORK/loadgen" -addr "$BASE" -clients 2 -rounds 3 -retries 0 >/dev/null
+"$WORK/loadgen" -addr "$BASE" -transport binary -binary-addr "$BADDR" \
+  -clients 2 -rounds 3 -retries 0 >/dev/null
 
 STATS=$(curl -fsS "$BASE/stats")
 MODE=$(echo "$STATS" | jq -r .image.mode)
@@ -122,7 +129,10 @@ echo "killrecover: phase 4 — live rotation drill on the recovered node"
 # rotation completes with zero lost sends and the client p99 stays
 # inside budget (generous — this is a race-built binary on CI iron).
 curl -fsS -X POST "$BASE/save" >/dev/null || fail "POST /save refused"
-"$WORK/loadgen" -addr "$BASE" -clients 4 -rounds 8 \
+# Traffic rides the binary wire at depth 1 so rotation-transient
+# refusals retry through the backoff loop; the rotation POST itself is
+# control-plane HTTP.
+"$WORK/loadgen" -addr "$BASE" -transport binary -binary-addr "$BADDR" -clients 4 -rounds 8 \
   -expect-rotation -p99budget 2s >/dev/null || fail "rotation drill (see loadgen output above)"
 ROTS=$(curl -fsS "$BASE/stats" | jq -r .rotations)
 [ "$ROTS" -ge 1 ] || fail "rotations counter $ROTS after the drill, want >= 1"

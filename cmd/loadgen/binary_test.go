@@ -1,0 +1,173 @@
+// Refusal round-trip coverage for the binary transport: frame statuses
+// coming back over obwire must land in the same retry/pushback counters
+// the HTTP path feeds, in both client shapes — synchronous sends driven
+// through the retryer, and pipelined sends counted in-band.
+package main
+
+import (
+	"context"
+	"math/rand/v2"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obwire"
+	"repro/internal/serve"
+	"repro/internal/smalltalk"
+)
+
+// startObwire boots a pool over a one-method image (answer = self + 1)
+// behind an obwire listener and returns the listener's address.
+func startObwire(t *testing.T, cfg serve.Config) string {
+	t.Helper()
+	m := core.New(core.Config{})
+	c, err := smalltalk.Compile(`
+extend SmallInt [
+	method answer [ ^self + 1 ]
+]`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := smalltalk.LoadCOM(m, c); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	pool := serve.NewPool(snap, cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := obwire.Serve(l, pool, obwire.Options{})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		pool.Close()
+	})
+	return l.Addr().String()
+}
+
+// binCounters is one test run's worth of the shared counters main wires
+// into every client goroutine.
+type binCounters struct {
+	sent, posts, failed, keyed atomic.Int64
+	refusals                   refusalCounters
+	recorded                   atomic.Int64
+}
+
+func testBinRun(addr string, pipeline, rounds, retries int, c *binCounters) binRun {
+	rng := rand.New(rand.NewPCG(1, 2))
+	return binRun{
+		id:       0,
+		addr:     addr,
+		pipeline: pipeline,
+		rounds:   rounds,
+		programs: []program{{Name: "answer", Entry: "answer", Size: 5, Warm: 5, Check: 6}},
+		rng:      rng,
+		rt:       &retryer{max: retries, base: time.Microsecond, rng: rng, c: &c.refusals, posts: &c.posts},
+		record:   func(time.Duration) { c.recorded.Add(1) },
+		sent:     &c.sent, posts: &c.posts, failed: &c.failed, keyed: &c.keyed,
+		refusals: &c.refusals,
+	}
+}
+
+// TestBinaryRunPipelined is the happy path: a pipelined run validates
+// every checksum, counts every frame, and records every latency, with
+// the pushback counters untouched.
+func TestBinaryRunPipelined(t *testing.T) {
+	addr := startObwire(t, serve.Config{Workers: 1, Timeout: 10 * time.Second})
+	var c binCounters
+	testBinRun(addr, 3, 8, 0, &c).run()
+
+	if got := c.sent.Load(); got != 8 {
+		t.Errorf("sent %d, want 8", got)
+	}
+	if got := c.posts.Load(); got != 8 {
+		t.Errorf("frames %d, want 8", got)
+	}
+	if got := c.failed.Load(); got != 0 {
+		t.Errorf("failed %d, want 0", got)
+	}
+	if got := c.recorded.Load(); got != 8 {
+		t.Errorf("recorded %d latencies, want 8", got)
+	}
+	if v := c.refusals.rejected.Load() + c.refusals.shed.Load() + c.refusals.transport.Load() + c.refusals.retries.Load(); v != 0 {
+		t.Errorf("pushback counters moved on a clean run: %+v", &c.refusals)
+	}
+}
+
+// TestBinaryOverloadRetryPath drives a depth-1 send against closed
+// admission: every StatusOverloaded frame must land in the rejected
+// counter and burn a retry, exactly as a 429 does over HTTP.
+func TestBinaryOverloadRetryPath(t *testing.T) {
+	addr := startObwire(t, serve.Config{Workers: 1, MaxInFlight: -1, Timeout: 10 * time.Second})
+	var c binCounters
+	testBinRun(addr, 1, 1, 2, &c).run()
+
+	if got := c.refusals.rejected.Load(); got != 3 {
+		t.Errorf("rejected %d, want 3 (first attempt + 2 retries)", got)
+	}
+	if got := c.refusals.retries.Load(); got != 2 {
+		t.Errorf("retries %d, want 2", got)
+	}
+	if got := c.posts.Load(); got != 3 {
+		t.Errorf("frames %d, want 3", got)
+	}
+	if got, want := c.sent.Load(), int64(1); got != want {
+		t.Errorf("sent %d, want %d", got, want)
+	}
+	if got := c.failed.Load(); got != 1 {
+		t.Errorf("failed %d, want 1 (budget exhausted)", got)
+	}
+	if got := c.refusals.shed.Load() + c.refusals.transport.Load(); got != 0 {
+		t.Errorf("refusals misclassified: shed+transport = %d, want 0", got)
+	}
+}
+
+// TestBinaryOverloadPipelined drives a pipelined window against closed
+// admission: refusals arrive in-band, are classified by frame status,
+// and are never retried — the batch-mode contract on the binary wire.
+func TestBinaryOverloadPipelined(t *testing.T) {
+	addr := startObwire(t, serve.Config{Workers: 1, MaxInFlight: -1, Timeout: 10 * time.Second})
+	var c binCounters
+	testBinRun(addr, 4, 6, 3, &c).run()
+
+	if got := c.sent.Load(); got != 6 {
+		t.Errorf("sent %d, want 6", got)
+	}
+	if got := c.refusals.rejected.Load(); got != 6 {
+		t.Errorf("rejected %d, want 6 (every send refused in-band)", got)
+	}
+	if got := c.refusals.retries.Load(); got != 0 {
+		t.Errorf("retries %d, want 0 (pipelined refusals are not retried)", got)
+	}
+	if got := c.failed.Load(); got != 6 {
+		t.Errorf("failed %d, want 6", got)
+	}
+}
+
+// TestClassifyStatus pins the frame-status half of the classification
+// contract: overload and shed count by kind, everything else is a real
+// failure and stays unclassified.
+func TestClassifyStatus(t *testing.T) {
+	var c refusalCounters
+	c.classifyStatus(obwire.StatusOverloaded)
+	c.classifyStatus(obwire.StatusShed)
+	c.classifyStatus(obwire.StatusShed)
+	c.classifyStatus(obwire.StatusMachineError)
+	c.classifyStatus(obwire.StatusOK)
+	if got := c.rejected.Load(); got != 1 {
+		t.Errorf("rejected %d, want 1", got)
+	}
+	if got := c.shed.Load(); got != 2 {
+		t.Errorf("shed %d, want 2", got)
+	}
+	if got := c.transport.Load() + c.retries.Load(); got != 0 {
+		t.Errorf("transport+retries = %d, want 0", got)
+	}
+}

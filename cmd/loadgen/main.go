@@ -16,6 +16,16 @@
 // expected checksums) is fetched from the server's /programs endpoint, so
 // loadgen also works against a server that loaded custom sources.
 //
+// With -transport binary (plus -binary-addr HOST:PORT naming the
+// daemon's obwire listener) the workload rides the persistent binary
+// transport instead of HTTP: one connection per client, optionally
+// pipelined -pipeline N frames deep. At depth 1 every send is a
+// synchronous round trip through the same retry/backoff loop as HTTP
+// (frame statuses map onto 429/503/transport one for one); at depth >1
+// refusals are counted in-band like batch entries and not retried. The
+// control plane — /programs, /rotate, /stats, /save — always speaks
+// HTTP to -addr.
+//
 // With -skew F, a fraction F of sends carry an affinity key drawn from a
 // deliberately skewed keyspace — 80% of keyed sends share one hot key,
 // the rest spread over seven warm keys — pinning a disproportionate load
@@ -110,6 +120,9 @@ func main() {
 	name := flag.String("program", "", "restrict to one program by name")
 	warm := flag.Bool("warm", false, "use warmup sizes instead of measured sizes (no checksum validation)")
 	batch := flag.Int("batch", 1, "sends per POST /batch request (1: one POST /send per send)")
+	transport := flag.String("transport", "http", `wire transport: "http" (POST /send, /batch) or "binary" (persistent obwire frames)`)
+	binaryAddr := flag.String("binary-addr", "", "obwire HOST:PORT for -transport binary (the daemon's -binary-addr)")
+	pipeline := flag.Int("pipeline", 1, "in-flight frames per client with -transport binary (1: synchronous round trips with retries)")
 	save := flag.Bool("save", false, "POST /save after the run, persisting the server's machine image")
 	skew := flag.Float64("skew", 0, "fraction of sends carrying a skewed affinity key (0: all keyless)")
 	routing := flag.String("routing", "", `assert the server's keyless routing policy ("jsq" or "rr") before running`)
@@ -152,6 +165,24 @@ func main() {
 	if *batch < 1 {
 		*batch = 1
 	}
+	if *pipeline < 1 {
+		*pipeline = 1
+	}
+	// The control plane (program list, routing checks, rotation drills,
+	// /stats, /save) always speaks HTTP to -addr; -transport only picks
+	// the wire the workload itself rides.
+	binary := *transport == "binary"
+	switch {
+	case *transport != "http" && !binary:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -transport %q (want http or binary)\n", *transport)
+		os.Exit(1)
+	case binary && *binaryAddr == "":
+		fmt.Fprintln(os.Stderr, "loadgen: -transport binary needs -binary-addr (the daemon's -binary-addr listener)")
+		os.Exit(1)
+	case binary && *batch > 1:
+		fmt.Fprintln(os.Stderr, "loadgen: -batch applies to the http transport; use -pipeline with -transport binary")
+		os.Exit(1)
+	}
 
 	var (
 		wg       sync.WaitGroup
@@ -178,6 +209,16 @@ func main() {
 				if lat > maxLats[c] {
 					maxLats[c] = lat
 				}
+			}
+			if binary {
+				binRun{
+					id: c, addr: *binaryAddr, pipeline: *pipeline,
+					rounds: *rounds, warm: *warm, skew: *skew, programs: programs,
+					rng: rng, rt: rt, record: record,
+					sent: &sent, posts: &posts, failed: &failed, keyed: &keyed,
+					refusals: &refusals,
+				}.run()
+				return
 			}
 			// pending accumulates sends until a full batch is flushed.
 			var pending []sendRequest
@@ -285,8 +326,13 @@ func main() {
 		}
 	}
 	mode := "unbatched (POST /send)"
+	reqLabel := "http requests"
 	if *batch > 1 {
 		mode = fmt.Sprintf("batched ×%d (POST /batch)", *batch)
+	}
+	if binary {
+		mode = fmt.Sprintf("binary (obwire %s, pipeline %d)", *binaryAddr, *pipeline)
+		reqLabel = "frames"
 	}
 	fmt.Printf("mode: %s\n", mode)
 	if *routing != "" {
@@ -296,8 +342,8 @@ func main() {
 		fmt.Printf("keyspace: %.0f%% keyed (hot-key skewed), %d of %d sends carried keys\n",
 			*skew*100, keyed.Load(), n)
 	}
-	fmt.Printf("sends: %d  http requests: %d  failures: %d  wall: %v\n",
-		n, posts.Load(), failed.Load(), wall.Round(time.Millisecond))
+	fmt.Printf("sends: %d  %s: %d  failures: %d  wall: %v\n",
+		n, reqLabel, posts.Load(), failed.Load(), wall.Round(time.Millisecond))
 	if v := refusals.retries.Load() + refusals.rejected.Load() + refusals.shed.Load() + refusals.transport.Load(); v > 0 {
 		fmt.Printf("pushback: %d rejected (429)  %d shed (503)  %d transport  %d retries taken\n",
 			refusals.rejected.Load(), refusals.shed.Load(), refusals.transport.Load(), refusals.retries.Load())
@@ -372,6 +418,7 @@ func main() {
 			Config: runConfig{
 				Addr: *addr, Clients: *clients, Rounds: *rounds, Program: *name,
 				Warm: *warm, Batch: *batch, Skew: *skew, Routing: *routing,
+				Transport: *transport, BinaryAddr: *binaryAddr, Pipeline: *pipeline,
 				Retries: *retries, BackoffMS: float64(backoff.Microseconds()) / 1e3,
 				ExpectRotation: *expectRotation,
 				P99BudgetMS:    float64(p99Budget.Microseconds()) / 1e3,
@@ -435,6 +482,10 @@ type runConfig struct {
 	Routing   string  `json:"routing,omitempty"`
 	Retries   int     `json:"retries"`
 	BackoffMS float64 `json:"backoff_ms"`
+
+	Transport  string `json:"transport"`
+	BinaryAddr string `json:"binary_addr,omitempty"`
+	Pipeline   int    `json:"pipeline,omitempty"`
 
 	ExpectRotation bool    `json:"expect_rotation,omitempty"`
 	P99BudgetMS    float64 `json:"p99_budget_ms,omitempty"`

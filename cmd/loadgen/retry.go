@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obwire"
 )
 
 // refusalCounters aggregates every client's view of server pushback.
@@ -30,6 +32,17 @@ func (c *refusalCounters) classify(msg string) {
 	case strings.Contains(msg, "overloaded"):
 		c.rejected.Add(1)
 	case strings.Contains(msg, "expired"):
+		c.shed.Add(1)
+	}
+}
+
+// classifyStatus is classify's binary-transport counterpart: pipelined
+// obwire refusals arrive as frame statuses rather than error text.
+func (c *refusalCounters) classifyStatus(status uint8) {
+	switch status {
+	case obwire.StatusOverloaded:
+		c.rejected.Add(1)
+	case obwire.StatusShed:
 		c.shed.Add(1)
 	}
 }
@@ -79,11 +92,14 @@ func (r *retryer) retryable(status int, err error) bool {
 	return false
 }
 
-// send posts one request, retrying refusals until they stick or the
-// budget runs out. The returned error is the last attempt's.
-func (r *retryer) send(addr string, req sendRequest) (int32, error) {
+// sendVia drives one attempt function through the retry loop: refusals
+// back off and retry until they stick or the budget runs out, and the
+// returned error is the last attempt's. The attempt reports an
+// HTTP-equivalent status (0 for transport failure), which is how the
+// binary transport shares this loop and its counters with the HTTP one.
+func (r *retryer) sendVia(via func() (int32, int, error)) (int32, error) {
 	for attempt := 0; ; attempt++ {
-		val, status, err := send(addr, req)
+		val, status, err := via()
 		r.posts.Add(1)
 		if !r.retryable(status, err) || attempt >= r.max {
 			return val, err
@@ -91,4 +107,9 @@ func (r *retryer) send(addr string, req sendRequest) (int32, error) {
 		r.c.retries.Add(1)
 		time.Sleep(r.backoffDelay(attempt))
 	}
+}
+
+// send posts one HTTP request through the retry loop.
+func (r *retryer) send(addr string, req sendRequest) (int32, error) {
+	return r.sendVia(func() (int32, int, error) { return send(addr, req) })
 }

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -9,7 +12,9 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obwire"
 	"repro/internal/serve"
+	"repro/internal/word"
 	"repro/internal/workload"
 )
 
@@ -33,6 +38,75 @@ func benchServer(b *testing.B, fast bool) (*httptest.Server, *serve.Pool) {
 	h := newServer(pool, []workload.Program{}, snap, "")
 	h.fast = fast
 	return httptest.NewServer(h), pool
+}
+
+// BenchmarkBinarySend measures the same tiny send over the obwire binary
+// transport: depth=1 is the synchronous round trip (one frame each way
+// per op, two syscalls of latency), depth=64 keeps a pipeline window
+// full so framing cost is measured with the syscalls amortised away. The
+// delta against BenchmarkHTTPSend/codec=fast is the net/http tax; the
+// 0-alloc assertion in CI covers client and server loops together,
+// since both run in this process.
+func BenchmarkBinarySend(b *testing.B) {
+	for _, depth := range []int{1, 64} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			sys := obarch.NewSystem(obarch.Options{})
+			if err := sys.Load(`extend SmallInt [ method double [ ^self + self ] ]`); err != nil {
+				b.Fatal(err)
+			}
+			snap, err := sys.Snapshot()
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool := serve.NewPool(snap, serve.Config{Workers: 1, GCEvery: -1, Timeout: 10 * time.Second})
+			defer pool.Close()
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := obwire.Serve(l, pool, obwire.Options{})
+			defer s.Shutdown(context.Background())
+			c, err := obwire.Dial(l.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+
+			req := serve.Request{Receiver: word.FromInt(21), Selector: "double"}
+			// One warm round trip populates the selector cache and the
+			// per-connection buffers on both sides.
+			if r, err := c.Do(req); err != nil || !r.OK() {
+				b.Fatalf("warm send: %v %v", r, err)
+			}
+			check := func(r obwire.Response, err error) {
+				if err != nil || r.Status != obwire.StatusOK {
+					b.Fatalf("send: %v %v", r, err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if depth == 1 {
+				for i := 0; i < b.N; i++ {
+					r, err := c.Do(req)
+					check(r, err)
+				}
+				return
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Send(req); err != nil {
+					b.Fatal(err)
+				}
+				for c.InFlight() >= depth {
+					r, err := c.Recv()
+					check(r, err)
+				}
+			}
+			for c.InFlight() > 0 {
+				r, err := c.Recv()
+				check(r, err)
+			}
+		})
+	}
 }
 
 // BenchmarkHTTPSend measures one tiny send through the full HTTP stack,

@@ -238,6 +238,13 @@ func (s *server) handleRotate(w http.ResponseWriter, r *http.Request) {
 // push: drop a new image in place and every node picks it up between
 // requests. The first poll records the baseline; only subsequent changes
 // rotate.
+//
+// The baseline advances only after a successful rotation. A failed
+// attempt — typically the poller catching an image mid-write, whose
+// finished form may keep the very mtime and size the failed poll saw —
+// must stay "changed" so the next tick retries; advancing the baseline
+// first would dismiss the completed image as already-seen and never
+// rotate onto it.
 func (s *server) watchImage(interval time.Duration, stop <-chan struct{}) {
 	var lastMod time.Time
 	var lastSize int64
@@ -260,16 +267,18 @@ func (s *server) watchImage(interval time.Duration, stop <-chan struct{}) {
 		if primed && fi.ModTime().Equal(lastMod) && fi.Size() == lastSize {
 			continue
 		}
-		if !primed {
-			// The image appeared after boot: adopt it as the baseline and
-			// rotate onto it too — the operator clearly just installed it.
-			primed = true
-		}
-		lastMod, lastSize = fi.ModTime(), fi.Size()
 		if err := s.stageRotate(s.imagePath); err != nil {
+			// Baseline untouched: the file still reads as changed, so
+			// the next tick retries — a torn write is a transient, not a
+			// verdict on the image.
 			log.Printf("obarchd: watch: rotate onto %s: %v", s.imagePath, err)
 			continue
 		}
+		// Committed: adopt what we just rotated onto as the baseline
+		// (first sighting included — the operator clearly just installed
+		// an image, so serving it is the right adoption).
+		primed = true
+		lastMod, lastSize = fi.ModTime(), fi.Size()
 		log.Printf("obarchd: watch: rotated onto changed image %s", s.imagePath)
 	}
 }

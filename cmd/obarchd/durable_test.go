@@ -483,3 +483,75 @@ extend SmallInt [
 		t.Fatalf("rotations = %d after watch rotation", met.Rotations)
 	}
 }
+
+// TestWatchRetriesTornWrite pins the baseline-advance rule: a poll that
+// catches the image mid-write (staging fails) must not advance the
+// mtime/size baseline. The deploy here is deliberately adversarial — the
+// torn intermediate and the finished image have identical size and
+// mtime, so a poller that recorded the baseline before rotating succeeds
+// would classify the completed image as already-seen and never retry.
+func TestWatchRetriesTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, oldSnap := writeSuiteImage(t, dir, "com.img", "")
+	pool := serve.NewPool(oldSnap, serve.Config{Workers: 2, Timeout: 30 * time.Second})
+	defer pool.Close()
+	h := newServer(pool, workload.Suite(), oldSnap, oldPath)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	h.watchStop = make(chan struct{})
+	defer close(h.watchStop)
+	go h.watchImage(10*time.Millisecond, h.watchStop)
+	time.Sleep(30 * time.Millisecond) // let the watcher record its baseline
+
+	// The finished deploy, built off to the side.
+	newPath, _ := writeSuiteImage(t, dir, "staged.img", `
+extend SmallInt [
+	method rotmark [ ^self + 99 ]
+]`)
+	finished, err := os.ReadFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The torn intermediate: same bytes with one bit flipped — same
+	// size, and we pin the same mtime below. Staging rejects it (CRC).
+	torn := append([]byte(nil), finished...)
+	torn[len(torn)/2] ^= 0x01
+	stamp := time.Now().Add(-time.Hour).Truncate(time.Second)
+
+	if err := os.WriteFile(oldPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(oldPath, stamp, stamp); err != nil {
+		t.Fatal(err)
+	}
+	// Give the poller several ticks to observe the torn file and fail
+	// the rotation — the window where the old code burned its baseline.
+	time.Sleep(100 * time.Millisecond)
+
+	// The write completes: same size, same mtime as the torn observation.
+	if err := os.WriteFile(oldPath, finished, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(oldPath, stamp, stamp); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, res := postSendTo(t, ts, `{"receiver": 1, "selector": "rotmark"}`)
+		if status == http.StatusOK {
+			if got, ok := res.Result.(float64); !ok || got != 100 {
+				t.Fatalf("rotmark answered %v, want 100", res.Result)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never retried the torn-write image — the failed poll burned the baseline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if met := pool.Metrics(); met.Rotations < 1 {
+		t.Fatalf("rotations = %d after torn-write recovery", met.Rotations)
+	}
+}

@@ -60,6 +60,21 @@
 // "jsq" (default) joins the shortest queue via power-of-two-choices,
 // "rr" is the blind round-robin ablation.
 //
+// Binary transport. -binary-addr additionally serves the obwire
+// protocol (see internal/obwire): length-prefixed binary frames over
+// persistent TCP connections, pipelined — many frames in flight per
+// connection, responses in request order with echoed frame ids — and
+// feeding the same pool, admission control, and flight recorder as
+// HTTP. The per-connection read→dispatch→write loop runs at zero
+// allocations per send in steady state, which is what drops a loopback
+// send from ~30 µs (HTTP) to low single-digit µs. Frame statuses mirror
+// the HTTP map (OK / machine error 422 / overloaded 429 / shed 503), so
+// client backoff logic carries over; a malformed frame poisons only its
+// own connection. Graceful drain closes the binary listener alongside
+// the HTTP one, answering every already-dispatched frame first, and the
+// transport's decode/encode spans and counters land in the same /stats,
+// /metrics, and flight-recorder families as HTTP's.
+//
 // Observability. Every worker shard feeds an always-on, lock-free flight
 // recorder (see internal/flight): a fixed-size ring of request lifecycle
 // events — enqueue, dispatch, exec start/end, abort, reject, shed,
@@ -112,6 +127,16 @@
 //	                  with the reason ("draining", "rotating",
 //	                  "overloaded", "quarantine-heavy") when new traffic
 //	                  should go elsewhere
+//
+// Binary endpoint (with -binary-addr HOST:PORT):
+//
+//	obwire send       one frame per message send over a persistent,
+//	                  pipelined TCP connection; status 0 (OK) carries the
+//	                  result word, 1 (machine error, as HTTP 422),
+//	                  2 (overloaded, as 429 — back off and retry),
+//	                  3 (shed, as 503 — retry elsewhere) carry the error
+//	                  text; /stats gains a "binary" block and /metrics an
+//	                  obarch_binary_* family for its transport counters
 package main
 
 import (
@@ -136,6 +161,7 @@ import (
 
 	"repro"
 	"repro/internal/image"
+	"repro/internal/obwire"
 	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/word"
@@ -144,6 +170,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8373", "listen address")
+	binaryAddr := flag.String("binary-addr", "", "obwire binary transport listen address (empty: disabled)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker machines in the pool")
 	queue := flag.Int("queue", 256, "per-worker queue depth")
 	maxSteps := flag.Uint64("maxsteps", 0, "default per-request step budget (0: machine default)")
@@ -226,6 +253,18 @@ func main() {
 		go h.watchImage(*watch, h.watchStop)
 		log.Printf("obarchd: watching %s every %v for live rotation", *imagePath, *watch)
 	}
+	if *binaryAddr != "" {
+		bl, err := net.Listen("tcp", *binaryAddr)
+		if err != nil {
+			log.Fatalf("obarchd: -binary-addr: %v", err)
+		}
+		h.bin = obwire.Serve(bl, pool, obwire.Options{
+			DecodeLat: &h.decLat,
+			EncodeLat: &h.encLat,
+			Logf:      log.Printf,
+		})
+		log.Printf("obarchd: serving obwire binary transport on %s", bl.Addr())
+	}
 	srv := &http.Server{Handler: h}
 	log.Printf("obarchd: serving %d programs on %s with %d workers", len(programs), l.Addr(), pool.Workers())
 	h.serveAndDrain(srv, l, *drain, sig)
@@ -235,12 +274,13 @@ func main() {
 
 // serveAndDrain runs the HTTP server until a signal arrives, then shuts
 // down gracefully: /readyz flips not-ready first (load balancers see a
-// leaving node before its listener vanishes), then the listener stops
-// accepting, in-flight HTTP requests get the drain budget to finish, and
-// the pool is closed — Close serves every already-queued request and
-// stops each worker at a request boundary, so exit never races a live
-// send or an incremental GC sweep. A method on server so tests can drive
-// the whole shutdown path.
+// leaving node before its listener vanishes), then both listeners stop
+// accepting — the obwire binary transport drains alongside HTTP,
+// answering every already-dispatched frame — in-flight requests get the
+// drain budget to finish, and the pool is closed — Close serves every
+// already-queued request and stops each worker at a request boundary,
+// so exit never races a live send or an incremental GC sweep. A method
+// on server so tests can drive the whole shutdown path.
 func (s *server) serveAndDrain(srv *http.Server, l net.Listener, drain time.Duration, sig <-chan os.Signal) {
 	done := make(chan struct{})
 	go func() {
@@ -250,9 +290,17 @@ func (s *server) serveAndDrain(srv *http.Server, l net.Listener, drain time.Dura
 		s.draining.Store(true)
 		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
+		binDone := make(chan struct{})
+		go func() {
+			defer close(binDone)
+			if s.bin != nil {
+				s.bin.Shutdown(ctx)
+			}
+		}()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("obarchd: shutdown: %v", err)
 		}
+		<-binDone
 	}()
 	if err := srv.Serve(l); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("obarchd: %v", err)
@@ -502,6 +550,11 @@ type server struct {
 	// before the pool.
 	ckpt      *checkpointer
 	watchStop chan struct{}
+
+	// bin is the obwire binary-transport server (nil when -binary-addr
+	// is off). It shares the pool, the decode/encode span histograms,
+	// and the drain path with the HTTP listener.
+	bin *obwire.Server
 }
 
 func newServer(pool *serve.Pool, programs []workload.Program, snap *obarch.Snapshot, imagePath string) *server {
@@ -909,6 +962,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "recovery          rung=%s generation=%d ladder=%d\n", s.boot.Mode, s.boot.RecoveredGeneration, s.boot.RecoveryLadder)
 		taken, ckptFails := s.checkpointCounts()
 		fmt.Fprintf(w, "checkpoints       taken=%d failures=%d generation=%d age_s=%.1f\n", taken, ckptFails, s.checkpointGen(), s.checkpointAge())
+		if s.bin != nil {
+			bst := s.bin.Stats()
+			fmt.Fprintf(w, "binary            addr=%s conns=%d (active %d) frames_in=%d frames_out=%d proto_errors=%d\n",
+				s.bin.Addr(), bst.ConnsAccepted, bst.ConnsActive, bst.FramesIn, bst.FramesOut, bst.ProtoErrors)
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -950,7 +1008,28 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"slowlog_us":       s.pool.SlowThreshold().Microseconds(),
 		"checkpoint":       s.checkpointStats(),
 		"checkpoint_age_s": s.checkpointAge(),
+		"binary":           s.binaryStats(),
 	})
+}
+
+// binaryStats is the /stats binary-transport block: enabled or not,
+// plus the obwire server's connection and frame counters. The decode
+// and encode spans already land in the shared decode_us/encode_us
+// families — one histogram per stage, whichever wire carried it.
+func (s *server) binaryStats() map[string]any {
+	if s.bin == nil {
+		return map[string]any{"enabled": false}
+	}
+	st := s.bin.Stats()
+	return map[string]any{
+		"enabled":        true,
+		"addr":           s.bin.Addr().String(),
+		"conns_accepted": st.ConnsAccepted,
+		"conns_active":   st.ConnsActive,
+		"frames_in":      st.FramesIn,
+		"frames_out":     st.FramesOut,
+		"proto_errors":   st.ProtoErrors,
+	}
 }
 
 // checkpointStats is the /stats checkpoint block: counters from the

@@ -117,6 +117,19 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	writeGauge(&b, "obarch_rotating", "1 while a live image rotation is mid-swap.", rotating)
 
+	// Binary transport: connection and frame counters for the obwire
+	// listener. Absent entirely when -binary-addr is off, so dashboards
+	// can distinguish "disabled" from "idle". The decode/encode spans
+	// share obarch_decode_seconds/obarch_encode_seconds with HTTP.
+	if s.bin != nil {
+		bst := s.bin.Stats()
+		writeCounter(&b, "obarch_binary_conns_total", "Binary-transport connections accepted.", bst.ConnsAccepted)
+		writeGauge(&b, "obarch_binary_conns_active", "Binary-transport connections currently open.", float64(bst.ConnsActive))
+		writeCounter(&b, "obarch_binary_frames_in_total", "Binary-transport request frames decoded and dispatched.", bst.FramesIn)
+		writeCounter(&b, "obarch_binary_frames_out_total", "Binary-transport response frames written.", bst.FramesOut)
+		writeCounter(&b, "obarch_binary_proto_errors_total", "Malformed binary frames; each poisons exactly its own connection.", bst.ProtoErrors)
+	}
+
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	writeGauge(&b, "go_goroutines", "Goroutines in the host process.", float64(runtime.NumGoroutine()))

@@ -1,0 +1,191 @@
+// Mixed-transport chaos soak: the binary listener and the HTTP handler
+// share one pool, so a node serving both at once under injected faults
+// must conserve accounting across the union of the two traffic streams —
+// completed + rejected + shed equals exactly what the clients submitted,
+// with every refusal classified identically on either wire.
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obwire"
+	"repro/internal/serve"
+	"repro/internal/word"
+	"repro/internal/workload"
+)
+
+// TestMixedTransportChaosSoak drives concurrent HTTP and obwire clients
+// at one chaos-armed pool: stalls and clogs against shallow queues force
+// organic admission refusals, hair-trigger deadlines on the binary side
+// force sheds, and the union of both streams must conserve exactly:
+// requests + rejected + shed_expired == submitted. Run under -race this
+// also hammers the shared decode/encode histograms and transport
+// counters from both wires at once.
+func TestMixedTransportChaosSoak(t *testing.T) {
+	h, pool := newConfigServer(t, serve.Config{
+		Workers:    2,
+		QueueDepth: 2,
+		Timeout:    30 * time.Second,
+		Faults: &serve.Faults{
+			Seed:       7,
+			StallEvery: 5,
+			Stall:      200 * time.Microsecond,
+			ClogEvery:  6,
+			Clog:       300 * time.Microsecond,
+		},
+	})
+	defer pool.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := obwire.Serve(l, pool, obwire.Options{DecodeLat: &h.decLat, EncodeLat: &h.encLat})
+
+	progs := workload.Suite()
+	var submitted, completed, machineFailed, rejected, shed atomic.Int64
+	classify := func(status int) {
+		switch status {
+		case http.StatusOK:
+			completed.Add(1)
+		case http.StatusUnprocessableEntity:
+			machineFailed.Add(1)
+		case http.StatusTooManyRequests:
+			rejected.Add(1)
+		case http.StatusServiceUnavailable:
+			shed.Add(1)
+		default:
+			t.Errorf("unclassifiable status %d", status)
+		}
+	}
+
+	const (
+		httpClients = 3
+		binClients  = 3
+		rounds      = 3
+		window      = 8
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < httpClients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, p := range progs {
+					body := fmt.Sprintf(`{"receiver": %d, "selector": %q}`, p.Size, p.Entry)
+					resp, err := http.Post(ts.URL+"/send", "application/json", strings.NewReader(body))
+					if err != nil {
+						t.Errorf("POST /send: %v", err)
+						return
+					}
+					resp.Body.Close()
+					submitted.Add(1)
+					classify(resp.StatusCode)
+				}
+			}
+		}()
+	}
+	for g := 0; g < binClients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := obwire.Dial(l.Addr().String())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			recvOne := func() bool {
+				resp, err := c.Recv()
+				if err != nil {
+					t.Errorf("client %d: recv: %v", g, err)
+					return false
+				}
+				classify(statusFromFrame(resp.Status))
+				return true
+			}
+			for r := 0; r < rounds; r++ {
+				for i, p := range progs {
+					req := serve.Request{Receiver: word.FromInt(p.Size), Selector: p.Entry}
+					if i%4 == 3 {
+						// Expired before it can possibly dispatch: a
+						// guaranteed shed, answered in-band as StatusShed.
+						req.Timeout = time.Nanosecond
+					}
+					if _, err := c.Send(req); err != nil {
+						t.Errorf("client %d: send: %v", g, err)
+						return
+					}
+					submitted.Add(1)
+					for c.InFlight() >= window {
+						if !recvOne() {
+							return
+						}
+					}
+				}
+			}
+			for c.InFlight() > 0 {
+				if !recvOne() {
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	bin.Shutdown(t.Context())
+
+	met := pool.Metrics()
+	if got, want := completed.Load()+machineFailed.Load(), int64(met.Requests); got != want {
+		t.Errorf("executed accounting drifted: %d classified vs %d metrics requests", got, want)
+	}
+	if got, want := rejected.Load(), int64(met.Rejected); got != want {
+		t.Errorf("rejection accounting drifted: %d classified vs %d metrics", got, want)
+	}
+	if got, want := shed.Load(), int64(met.SheddedExpired); got != want {
+		t.Errorf("shed accounting drifted: %d classified vs %d metrics", got, want)
+	}
+	total := int64(met.Requests + met.Rejected + met.SheddedExpired)
+	if total != submitted.Load() {
+		t.Errorf("conservation violated: requests(%d) + rejected(%d) + shed(%d) = %d, want %d submitted",
+			met.Requests, met.Rejected, met.SheddedExpired, total, submitted.Load())
+	}
+	if shed.Load() == 0 {
+		t.Error("hair-trigger deadlines produced no sheds; the soak exercised nothing")
+	}
+
+	bs := bin.Stats()
+	binSubmitted := submitted.Load() - int64(httpClients*rounds*len(progs))
+	if got := int64(bs.FramesIn); got != binSubmitted {
+		t.Errorf("binary frames_in %d, want %d", got, binSubmitted)
+	}
+	if bs.FramesIn != bs.FramesOut {
+		t.Errorf("frames_in %d != frames_out %d: a response was dropped", bs.FramesIn, bs.FramesOut)
+	}
+	if bs.ProtoErrors != 0 {
+		t.Errorf("proto_errors %d on well-formed traffic", bs.ProtoErrors)
+	}
+}
+
+// statusFromFrame maps an obwire frame status onto the HTTP status the
+// same outcome would have produced, pinning the cross-transport contract
+// the doc table promises.
+func statusFromFrame(s uint8) int {
+	switch s {
+	case obwire.StatusOK:
+		return http.StatusOK
+	case obwire.StatusOverloaded:
+		return http.StatusTooManyRequests
+	case obwire.StatusShed:
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
+}

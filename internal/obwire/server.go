@@ -1,0 +1,340 @@
+package obwire
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/word"
+)
+
+// Options tunes a Server. The zero value serves with the defaults and no
+// span sinks.
+type Options struct {
+	// MaxFrame caps a frame payload in bytes; DefaultMaxFrame when 0. A
+	// length prefix beyond the cap is a protocol error: the connection
+	// is poisoned before a single payload byte is read.
+	MaxFrame int
+	// Window caps in-flight frames per connection; DefaultWindow when 0.
+	// The reader parks at the cap, so a runaway pipeliner is throttled
+	// by TCP backpressure rather than unbounded server memory.
+	Window int
+	// DecodeLat and EncodeLat, when set, receive the per-frame decode
+	// and encode+write spans — obarchd passes its existing /stats
+	// histograms so both transports share one family.
+	DecodeLat *stats.ConcurrentHistogram
+	EncodeLat *stats.ConcurrentHistogram
+	// Logf, when set, receives connection-level diagnostics (protocol
+	// errors, accept failures). Per-frame refusals are not logged; they
+	// are answered in-band and counted by the pool like HTTP refusals.
+	Logf func(format string, v ...any)
+}
+
+// Stats is a point-in-time snapshot of the transport counters, exported
+// by obarchd into the /stats "binary" block and the obarch_binary_*
+// Prometheus family.
+type Stats struct {
+	ConnsAccepted uint64 `json:"conns_accepted"`
+	ConnsActive   uint64 `json:"conns_active"`
+	FramesIn      uint64 `json:"frames_in"`
+	FramesOut     uint64 `json:"frames_out"`
+	ProtoErrors   uint64 `json:"proto_errors"`
+}
+
+// Server accepts obwire connections and feeds their frames to a
+// serve.Pool. Every connection runs one reader goroutine (read → decode
+// → Pool.Go) and one writer goroutine (await future → encode → write),
+// joined by an ordered in-flight channel: responses go out in request
+// order, many requests deep.
+type Server struct {
+	pool *serve.Pool
+	ln   net.Listener
+	opts Options
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	connsAccepted atomic.Uint64
+	connsActive   atomic.Int64
+	framesIn      atomic.Uint64
+	framesOut     atomic.Uint64
+	protoErrors   atomic.Uint64
+}
+
+// Serve starts accepting obwire connections on l, serving them from
+// pool, and returns immediately; Shutdown stops it. The listener is
+// owned by the Server from here on.
+func Serve(l net.Listener, pool *serve.Pool, opts Options) *Server {
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = DefaultMaxFrame
+	}
+	if opts.Window <= 0 {
+		opts.Window = DefaultWindow
+	}
+	s := &Server{pool: pool, ln: l, opts: opts, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr answers the listener's address — handy when it was bound to :0.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Stats snapshots the transport counters.
+func (s *Server) Stats() Stats {
+	active := s.connsActive.Load()
+	if active < 0 {
+		active = 0
+	}
+	return Stats{
+		ConnsAccepted: s.connsAccepted.Load(),
+		ConnsActive:   uint64(active),
+		FramesIn:      s.framesIn.Load(),
+		FramesOut:     s.framesOut.Load(),
+		ProtoErrors:   s.protoErrors.Load(),
+	}
+}
+
+// Shutdown closes the accept loop and drains live connections: each
+// reader is kicked off its blocking read, already-dispatched frames are
+// answered and flushed, and the writers close their connections. If ctx
+// expires first the stragglers are closed hard.
+func (s *Server) Shutdown(ctx context.Context) {
+	s.closed.Store(true)
+	s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now()) // unblock the reader mid-read
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+}
+
+func (s *Server) logf(format string, v ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, v...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return
+			}
+			s.logf("obwire: accept: %v", err)
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connsAccepted.Add(1)
+		s.connsActive.Add(1)
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// pending is one dispatched frame awaiting its response write.
+type pending struct {
+	id  uint64
+	fut *serve.Future
+}
+
+// serveConn is the per-connection reader half of the read→dispatch→write
+// loop: validate the magic, then read frames, decode them, and hand the
+// pool futures to the writer in order. Any protocol error stops the
+// reading — poisoning exactly this connection — while the writer drains
+// and answers everything already dispatched.
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.connsActive.Add(-1)
+	}()
+
+	pend := make(chan pending, s.opts.Window)
+	writerDone := make(chan struct{})
+	go s.writeLoop(c, pend, writerDone)
+
+	br := bufio.NewReaderSize(c, 1<<16)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil || string(hdr[:]) != Magic {
+		if err == nil {
+			s.protoErrors.Add(1)
+			s.logf("obwire: %s: bad magic %q", c.RemoteAddr(), hdr[:])
+		}
+		close(pend)
+		<-writerDone
+		return
+	}
+
+	// Per-connection reusable state: the frame buffer grows to the
+	// largest frame seen and stays; selectors are interned so repeat
+	// sends of the same message cost no allocation.
+	buf := make([]byte, 0, 512)
+	sels := make(map[string]string, 64)
+
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			// EOF is the client hanging up; a deadline during Shutdown
+			// is the drain kicking us out. Neither is a protocol error.
+			if err != io.EOF && !s.closed.Load() {
+				s.protoErrors.Add(1)
+				s.logf("obwire: %s: read: %v", c.RemoteAddr(), err)
+			}
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(hdr[:]))
+		if n < 1 || n > s.opts.MaxFrame {
+			s.protoErrors.Add(1)
+			s.logf("obwire: %s: frame length %d outside (0, %d]", c.RemoteAddr(), n, s.opts.MaxFrame)
+			break
+		}
+		if cap(buf) < n {
+			buf = make([]byte, 0, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			if !s.closed.Load() {
+				s.protoErrors.Add(1)
+				s.logf("obwire: %s: truncated frame: %v", c.RemoteAddr(), err)
+			}
+			break
+		}
+
+		t0 := time.Now()
+		id, req, err := s.decodeRequest(buf, sels)
+		if s.opts.DecodeLat != nil {
+			s.opts.DecodeLat.Observe(time.Since(t0))
+		}
+		if err != nil {
+			s.protoErrors.Add(1)
+			s.logf("obwire: %s: %v", c.RemoteAddr(), err)
+			break
+		}
+		s.framesIn.Add(1)
+		// Dispatch. Go never blocks: a full queue or in-flight ceiling
+		// completes the future immediately with ErrOverloaded, which the
+		// writer answers as StatusOverloaded — the same admission story
+		// as HTTP, over a cheaper wire.
+		pend <- pending{id: id, fut: s.pool.Go(req)}
+	}
+	close(pend)
+	<-writerDone
+}
+
+// decodeRequest decodes one send frame. The selector is interned in
+// sels — stable across the connection, so steady-state traffic never
+// allocates for it; args, when present, cost one slice (they outlive
+// the frame buffer in the pool's queue).
+func (s *Server) decodeRequest(b []byte, sels map[string]string) (uint64, serve.Request, error) {
+	d := dec{b: b}
+	if t := d.u8(); t != frameSend && !d.bad {
+		return 0, serve.Request{}, fmt.Errorf("obwire: unknown frame type 0x%02x", t)
+	}
+	id := d.u64()
+	req := serve.Request{
+		Receiver: d.word(),
+		Key:      d.u64(),
+		MaxSteps: d.u64(),
+		Timeout:  time.Duration(d.u64()),
+	}
+	selRaw := d.bytes(int(d.u16()))
+	nargs := int(d.u16())
+	if nargs > 0 {
+		args := make([]word.Word, nargs)
+		for i := range args {
+			args[i] = d.word()
+		}
+		req.Args = args
+	}
+	if err := d.done(); err != nil {
+		return 0, serve.Request{}, err
+	}
+	if len(selRaw) == 0 {
+		return 0, serve.Request{}, errEmptySelector
+	}
+	sel, ok := sels[string(selRaw)]
+	if !ok {
+		sel = string(selRaw)
+		if len(sels) < 4096 { // bound a hostile selector flood
+			sels[sel] = sel
+		}
+	}
+	req.Selector = sel
+	return id, req, nil
+}
+
+// writeLoop is the writer half: await each dispatched future in order,
+// encode its response into the one reusable buffer, and write it out,
+// flushing only when the pipeline runs dry — pipelined clients get
+// batched syscalls for free. A write error stops writing but not
+// waiting: the loop keeps draining futures so the reader can finish and
+// pooled result cells are always recycled.
+func (s *Server) writeLoop(c net.Conn, pend <-chan pending, done chan<- struct{}) {
+	defer close(done)
+	defer c.Close()
+	bw := bufio.NewWriterSize(c, 1<<16)
+	buf := make([]byte, 0, 256)
+	broken := false
+	for p := range pend {
+		res := p.fut.Wait()
+		if broken {
+			continue
+		}
+		t0 := time.Now()
+		buf = appendResponse(buf[:0], p.id, res)
+		_, err := bw.Write(buf)
+		if err == nil && len(pend) == 0 {
+			err = bw.Flush()
+		}
+		if s.opts.EncodeLat != nil {
+			s.opts.EncodeLat.Observe(time.Since(t0))
+		}
+		if err != nil {
+			broken = true
+			s.logf("obwire: %s: write: %v", c.RemoteAddr(), err)
+			continue
+		}
+		s.framesOut.Add(1)
+	}
+	if !broken {
+		bw.Flush()
+	}
+}
+
+var errEmptySelector = errors.New("obwire: empty selector")

@@ -16,9 +16,10 @@ import (
 	"repro/internal/flight"
 )
 
-// ErrRotating is returned by Rotate when another rotation is already in
-// progress. Rotations are operator actions; two at once is a mistake,
-// not a queue.
+// ErrRotating is returned by Rotate when another rotation — or a live
+// snapshot capture, which holds the same lock so it can never persist a
+// half-rotated image — is already in progress. Rotations are operator
+// actions; two at once is a mistake, not a queue.
 var ErrRotating = errors.New("serve: rotation already in progress")
 
 // Quiesce brings the pool to a global request boundary: it acquires
@@ -47,10 +48,20 @@ func (p *Pool) Quiesce() (release func()) {
 // event. Unlike the boot snapshot, the result reflects every mutation
 // traffic has made to shard 0's image, which is what a checkpoint is
 // for.
+//
+// Captures serialize with rotation: SnapshotLive holds rotMu for the
+// duration (the same rotMu -> execMu order Rotate uses). Without it a
+// capture could land inside a mid-swap Rotate — after shard 0 was
+// stamped onto the next image but before a later shard's failure rolled
+// everything back — and persist state the operator believes was
+// reverted. A Rotate issued while a capture is in flight returns
+// ErrRotating, exactly as if it had collided with another rotation.
 func (p *Pool) SnapshotLive() (*core.Snapshot, error) {
 	if p.closed.Load() {
 		return nil, ErrClosed
 	}
+	p.rotMu.Lock()
+	defer p.rotMu.Unlock()
 	release := p.Quiesce()
 	defer release()
 	t0 := time.Now()

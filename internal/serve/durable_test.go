@@ -284,6 +284,110 @@ func TestSnapshotLiveReflectsTraffic(t *testing.T) {
 	}
 }
 
+// TestSnapshotLiveRotateRace pins the capture/rotation exclusion rule:
+// a live snapshot must never observe a mid-swap pool. The chaos fault
+// makes every rotation swap shard 0 onto the new image and then roll it
+// back (the stamp of the last shard fails), so the pool's durable state
+// is always the old image — yet before SnapshotLive serialized with
+// Rotate via rotMu, a capture could quiesce inside the swap window and
+// freeze the new image: a checkpoint of state the operator believes was
+// reverted. Concurrent SnapshotLive/Rotate/Do loops drive the window;
+// every captured snapshot must answer as the old image.
+func TestSnapshotLiveRotateRace(t *testing.T) {
+	const workers = 2
+	old := answerSnapshot(t, 1)
+	next := answerSnapshot(t, 2)
+	pool := serve.NewPool(old, serve.Config{
+		Workers: workers,
+		// Fail the forward stamp of the last shard: shard 0 swaps to
+		// next, then the whole rotation rolls back to old.
+		Faults: &serve.Faults{RotateFailAt: workers},
+	})
+	defer pool.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Rotation loop: every attempt either loses rotMu to a capture
+	// (ErrRotating) or runs the swap-then-rollback sequence. Neither may
+	// ever commit.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := pool.Rotate(next); err == nil {
+				t.Error("chaos-injected rotation reported success")
+				return
+			}
+		}
+	}()
+
+	// Traffic loop: requests may transiently see the new image inside
+	// the swap window (zero-downtime rotation serves shard-by-shard),
+	// but must never fail outright.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		req := serve.Request{Receiver: word.FromInt(0), Selector: "answer"}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			got, err := pool.Do(req).Int()
+			if err != nil {
+				if errors.Is(err, serve.ErrOverloaded) {
+					continue
+				}
+				// ErrClosed means the main goroutine already failed and
+				// its deferred Close won; don't bury the real assertion.
+				if !errors.Is(err, serve.ErrClosed) {
+					t.Errorf("traffic: %v", err)
+				}
+				return
+			}
+			if got != 1 && got != 2 {
+				t.Errorf("traffic answered %d, want 1 or 2", got)
+				return
+			}
+		}
+	}()
+
+	// Capture loop, on the test goroutine: every snapshot must reflect
+	// the old image — a capture answering 2 froze a rolled-back swap.
+	deadline := time.Now().Add(500 * time.Millisecond)
+	captures := 0
+	for time.Now().Before(deadline) {
+		snap, err := pool.SnapshotLive()
+		if err != nil {
+			t.Fatalf("SnapshotLive: %v", err)
+		}
+		captures++
+		m := snap.NewMachine()
+		got, err := m.Send(word.FromInt(0), "answer")
+		if err != nil {
+			t.Fatalf("capture %d: %v", captures, err)
+		}
+		if v := got.Int(); v != 1 {
+			t.Fatalf("capture %d answered %d, want 1 — snapshot persisted a mid-swap image the rotation rolled back", captures, v)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if captures < 3 {
+		t.Fatalf("only %d captures in the race window; too few to exercise the interleaving", captures)
+	}
+	if met := pool.Metrics(); met.Rotations != 0 {
+		t.Fatalf("rotations = %d, want 0 (every attempt was chaos-failed)", met.Rotations)
+	}
+}
+
 // TestRotateConcurrentRefused pins the single-rotation rule: a second
 // Rotate while one is mid-swap answers ErrRotating instead of
 // interleaving half-swaps.
