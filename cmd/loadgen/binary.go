@@ -24,20 +24,50 @@ import (
 
 // binClient is one client's lazily-dialed obwire connection. A transport
 // error drops it; the next send redials — the reconnect half of the
-// retry story when the server is restarting.
+// retry story when the server is restarting. Consecutive dial failures
+// back off on the retryer's own capped exponential ladder before the
+// next attempt, so a client facing a dead address paces its redials
+// instead of spinning a tight connect loop against it.
 type binClient struct {
-	addr string
-	c    *obwire.Client
+	addr  string
+	c     *obwire.Client
+	fails int // consecutive dial failures; reset by a successful dial
+
+	// Injectable seams so the backoff schedule is unit-testable without
+	// a real listener or wall-clock sleeps.
+	dial  func(addr string) (*obwire.Client, error)
+	delay func(fails int) time.Duration
+	sleep func(time.Duration)
+}
+
+// newBinClient wires a client to the real dialer and the shared
+// retryer's backoff ladder: redials and refused-send retries pace
+// themselves off the same capped full-jitter schedule.
+func newBinClient(addr string, rt *retryer) *binClient {
+	return &binClient{
+		addr:  addr,
+		dial:  obwire.Dial,
+		delay: func(fails int) time.Duration { return rt.backoffDelay(fails-1, 0) },
+		sleep: time.Sleep,
+	}
 }
 
 func (b *binClient) ensure() error {
 	if b.c != nil {
 		return nil
 	}
-	c, err := obwire.Dial(b.addr)
+	if b.fails > 0 {
+		// Every attempt after a failure waits out the ladder first: the
+		// previous tight-loop redial could hammer a restarting server
+		// with thousands of connects per second.
+		b.sleep(b.delay(b.fails))
+	}
+	c, err := b.dial(b.addr)
 	if err != nil {
+		b.fails++
 		return err
 	}
+	b.fails = 0
 	b.c = c
 	return nil
 }
@@ -118,7 +148,7 @@ type inflightSend struct {
 // the retryer (backoff and reconnect included); deeper pipelines keep
 // the window full and classify refusals in-band.
 func (r binRun) run() {
-	bc := &binClient{addr: r.addr}
+	bc := newBinClient(r.addr, r.rt)
 	defer bc.drop()
 
 	var q []inflightSend
@@ -167,7 +197,10 @@ func (r binRun) run() {
 
 			if r.pipeline <= 1 {
 				t0 := time.Now()
-				got, err := r.rt.sendVia(func() (int32, int, error) { return bc.do(req) })
+				got, err := r.rt.sendVia(func() (int32, int, time.Duration, error) {
+					v, status, err := bc.do(req)
+					return v, status, 0, err // no Retry-After channel in-band; the ladder alone paces
+				})
 				r.record(time.Since(t0))
 				r.sent.Add(1)
 				if err != nil {

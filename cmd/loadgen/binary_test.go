@@ -151,6 +151,90 @@ func TestBinaryOverloadPipelined(t *testing.T) {
 	}
 }
 
+// TestBinClientRedialBackoff pins the reconnect pacing: the first dial
+// goes straight out, every attempt after a failure waits out the capped
+// exponential ladder first, and one success resets the schedule — so a
+// client facing a restarting server never spins a tight connect loop.
+func TestBinClientRedialBackoff(t *testing.T) {
+	var dials, sleeps int
+	var slept []time.Duration
+	alive := false
+	bc := &binClient{
+		addr: "test",
+		dial: func(string) (*obwire.Client, error) {
+			dials++
+			if !alive {
+				return nil, context.DeadlineExceeded
+			}
+			return nil, nil // nil client is fine: ensure only stores it
+		},
+		delay: func(fails int) time.Duration {
+			d := time.Millisecond << (fails - 1)
+			if d > 10*time.Millisecond {
+				d = 10 * time.Millisecond
+			}
+			return d
+		},
+		sleep: func(d time.Duration) { sleeps++; slept = append(slept, d) },
+	}
+
+	// First dial: immediate, no sleep.
+	if err := bc.ensure(); err == nil {
+		t.Fatal("dial against a dead server succeeded")
+	}
+	if dials != 1 || sleeps != 0 {
+		t.Fatalf("first attempt: dials=%d sleeps=%d, want 1/0", dials, sleeps)
+	}
+	// Failures 2..5: each waits the ladder first, doubling then capping.
+	for i := 0; i < 4; i++ {
+		bc.ensure()
+	}
+	want := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 8 * time.Millisecond}
+	if len(slept) != 4 {
+		t.Fatalf("slept %d times, want 4", len(slept))
+	}
+	for i, d := range want {
+		if slept[i] != d {
+			t.Errorf("backoff %d = %v, want %v", i, slept[i], d)
+		}
+	}
+	// Recovery: one successful dial resets the ladder...
+	alive = true
+	if err := bc.ensure(); err != nil {
+		t.Fatalf("dial after recovery: %v", err)
+	}
+	if bc.fails != 0 {
+		t.Fatalf("fails = %d after success, want 0", bc.fails)
+	}
+	// ...so the next failure starts from an immediate dial again.
+	alive, bc.c = false, nil
+	sleeps = 0
+	bc.ensure()
+	if sleeps != 0 {
+		t.Fatal("first dial after a success slept; ladder was not reset")
+	}
+}
+
+// TestBinClientSharesRetryerLadder pins that the production wiring
+// paces redials off the retryer's own backoffDelay — one schedule for
+// refused sends and dead connections alike.
+func TestBinClientSharesRetryerLadder(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	rt := &retryer{max: 0, base: 8 * time.Millisecond, rng: rng, c: &refusalCounters{}, posts: &atomic.Int64{}}
+	bc := newBinClient("127.0.0.1:1", rt)
+	for fails := 1; fails <= 12; fails++ {
+		ceil := 8 * time.Millisecond << (fails - 1)
+		if ceil > time.Second || ceil <= 0 {
+			ceil = time.Second
+		}
+		for i := 0; i < 50; i++ {
+			if d := bc.delay(fails); d <= 0 || d > ceil {
+				t.Fatalf("fails=%d: delay %v outside (0, %v]", fails, d, ceil)
+			}
+		}
+	}
+}
+
 // TestClassifyStatus pins the frame-status half of the classification
 // contract: overload and shed count by kind, everything else is a real
 // failure and stays unclassified.

@@ -678,26 +678,29 @@ func fetchPrograms(addr string) ([]program, error) {
 // send posts one message send and reports the HTTP status alongside the
 // result, so the retry loop can tell an admission refusal (429) or a
 // deadline shed (503) from a machine error. Status 0 means the request
-// never got an HTTP answer at all — a transport failure.
-func send(addr string, req sendRequest) (int32, int, error) {
+// never got an HTTP answer at all — a transport failure. The third
+// return is the server's Retry-After suggestion (0 when none), which
+// the retry loop honors as its backoff floor.
+func send(addr string, req sendRequest) (int32, int, time.Duration, error) {
 	body, _ := json.Marshal(req)
 	resp, err := http.Post(addr+"/send", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	defer resp.Body.Close()
+	ra := retryAfter(resp.Header)
 	var out sendResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return 0, resp.StatusCode, fmt.Errorf("decode /send: %w", err)
+		return 0, resp.StatusCode, ra, fmt.Errorf("decode /send: %w", err)
 	}
 	if out.Error != "" {
-		return 0, resp.StatusCode, fmt.Errorf("server error: %s", out.Error)
+		return 0, resp.StatusCode, ra, fmt.Errorf("server error: %s", out.Error)
 	}
 	f, ok := out.Result.(float64)
 	if !ok {
-		return 0, resp.StatusCode, fmt.Errorf("non-numeric result %v", out.Result)
+		return 0, resp.StatusCode, ra, fmt.Errorf("non-numeric result %v", out.Result)
 	}
-	return int32(f), resp.StatusCode, nil
+	return int32(f), resp.StatusCode, ra, nil
 }
 
 func sendBatch(addr string, reqs []sendRequest) ([]sendResponse, error) {

@@ -8,6 +8,7 @@ package main
 
 import (
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -58,16 +59,48 @@ type retryer struct {
 	posts *atomic.Int64 // every HTTP attempt, retries included
 }
 
+// maxRetryAfter caps how long a server-suggested Retry-After can hold
+// the client: honoring an arbitrary header value would let one bad
+// response park a load generator forever.
+const maxRetryAfter = 5 * time.Second
+
 // backoffDelay is full-jitter exponential backoff: uniform over
 // (0, base<<attempt], capped at one second. Full jitter (rather than
 // jitter around the midpoint) is what de-synchronises a fleet of
-// clients that were all refused by the same overload spike.
-func (r *retryer) backoffDelay(attempt int) time.Duration {
+// clients that were all refused by the same overload spike. floor, when
+// positive, is the server's own Retry-After suggestion: the jittered
+// delay never comes back sooner than the server asked (bounded by
+// maxRetryAfter), because a server that names a time knows more about
+// its recovery than our exponent does.
+func (r *retryer) backoffDelay(attempt int, floor time.Duration) time.Duration {
 	d := r.base << attempt
 	if d > time.Second || d <= 0 {
 		d = time.Second
 	}
-	return time.Duration(r.rng.Int64N(int64(d))) + 1
+	delay := time.Duration(r.rng.Int64N(int64(d))) + 1
+	if floor > maxRetryAfter {
+		floor = maxRetryAfter
+	}
+	if delay < floor {
+		delay = floor
+	}
+	return delay
+}
+
+// retryAfter reads a response's Retry-After header as a delay floor:
+// delta-seconds per RFC 9110 (the only form obarchd and obrouter emit),
+// 0 when absent or unparseable. The HTTP-date form is deliberately
+// ignored rather than guessed at.
+func retryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // retryable classifies one attempt's outcome into the refusal counters
@@ -96,20 +129,22 @@ func (r *retryer) retryable(status int, err error) bool {
 // back off and retry until they stick or the budget runs out, and the
 // returned error is the last attempt's. The attempt reports an
 // HTTP-equivalent status (0 for transport failure), which is how the
-// binary transport shares this loop and its counters with the HTTP one.
-func (r *retryer) sendVia(via func() (int32, int, error)) (int32, error) {
+// binary transport shares this loop and its counters with the HTTP one,
+// plus the server's Retry-After suggestion (0 when none) as the backoff
+// floor for the next attempt.
+func (r *retryer) sendVia(via func() (int32, int, time.Duration, error)) (int32, error) {
 	for attempt := 0; ; attempt++ {
-		val, status, err := via()
+		val, status, floor, err := via()
 		r.posts.Add(1)
 		if !r.retryable(status, err) || attempt >= r.max {
 			return val, err
 		}
 		r.c.retries.Add(1)
-		time.Sleep(r.backoffDelay(attempt))
+		time.Sleep(r.backoffDelay(attempt, floor))
 	}
 }
 
 // send posts one HTTP request through the retry loop.
 func (r *retryer) send(addr string, req sendRequest) (int32, error) {
-	return r.sendVia(func() (int32, int, error) { return send(addr, req) })
+	return r.sendVia(func() (int32, int, time.Duration, error) { return send(addr, req) })
 }

@@ -29,7 +29,7 @@ func TestBackoffDelay(t *testing.T) {
 			ceil = time.Second
 		}
 		for i := 0; i < 200; i++ {
-			d := rt.backoffDelay(attempt)
+			d := rt.backoffDelay(attempt, 0)
 			if d <= 0 || d > ceil {
 				t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, ceil)
 			}
@@ -37,8 +37,82 @@ func TestBackoffDelay(t *testing.T) {
 	}
 	// A base so large the shift overflows must still cap, not wedge.
 	rt.base = time.Duration(1) << 60
-	if d := rt.backoffDelay(5); d <= 0 || d > time.Second {
+	if d := rt.backoffDelay(5, 0); d <= 0 || d > time.Second {
 		t.Fatalf("overflowing base: delay %v outside (0, 1s]", d)
+	}
+}
+
+// TestBackoffDelayRetryAfterFloor pins the server-suggested floor: a
+// jittered delay never undercuts the Retry-After the server named, and
+// a hostile floor is bounded by maxRetryAfter rather than honored.
+func TestBackoffDelayRetryAfterFloor(t *testing.T) {
+	rt, _, _ := newRetryer(10, time.Microsecond)
+	for i := 0; i < 200; i++ {
+		if d := rt.backoffDelay(0, 50*time.Millisecond); d < 50*time.Millisecond {
+			t.Fatalf("delay %v undercut the 50ms Retry-After floor", d)
+		}
+	}
+	// A floor below the jittered draw must not drag the delay down.
+	rt.base = 400 * time.Millisecond
+	saw := false
+	for i := 0; i < 200; i++ {
+		if d := rt.backoffDelay(1, time.Millisecond); d > time.Millisecond {
+			saw = true
+			break
+		}
+	}
+	if !saw {
+		t.Fatal("a 1ms floor clamped every delay down to it")
+	}
+	if d := rt.backoffDelay(0, time.Hour); d > maxRetryAfter {
+		t.Fatalf("hostile Retry-After honored beyond the %v cap: %v", maxRetryAfter, d)
+	}
+}
+
+// TestRetryAfterHeader pins the header parse: delta-seconds in, 0 for
+// absent, garbage, negative, or the HTTP-date form.
+func TestRetryAfterHeader(t *testing.T) {
+	mk := func(v string) http.Header {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return h
+	}
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"1", time.Second},
+		{" 2 ", 2 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"soon", 0},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0},
+	}
+	for _, c := range cases {
+		if got := retryAfter(mk(c.in)); got != c.want {
+			t.Errorf("retryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestSendSurfacesRetryAfter pins that the HTTP attempt hands the
+// header through to the retry loop as its floor.
+func TestSendSurfacesRetryAfter(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintln(w, `{"result":null,"error":"serve: pool overloaded","worker":0}`)
+	}))
+	defer ts.Close()
+	_, status, floor, err := send(ts.URL, sendRequest{Receiver: 1, Selector: "x"})
+	if err == nil || status != http.StatusTooManyRequests {
+		t.Fatalf("refusal: status=%d err=%v", status, err)
+	}
+	if floor != time.Second {
+		t.Fatalf("floor = %v, want 1s from the Retry-After header", floor)
 	}
 }
 
@@ -49,7 +123,8 @@ func TestRetrySendEventuallySucceeds(t *testing.T) {
 	var hits atomic.Int64
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if hits.Add(1) <= 2 {
-			w.Header().Set("Retry-After", "1")
+			// No Retry-After here: with the header honored as a backoff
+			// floor, setting it would make this test sleep for real.
 			w.WriteHeader(http.StatusTooManyRequests)
 			fmt.Fprintln(w, `{"result":null,"error":"serve: pool overloaded","worker":0}`)
 			return
@@ -80,7 +155,7 @@ func TestRetrySendEventuallySucceeds(t *testing.T) {
 // refusal surfaces as the error.
 func TestRetrySendBudgetExhausted(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Retry-After", "1")
+		// No Retry-After: honored as a floor, it would slow this test.
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, `{"result":null,"error":"serve: deadline expired before dispatch","worker":0}`)
 	}))

@@ -137,6 +137,36 @@
 //	                  3 (shed, as 503 — retry elsewhere) carry the error
 //	                  text; /stats gains a "binary" block and /metrics an
 //	                  obarch_binary_* family for its transport counters
+//	obwire ping       liveness frame answered in queue order — a pong
+//	                  proves the read→dispatch→write loop itself is
+//	                  serving, which is what the cluster router's
+//	                  half-open probe requires before trusting a node
+//
+// Cluster serving. cmd/obrouter fronts N obarchd nodes with the same
+// client wire shapes: affinity keys consistent-hash onto the node ring
+// over multiplexed obwire connections, keyless sends extend the pool's
+// power-of-two-choices JSQ to cluster level from polled queue_depths,
+// and per-node health state machines driven by the /readyz reasons
+// above (a node answering "draining" or "rotating" is unroutable but
+// not broken) plus in-band refusal statuses open per-node circuit
+// breakers and fail retryable refusals over to the next ring node.
+// Router endpoints, for clients that talk to the cluster rather than
+// one node:
+//
+//	POST /send         routed by key or cluster JSQ; retryable refusals
+//	                   (429/503/transport) fail over across the ring
+//	                   before any refusal escapes to the client; 502 on
+//	                   a terminal transport error, 503 + Retry-After
+//	                   when no backend is routable
+//	POST /batch        the array form, routed per-element concurrently
+//	POST /nodes/join   add a node to the ring live (409 if a member)
+//	POST /nodes/leave  remove a node; its in-flight sends finish
+//	GET  /stats        cluster block: per-node health/breaker/failover
+//	                   counters, routable count, quorum
+//	GET  /metrics      the obarch_cluster_* Prometheus family
+//	GET  /readyz       200 while a majority of backends is routable;
+//	                   503 "no-quorum" after losing the majority,
+//	                   "draining" during the router's own shutdown
 package main
 
 import (

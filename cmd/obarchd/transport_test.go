@@ -175,6 +175,89 @@ func TestMixedTransportChaosSoak(t *testing.T) {
 	}
 }
 
+// TestDrainAnswersInFlightBinaryFrames pins the shutdown ordering the
+// daemon promises: the HTTP listener closing first must not strand the
+// binary side — every frame already pipelined into the obwire window
+// when graceful drain begins is answered and flushed before the
+// connection closes. Stall faults keep the pool slow enough that the
+// window is genuinely in flight (dispatched, unanswered) at drain time;
+// under -race this also exercises the drain path against the serving
+// path.
+func TestDrainAnswersInFlightBinaryFrames(t *testing.T) {
+	h, pool := newConfigServer(t, serve.Config{
+		Workers:    1,
+		QueueDepth: 64,
+		Timeout:    30 * time.Second,
+		Faults: &serve.Faults{
+			Seed:       3,
+			StallEvery: 1,
+			Stall:      2 * time.Millisecond,
+		},
+	})
+	defer pool.Close()
+	ts := httptest.NewServer(h)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := obwire.Serve(l, pool, obwire.Options{})
+
+	c, err := obwire.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Fill a window: with one stalled worker, most of these are still
+	// queued or executing when the drain starts. The receiver is kept
+	// small so the work itself is cheap — the stall fault, not the
+	// program, is what holds the window open.
+	const inFlight = 32
+	for i := 0; i < inFlight; i++ {
+		if _, err := c.Send(serve.Request{Receiver: word.FromInt(8), Selector: "benchRecurse"}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+
+	// The daemon's shutdown order: the HTTP listener is already gone
+	// before the binary listener drains. Closing the test server hard
+	// proves the binary drain owes nothing to the HTTP side.
+	ts.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		bin.Shutdown(t.Context())
+	}()
+
+	// Every pipelined frame must come back, in order, with a real
+	// status — none dropped, none stranded behind the closed listener.
+	for i := 0; i < inFlight; i++ {
+		resp, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %d during drain: %v (frame stranded)", i, err)
+		}
+		if resp.ID != uint64(i) {
+			t.Fatalf("recv %d: frame id %d out of order", i, resp.ID)
+		}
+		if resp.Status != obwire.StatusOK {
+			t.Fatalf("recv %d: status %d: %s", i, resp.Status, resp.Err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("binary shutdown never finished after answering the window")
+	}
+
+	bs := bin.Stats()
+	if bs.FramesIn != inFlight || bs.FramesOut != inFlight {
+		t.Fatalf("frames in/out = %d/%d, want %d/%d", bs.FramesIn, bs.FramesOut, inFlight, inFlight)
+	}
+	if bs.ProtoErrors != 0 {
+		t.Fatalf("proto_errors %d during graceful drain", bs.ProtoErrors)
+	}
+}
+
 // statusFromFrame maps an obwire frame status onto the HTTP status the
 // same outcome would have produced, pinning the cross-transport contract
 // the doc table promises.

@@ -1,0 +1,481 @@
+// Command obrouter is the cluster front tier: one HTTP face over N
+// obarchd nodes, speaking obwire to each over a small pool of
+// persistent multiplexed connections. Clients keep the single-node
+// wire shapes — POST /send and /batch bodies and responses are
+// byte-compatible with obarchd's — and gain the cluster semantics:
+//
+//   - Affinity keys consistent-hash onto the node ring (vnode ring,
+//     stable under membership change), so a key's quarantine history,
+//     pinned worker, and cache warmth stay on one node. Keyless sends
+//     join the shortest queue cluster-wide via power-of-two-choices
+//     over each node's polled queue depths.
+//   - Per-node health state machines (healthy → suspect → down →
+//     half-open probe) fuse the slow signals — /readyz and /stats
+//     polls — with the fast ones: transport errors and in-band
+//     refusals on the data path. Sustained hard failures open a
+//     per-node circuit breaker; after a cooldown, one half-open probe
+//     (readyz + an obwire ping, so the data plane is proven too)
+//     closes it again.
+//   - Retryable outcomes — transport errors, admission refusals (429),
+//     sheds (503) — fail over to the next candidate node within a
+//     budget; machine errors (422) never do (the send executed).
+//     A node killed mid-traffic costs its in-flight sends one failover
+//     each, invisibly to well-behaved clients.
+//   - Node join/leave (POST /nodes/join, /nodes/leave) reshapes the
+//     ring without dropping in-flight work.
+//
+// Endpoints:
+//
+//	POST /send         single-node wire shape; routed by key or JSQ,
+//	                   failed over on retryable refusals; 502 when the
+//	                   send died on the wire with the budget spent,
+//	                   503 + Retry-After when no routable backend exists
+//	POST /batch        the array form, routed per-element concurrently
+//	POST /nodes/join   {"http_addr": "...", "bin_addr": "..."} — add a
+//	                   node; it starts receiving traffic when it polls
+//	                   ready
+//	POST /nodes/leave  {"bin_addr": "..."} — remove a node; in-flight
+//	                   sends finish, new sends stop immediately
+//	GET  /programs     proxied from the first routable node
+//	GET  /stats        router identity plus the cluster block: per-node
+//	                   health/breaker/failover counters, routable count,
+//	                   quorum
+//	GET  /metrics      Prometheus text exposition (obarch_cluster_*)
+//	GET  /healthz      liveness: 200 while the process serves HTTP
+//	GET  /readyz       readiness: 200 while a majority of backends is
+//	                   routable; 503 "no-quorum" when the cluster has
+//	                   lost its majority, "draining" during shutdown
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obwire"
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/word"
+)
+
+func main() {
+	addr := flag.String("addr", ":8374", "listen address")
+	nodes := flag.String("nodes", "", "backend nodes as HTTPADDR=BINADDR,... (e.g. 127.0.0.1:8373=127.0.0.1:9373)")
+	conns := flag.Int("conns", 2, "obwire connections per node")
+	poll := flag.Duration("poll", 500*time.Millisecond, "health/depth poll interval per node")
+	failThreshold := flag.Int("failthreshold", 3, "consecutive hard failures that open a node's breaker")
+	cooldown := flag.Duration("cooldown", 2*time.Second, "breaker-open time before the half-open probe")
+	budget := flag.Int("failover-budget", 0, "max routing attempts per send (0: node count)")
+	vnodes := flag.Int("vnodes", 64, "consistent-hash points per node")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
+	flag.Parse()
+
+	specs, err := parseNodes(*nodes)
+	if err != nil {
+		log.Fatalf("obrouter: -nodes: %v", err)
+	}
+	if len(specs) == 0 {
+		log.Fatalf("obrouter: -nodes is required (HTTPADDR=BINADDR,...)")
+	}
+
+	r := cluster.New(cluster.Config{
+		Nodes:          specs,
+		ConnsPerNode:   *conns,
+		PollInterval:   *poll,
+		FailThreshold:  *failThreshold,
+		Cooldown:       *cooldown,
+		FailoverBudget: *budget,
+		Vnodes:         *vnodes,
+		Logf:           log.Printf,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("obrouter: %v", err)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	h := newRouterServer(r)
+	srv := &http.Server{Handler: h}
+	go func() {
+		if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("obrouter: %v", err)
+		}
+	}()
+	log.Printf("obrouter: serving on %s over %d nodes", l.Addr(), len(specs))
+
+	<-sig
+	log.Printf("obrouter: draining (budget %v)", *drain)
+	h.draining.Store(true) // /readyz flips first so balancers stop routing here
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("obrouter: drain: %v", err)
+	}
+	r.Close()
+	log.Printf("obrouter: stopped")
+}
+
+// parseNodes parses the -nodes flag: comma-separated HTTPADDR=BINADDR
+// pairs.
+func parseNodes(s string) ([]cluster.NodeSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var specs []cluster.NodeSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		httpAddr, binAddr, ok := strings.Cut(part, "=")
+		if !ok || httpAddr == "" || binAddr == "" {
+			return nil, fmt.Errorf("node %q: want HTTPADDR=BINADDR", part)
+		}
+		specs = append(specs, cluster.NodeSpec{HTTPAddr: httpAddr, BinAddr: binAddr})
+	}
+	return specs, nil
+}
+
+// sendRequest mirrors obarchd's wire form of one message send, so a
+// client pointed at the router instead of a node changes nothing.
+type sendRequest struct {
+	Receiver  json.Number   `json:"receiver"`
+	Selector  string        `json:"selector"`
+	Args      []json.Number `json:"args,omitempty"`
+	Key       uint64        `json:"key,omitempty"`
+	MaxSteps  uint64        `json:"max_steps,omitempty"`
+	TimeoutMS int64         `json:"timeout_ms,omitempty"`
+}
+
+// sendResponse mirrors obarchd's result wire form.
+type sendResponse struct {
+	Result    any    `json:"result"`
+	Error     string `json:"error,omitempty"`
+	Worker    int    `json:"worker"`
+	Steps     uint64 `json:"steps"`
+	Cycles    uint64 `json:"cycles"`
+	LatencyUS int64  `json:"latency_us"`
+}
+
+// routerServer is the HTTP face of a cluster.Router, split from main so
+// tests drive it through httptest.
+type routerServer struct {
+	r        *cluster.Router
+	mux      *http.ServeMux
+	start    time.Time
+	draining atomic.Bool
+	sendLat  stats.ConcurrentHistogram
+	proxy    *http.Client
+}
+
+func newRouterServer(r *cluster.Router) *routerServer {
+	s := &routerServer{
+		r:     r,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		proxy: &http.Client{Timeout: 5 * time.Second},
+	}
+	s.mux.HandleFunc("POST /send", s.handleSend)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("POST /nodes/join", s.handleJoin)
+	s.mux.HandleFunc("POST /nodes/leave", s.handleLeave)
+	s.mux.HandleFunc("GET /programs", s.handlePrograms)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	return s
+}
+
+func (s *routerServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// handleReady is the router's readiness: draining during shutdown,
+// no-quorum when a majority of backends is unroutable — both 503, so a
+// balancer in front of several routers steers around this one.
+func (s *routerServer) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if ok, routable, total := s.r.Ready(); !ok {
+		http.Error(w, fmt.Sprintf("no-quorum (%d/%d routable)", routable, total), http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// wordOf mirrors obarchd's JSON-number-to-machine-word conversion.
+func wordOf(n json.Number) (word.Word, error) {
+	if strings.ContainsAny(n.String(), ".eE") {
+		f, err := n.Float64()
+		if err != nil {
+			return word.Word{}, fmt.Errorf("bad number %q", n.String())
+		}
+		return word.FromFloat(float32(f)), nil
+	}
+	i, err := n.Int64()
+	if err != nil {
+		return word.Word{}, fmt.Errorf("integer %q outside the 32-bit machine word", n.String())
+	}
+	if int64(int32(i)) != i {
+		return word.Word{}, fmt.Errorf("integer %d outside the 32-bit machine word", i)
+	}
+	return word.FromInt(int32(i)), nil
+}
+
+// jsonOf mirrors obarchd's machine-word-to-JSON conversion.
+func jsonOf(v word.Word) any {
+	if i, ok := v.IntOK(); ok {
+		return i
+	}
+	if f, ok := v.FloatOK(); ok {
+		return f
+	}
+	switch v {
+	case word.True:
+		return true
+	case word.False:
+		return false
+	case word.Nil:
+		return nil
+	}
+	return v.String()
+}
+
+// toRequest converts one wire send into a pool request.
+func toRequest(req sendRequest) (serve.Request, error) {
+	if req.Selector == "" {
+		return serve.Request{}, fmt.Errorf("missing selector")
+	}
+	recv, err := wordOf(req.Receiver)
+	if err != nil {
+		return serve.Request{}, err
+	}
+	out := serve.Request{
+		Receiver: recv,
+		Selector: req.Selector,
+		Key:      req.Key,
+		MaxSteps: req.MaxSteps,
+	}
+	if req.TimeoutMS > 0 {
+		out.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if len(req.Args) > 0 {
+		out.Args = make([]word.Word, len(req.Args))
+		for i, a := range req.Args {
+			if out.Args[i], err = wordOf(a); err != nil {
+				return serve.Request{}, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// httpStatus maps one routed outcome to its HTTP answer, preserving the
+// single-node status taxonomy: frame statuses map exactly as obarchd's
+// statusFor maps pool errors, ErrNoBackends and exhausted transport
+// errors become the cluster-level refusals.
+func httpStatus(resp obwire.Response, err error) int {
+	switch {
+	case errors.Is(err, cluster.ErrNoBackends):
+		return http.StatusServiceUnavailable
+	case err != nil:
+		return http.StatusBadGateway
+	}
+	switch resp.Status {
+	case obwire.StatusOK:
+		return http.StatusOK
+	case obwire.StatusOverloaded:
+		return http.StatusTooManyRequests
+	case obwire.StatusShed:
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
+}
+
+// toResponse converts a routed outcome to the wire result.
+func toResponse(resp obwire.Response, err error) sendResponse {
+	if err != nil {
+		return sendResponse{Error: err.Error()}
+	}
+	out := sendResponse{
+		Error:     resp.Err,
+		Worker:    int(resp.Worker),
+		Steps:     resp.Steps,
+		Cycles:    resp.Cycles,
+		LatencyUS: resp.Latency.Microseconds(),
+	}
+	if resp.OK() {
+		out.Result = jsonOf(resp.Value)
+	}
+	return out
+}
+
+// route sends one request through the cluster and writes the HTTP
+// answer.
+func (s *routerServer) route(w http.ResponseWriter, req serve.Request) {
+	t0 := time.Now()
+	resp, err := s.r.Send(req)
+	s.sendLat.Observe(time.Since(t0))
+	status := httpStatus(resp, err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		// Same contract as a single node: transient by construction, so
+		// tell the client when to come back.
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, toResponse(resp, err))
+}
+
+func (s *routerServer) handleSend(w http.ResponseWriter, r *http.Request) {
+	var req sendRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.UseNumber()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, "bad request: "+err.Error()), http.StatusBadRequest)
+		return
+	}
+	poolReq, err := toRequest(req)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)
+		return
+	}
+	s.route(w, poolReq)
+}
+
+// handleBatch routes each element of the array concurrently — elements
+// may land on different nodes — and answers the result array in request
+// order, per-element failures inline, matching the single-node shape.
+func (s *routerServer) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var reqs []sendRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.UseNumber()
+	if err := dec.Decode(&reqs); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, "bad request: "+err.Error()), http.StatusBadRequest)
+		return
+	}
+	out := make([]sendResponse, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		poolReq, err := toRequest(reqs[i])
+		if err != nil {
+			out[i] = sendResponse{Error: err.Error()}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, req serve.Request) {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := s.r.Send(req)
+			s.sendLat.Observe(time.Since(t0))
+			out[i] = toResponse(resp, err)
+		}(i, poolReq)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *routerServer) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var spec struct {
+		HTTPAddr string `json:"http_addr"`
+		BinAddr  string `json:"bin_addr"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&spec); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)
+		return
+	}
+	if spec.HTTPAddr == "" || spec.BinAddr == "" {
+		http.Error(w, `{"error":"http_addr and bin_addr are required"}`, http.StatusBadRequest)
+		return
+	}
+	if err := s.r.Join(cluster.NodeSpec{HTTPAddr: spec.HTTPAddr, BinAddr: spec.BinAddr}); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusConflict)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"joined": spec.BinAddr, "nodes": len(s.r.Nodes())})
+}
+
+func (s *routerServer) handleLeave(w http.ResponseWriter, r *http.Request) {
+	var spec struct {
+		BinAddr string `json:"bin_addr"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&spec); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)
+		return
+	}
+	if err := s.r.Leave(spec.BinAddr); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"left": spec.BinAddr, "nodes": len(s.r.Nodes())})
+}
+
+// handlePrograms proxies the workload listing from the first routable
+// node — every node serves the same image, so any answer is the
+// cluster's answer.
+func (s *routerServer) handlePrograms(w http.ResponseWriter, _ *http.Request) {
+	for _, n := range s.r.Nodes() {
+		if !n.Routable() {
+			continue
+		}
+		resp, err := s.proxy.Get("http://" + n.HTTPAddr + "/programs")
+		if err != nil {
+			continue
+		}
+		defer resp.Body.Close()
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		return
+	}
+	http.Error(w, `{"error":"no routable backends"}`, http.StatusServiceUnavailable)
+}
+
+func (s *routerServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+	ok, routable, total := s.r.Ready()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cluster":    s.r.Stats(),
+		"ready":      ok && !s.draining.Load(),
+		"routable":   routable,
+		"nodes":      total,
+		"send_us":    percentiles(s.sendLat.Snapshot()),
+		"start_time": s.start.UTC().Format(time.RFC3339Nano),
+		"uptime_s":   time.Since(s.start).Seconds(),
+	})
+}
+
+func percentiles(h stats.Histogram) map[string]any {
+	return map[string]any{
+		"count": h.Count(),
+		"p50":   h.Quantile(0.50).Microseconds(),
+		"p90":   h.Quantile(0.90).Microseconds(),
+		"p99":   h.Quantile(0.99).Microseconds(),
+		"p999":  h.Quantile(0.999).Microseconds(),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		log.Printf("obrouter: write response: %v", err)
+	}
+}

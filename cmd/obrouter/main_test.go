@@ -1,0 +1,376 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	obarch "repro"
+	"repro/internal/cluster"
+	"repro/internal/obwire"
+	"repro/internal/serve"
+)
+
+// backend is one in-process obarchd stand-in: a pool on a doubling
+// image, an obwire listener, and a minimal control plane (/readyz,
+// /stats, /programs).
+type backend struct {
+	pool *serve.Pool
+	srv  *obwire.Server
+	web  *httptest.Server
+}
+
+func doubleSnapshot(t testing.TB) *obarch.Snapshot {
+	t.Helper()
+	sys := obarch.NewSystem(obarch.Options{})
+	if err := sys.Load(`extend SmallInt [ method double [ ^self + self ] ]`); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func startBackend(t testing.TB, snap *obarch.Snapshot, cfg serve.Config) *backend {
+	t.Helper()
+	bk := &backend{pool: serve.NewPool(snap, cfg)}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.srv = obwire.Serve(l, bk.pool, obwire.Options{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"queue_depths":[0],"in_flight":0}`)
+	})
+	mux.HandleFunc("/programs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `[{"name":"double","entry":"double"}]`)
+	})
+	bk.web = httptest.NewServer(mux)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		bk.srv.Shutdown(ctx)
+		cancel()
+		bk.pool.Close()
+		bk.web.Close()
+	})
+	return bk
+}
+
+func (bk *backend) spec() cluster.NodeSpec {
+	return cluster.NodeSpec{
+		HTTPAddr: bk.web.Listener.Addr().String(),
+		BinAddr:  bk.srv.Addr().String(),
+	}
+}
+
+func startRouter(t testing.TB, backends ...*backend) (*cluster.Router, *httptest.Server) {
+	t.Helper()
+	cfg := cluster.Config{
+		PollInterval:  25 * time.Millisecond,
+		FailThreshold: 2,
+		Cooldown:      100 * time.Millisecond,
+		Vnodes:        16,
+	}
+	for _, bk := range backends {
+		cfg.Nodes = append(cfg.Nodes, bk.spec())
+	}
+	r := cluster.New(cfg)
+	web := httptest.NewServer(newRouterServer(r))
+	t.Cleanup(func() {
+		web.Close()
+		r.Close()
+	})
+	return r, web
+}
+
+func postSend(t *testing.T, url string, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/send", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp, out
+}
+
+// TestParseNodes pins the -nodes flag grammar.
+func TestParseNodes(t *testing.T) {
+	specs, err := parseNodes("a:1=b:2, c:3=d:4 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].HTTPAddr != "a:1" || specs[0].BinAddr != "b:2" || specs[1].HTTPAddr != "c:3" {
+		t.Fatalf("parsed %+v", specs)
+	}
+	if _, err := parseNodes("justoneaddr"); err == nil {
+		t.Fatal("missing = accepted")
+	}
+	if specs, err := parseNodes(""); err != nil || specs != nil {
+		t.Fatalf("empty flag: %v %v", specs, err)
+	}
+}
+
+// TestHTTPSendThroughRouter drives the whole front tier over HTTP: the
+// single-node wire shape in, routed over obwire, the single-node wire
+// shape out.
+func TestHTTPSendThroughRouter(t *testing.T) {
+	snap := doubleSnapshot(t)
+	a := startBackend(t, snap, serve.Config{Workers: 2, Timeout: 10 * time.Second})
+	b := startBackend(t, snap, serve.Config{Workers: 2, Timeout: 10 * time.Second})
+	_, web := startRouter(t, a, b)
+
+	resp, out := postSend(t, web.URL, `{"receiver": 21, "selector": "double"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	if out["result"] != float64(42) {
+		t.Fatalf("result = %v, want 42", out["result"])
+	}
+	if out["error"] != nil {
+		t.Fatalf("unexpected error: %v", out["error"])
+	}
+
+	// Machine errors keep their 422 and are never failed over.
+	resp, out = postSend(t, web.URL, `{"receiver": 21, "selector": "nosuch"}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("machine error status %d, want 422 (%v)", resp.StatusCode, out)
+	}
+
+	// Bad requests are refused at the router, touching no backend.
+	r2, err := http.Post(web.URL+"/send", "application/json", strings.NewReader(`{"selector":""}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty selector status %d, want 400", r2.StatusCode)
+	}
+}
+
+// TestHTTPBatchThroughRouter routes an array body, elements landing
+// wherever the balancer sends them, results in request order.
+func TestHTTPBatchThroughRouter(t *testing.T) {
+	snap := doubleSnapshot(t)
+	a := startBackend(t, snap, serve.Config{Workers: 2, Timeout: 10 * time.Second})
+	b := startBackend(t, snap, serve.Config{Workers: 2, Timeout: 10 * time.Second})
+	_, web := startRouter(t, a, b)
+
+	var body bytes.Buffer
+	body.WriteString(`[`)
+	for i := 0; i < 32; i++ {
+		if i > 0 {
+			body.WriteString(",")
+		}
+		fmt.Fprintf(&body, `{"receiver": %d, "selector": "double"}`, i)
+	}
+	body.WriteString(`]`)
+	resp, err := http.Post(web.URL+"/batch", "application/json", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []sendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 32 {
+		t.Fatalf("%d results, want 32", len(out))
+	}
+	for i, r := range out {
+		if r.Error != "" {
+			t.Fatalf("batch[%d]: %s", i, r.Error)
+		}
+		if r.Result != float64(2*i) {
+			t.Fatalf("batch[%d] = %v, want %d", i, r.Result, 2*i)
+		}
+	}
+}
+
+// TestRouterObservability exercises /stats, /metrics, /readyz,
+// /healthz, and /programs: the obarchd-parity surface.
+func TestRouterObservability(t *testing.T) {
+	snap := doubleSnapshot(t)
+	a := startBackend(t, snap, serve.Config{Workers: 2, Timeout: 10 * time.Second})
+	_, web := startRouter(t, a)
+
+	for i := 0; i < 10; i++ {
+		resp, out := postSend(t, web.URL, `{"receiver": 1, "selector": "double"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("send %d: %d %v", i, resp.StatusCode, out)
+		}
+	}
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(web.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp, sb.String()
+	}
+
+	resp, body := get("/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats: %d", resp.StatusCode)
+	}
+	var st struct {
+		Cluster cluster.Stats `json:"cluster"`
+		Ready   bool          `json:"ready"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/stats decode: %v", err)
+	}
+	if st.Cluster.Sends != 10 || len(st.Cluster.Nodes) != 1 || !st.Ready {
+		t.Fatalf("/stats cluster block: sends=%d nodes=%d ready=%v", st.Cluster.Sends, len(st.Cluster.Nodes), st.Ready)
+	}
+	if st.Cluster.Nodes[0].Completed != 10 {
+		t.Fatalf("node completed = %d, want 10", st.Cluster.Nodes[0].Completed)
+	}
+
+	resp, body = get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"obarch_cluster_sends_total 10",
+		"obarch_cluster_quorum 1",
+		"obarch_cluster_node_state{",
+		"obarch_cluster_node_completed_total{",
+		"obarch_cluster_send_seconds_count 10",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if resp, _ := get("/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz: %d, want 200", resp.StatusCode)
+	}
+	if resp, _ := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %d", resp.StatusCode)
+	}
+	resp, body = get("/programs")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "double") {
+		t.Fatalf("/programs: %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestRouterReadyzQuorum pins the quorum answer: alive with a majority
+// routable, 503 "no-quorum" once the majority is gone.
+func TestRouterReadyzQuorum(t *testing.T) {
+	snap := doubleSnapshot(t)
+	a := startBackend(t, snap, serve.Config{Workers: 1, Timeout: 10 * time.Second})
+	r, web := startRouter(t, a)
+
+	// Kill the only backend; the poller opens its breaker.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	a.srv.Shutdown(ctx)
+	cancel()
+	a.web.CloseClientConnections()
+	a.web.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(web.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, 256)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if !strings.Contains(string(body[:n]), "no-quorum") {
+				t.Fatalf("/readyz body %q, want no-quorum", body[:n])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never flipped to 503 after the only backend died")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if ok, _, _ := r.Ready(); ok {
+		t.Fatal("Router.Ready() still true")
+	}
+	// Sends now answer 503 + Retry-After: the no-backend refusal.
+	resp, out := postSend(t, web.URL, `{"receiver": 1, "selector": "double"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("send with no backends: %d %v, want 503", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("no Retry-After on the no-backend refusal")
+	}
+}
+
+// TestNodesJoinLeaveHTTP drives membership over the admin endpoints.
+func TestNodesJoinLeaveHTTP(t *testing.T) {
+	snap := doubleSnapshot(t)
+	a := startBackend(t, snap, serve.Config{Workers: 2, Timeout: 10 * time.Second})
+	b := startBackend(t, snap, serve.Config{Workers: 2, Timeout: 10 * time.Second})
+	r, web := startRouter(t, a)
+
+	spec := b.spec()
+	body := fmt.Sprintf(`{"http_addr": %q, "bin_addr": %q}`, spec.HTTPAddr, spec.BinAddr)
+	resp, err := http.Post(web.URL+"/nodes/join", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join: %d", resp.StatusCode)
+	}
+	if len(r.Nodes()) != 2 {
+		t.Fatalf("membership %d after join, want 2", len(r.Nodes()))
+	}
+	// Duplicate join conflicts.
+	resp, _ = http.Post(web.URL+"/nodes/join", "application/json", strings.NewReader(body))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate join: %d, want 409", resp.StatusCode)
+	}
+
+	resp, err = http.Post(web.URL+"/nodes/leave", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"bin_addr": %q}`, spec.BinAddr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("leave: %d", resp.StatusCode)
+	}
+	if len(r.Nodes()) != 1 {
+		t.Fatalf("membership %d after leave, want 1", len(r.Nodes()))
+	}
+	// Traffic still flows on the survivor.
+	if resp, out := postSend(t, web.URL, `{"receiver": 3, "selector": "double"}`); resp.StatusCode != http.StatusOK || out["result"] != float64(6) {
+		t.Fatalf("send after leave: %d %v", resp.StatusCode, out)
+	}
+}

@@ -1,0 +1,476 @@
+// Package cluster is the fault-tolerant front tier over a set of
+// obarchd nodes: a consistent-hash ring for affinity keys, cluster-wide
+// power-of-two-choices JSQ for keyless sends, per-node health machines
+// with circuit breakers, and budget-bounded failover of retryable
+// refusals — so one node dying mid-traffic is a routing event, not a
+// client-visible outage.
+//
+// The Router speaks obwire to its backends (one small pool of
+// multiplexed connections per node) and polls each node's HTTP control
+// plane: /readyz for health, /stats for queue depths. Signals from the
+// data path (transport errors, in-band refusals) feed the same health
+// machine, so a killed node is suspected on the first lost frame rather
+// than at the next poll tick.
+//
+// Failover policy follows the refusal taxonomy end to end: transport
+// errors and shed responses (StatusShed — the work expired unexecuted)
+// fail over to the next candidate; overload refusals (StatusOverloaded
+// — refused at admission, nothing ran) likewise; machine errors never
+// do (the send executed and failed — retrying it elsewhere would be a
+// correctness bug, not resilience). The failover budget bounds the
+// walk, so a cluster-wide brownout degrades into fast refusals instead
+// of retry storms.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obwire"
+	"repro/internal/serve"
+)
+
+// ErrNoBackends is returned by Send when no routable node exists (all
+// down, draining, or removed). It is a retryable condition: the router
+// surfaces it as 503 + Retry-After, and recovery needs only one
+// half-open probe to succeed.
+var ErrNoBackends = errors.New("cluster: no routable backends")
+
+// NodeSpec names one backend: its HTTP control plane and obwire data
+// plane addresses.
+type NodeSpec struct {
+	HTTPAddr string
+	BinAddr  string
+}
+
+// Config tunes a Router. Zero values take the documented defaults.
+type Config struct {
+	// Nodes is the initial membership.
+	Nodes []NodeSpec
+	// ConnsPerNode sizes each node's mux connection pool (default 2:
+	// one connection saturates far beyond a node's serving capacity,
+	// the second rides through a single conn dying).
+	ConnsPerNode int
+	// PollInterval spaces the per-node /readyz + /stats polls
+	// (default 500ms).
+	PollInterval time.Duration
+	// FailThreshold is how many consecutive hard failures move a
+	// suspect node down (default 3).
+	FailThreshold int
+	// Cooldown is how long a breaker stays open before the half-open
+	// probe (default 2s).
+	Cooldown time.Duration
+	// FailoverBudget caps routing attempts per send (default: the
+	// node count, min 2).
+	FailoverBudget int
+	// Vnodes is the consistent-hash points per node (default 64).
+	Vnodes int
+	// PingTimeout bounds the half-open probe's obwire ping (default 1s).
+	PingTimeout time.Duration
+	// Logf, when set, receives health transitions and poll errors.
+	Logf func(format string, v ...any)
+	// HTTPClient polls the control planes; a short-timeout default
+	// client when nil.
+	HTTPClient *http.Client
+}
+
+func (c *Config) withDefaults() {
+	if c.ConnsPerNode <= 0 {
+		c.ConnsPerNode = 2
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 500 * time.Millisecond
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.Vnodes <= 0 {
+		c.Vnodes = 64
+	}
+	if c.PingTimeout <= 0 {
+		c.PingTimeout = time.Second
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 2 * time.Second}
+	}
+}
+
+// membership is one immutable view of the node set; Join/Leave swap in
+// a new one, in-flight sends finish against the one they loaded.
+type membership struct {
+	ring  *ring
+	nodes []*Node
+}
+
+// Router routes sends across the cluster. Safe for concurrent use.
+type Router struct {
+	cfg Config
+
+	view atomic.Pointer[membership]
+
+	mu      sync.Mutex // guards membership changes and pollers
+	pollers map[*Node]chan struct{}
+	closed  bool
+
+	sends              atomic.Uint64
+	failoversRefusal   atomic.Uint64 // in-band refusal routed to the next node
+	failoversTransport atomic.Uint64 // transport error routed to the next node
+	exhausted          atomic.Uint64 // budget ran out; refusal surfaced to client
+	noBackend          atomic.Uint64 // no routable node at send time
+}
+
+// New builds a Router over the configured nodes and starts their health
+// pollers.
+func New(cfg Config) *Router {
+	cfg.withDefaults()
+	r := &Router{cfg: cfg, pollers: make(map[*Node]chan struct{})}
+	nodes := make([]*Node, len(cfg.Nodes))
+	for i, spec := range cfg.Nodes {
+		nodes[i] = newNode(spec.HTTPAddr, spec.BinAddr, &r.cfg)
+	}
+	r.view.Store(&membership{ring: newRing(nodes, cfg.Vnodes), nodes: nodes})
+	r.mu.Lock()
+	for _, n := range nodes {
+		r.startPoller(n)
+	}
+	r.mu.Unlock()
+	return r
+}
+
+// Close stops the pollers and tears down every node's connections.
+// In-flight Sends may fail; callers stop sending first.
+func (r *Router) Close() {
+	r.mu.Lock()
+	r.closed = true
+	for _, stop := range r.pollers {
+		close(stop)
+	}
+	r.pollers = make(map[*Node]chan struct{})
+	r.mu.Unlock()
+	for _, n := range r.view.Load().nodes {
+		n.closeConns()
+	}
+}
+
+func (r *Router) logf(format string, v ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, v...)
+	}
+}
+
+// Nodes answers the current membership's node list.
+func (r *Router) Nodes() []*Node { return r.view.Load().nodes }
+
+// Ready reports whether the cluster can still be called up: the
+// router's own /readyz answer. Ready unless a strict majority of the
+// membership is unroutable — one dead node of three (or one of two)
+// must not take the front tier out with it.
+func (r *Router) Ready() (ok bool, routable, total int) {
+	nodes := r.view.Load().nodes
+	for _, n := range nodes {
+		if n.Routable() {
+			routable++
+		}
+	}
+	total = len(nodes)
+	return total > 0 && 2*routable >= total, routable, total
+}
+
+// Send routes one request: by ring successor order when it carries an
+// affinity key, by power-of-two-choices JSQ when keyless. Retryable
+// outcomes — transport errors, overload refusals, sheds — fail over to
+// the next candidate within the failover budget; executed sends
+// (success or machine error) return immediately. The returned error is
+// ErrNoBackends or a terminal transport error; refusals that survive
+// the budget come back in-band as the Response's status.
+func (r *Router) Send(req serve.Request) (obwire.Response, error) {
+	r.sends.Add(1)
+	view := r.view.Load()
+	candidates := r.order(view, req.Key)
+	if len(candidates) == 0 {
+		r.noBackend.Add(1)
+		return obwire.Response{}, ErrNoBackends
+	}
+	budget := r.cfg.FailoverBudget
+	if budget <= 0 {
+		budget = max(len(view.nodes), 2)
+	}
+	var lastResp obwire.Response
+	var lastErr error
+	attempts := 0
+	for _, n := range candidates {
+		if attempts >= budget {
+			break
+		}
+		if !n.Routable() {
+			continue
+		}
+		attempts++
+		resp, err := n.Do(req)
+		if err != nil {
+			n.signalTransport()
+			lastErr, lastResp = err, obwire.Response{}
+			r.failoversTransport.Add(1)
+			r.logf("cluster: %s: transport error, failing over: %v", n.BinAddr, err)
+			continue
+		}
+		if obwire.Retryable(resp.Status) {
+			n.signalRefused(resp.Status)
+			lastResp, lastErr = resp, nil
+			if attempts < budget {
+				r.failoversRefusal.Add(1)
+				continue
+			}
+			break
+		}
+		// Executed: success or machine error. Either way the send ran;
+		// there is nothing to fail over.
+		n.signalOK()
+		n.completed.Add(1)
+		return resp, nil
+	}
+	if lastErr == nil && lastResp == (obwire.Response{}) {
+		// Every candidate was unroutable (or the budget was zero before
+		// the first attempt).
+		r.noBackend.Add(1)
+		return obwire.Response{}, ErrNoBackends
+	}
+	if lastErr == nil {
+		// A refusal survived the budget: hand it to the client in-band,
+		// exactly as a single node would have.
+		r.exhausted.Add(1)
+		return lastResp, nil
+	}
+	r.exhausted.Add(1)
+	return obwire.Response{}, lastErr
+}
+
+// order answers the candidate list for one send: ring successors for a
+// keyed request, P2C-JSQ-first shuffle for a keyless one.
+func (r *Router) order(view *membership, key uint64) []*Node {
+	if key != 0 {
+		return view.ring.successors(key)
+	}
+	// Keyless: shuffle (spreads the herd), then make the first slot the
+	// shorter-queued of the first two — power of two choices over
+	// polled depth plus our own outstanding counts.
+	nodes := view.nodes
+	out := make([]*Node, len(nodes))
+	copy(out, nodes)
+	rand.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	if len(out) >= 2 && out[1].depth() < out[0].depth() {
+		out[0], out[1] = out[1], out[0]
+	}
+	return out
+}
+
+// Join adds a node to the membership and starts its poller. The ring
+// reshapes; keys that move start landing on the new node as soon as it
+// polls healthy. In-flight sends finish on the membership they loaded.
+func (r *Router) Join(spec NodeSpec) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return errors.New("cluster: router closed")
+	}
+	old := r.view.Load()
+	for _, n := range old.nodes {
+		if n.BinAddr == spec.BinAddr {
+			return fmt.Errorf("cluster: node %s already joined", spec.BinAddr)
+		}
+	}
+	n := newNode(spec.HTTPAddr, spec.BinAddr, &r.cfg)
+	nodes := append(append([]*Node(nil), old.nodes...), n)
+	r.view.Store(&membership{ring: newRing(nodes, r.cfg.Vnodes), nodes: nodes})
+	r.startPoller(n)
+	r.logf("cluster: joined %s (%s)", spec.BinAddr, spec.HTTPAddr)
+	return nil
+}
+
+// Leave removes a node. In-flight sends against it finish (the node
+// object and its connections outlive the membership), new sends stop
+// immediately, and the connections close once the outstanding count
+// drains.
+func (r *Router) Leave(binAddr string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.view.Load()
+	var gone *Node
+	nodes := make([]*Node, 0, len(old.nodes))
+	for _, n := range old.nodes {
+		if n.BinAddr == binAddr {
+			gone = n
+			continue
+		}
+		nodes = append(nodes, n)
+	}
+	if gone == nil {
+		return fmt.Errorf("cluster: node %s not in membership", binAddr)
+	}
+	r.view.Store(&membership{ring: newRing(nodes, r.cfg.Vnodes), nodes: nodes})
+	if stop, ok := r.pollers[gone]; ok {
+		close(stop)
+		delete(r.pollers, gone)
+	}
+	gone.mu.Lock()
+	gone.removed = true
+	gone.mu.Unlock()
+	// Close the pool once in-flight work drains — without dropping it.
+	go func(n *Node) {
+		deadline := time.Now().Add(30 * time.Second)
+		for n.outstanding.Load() > 0 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		n.closeConns()
+	}(gone)
+	r.logf("cluster: left %s", binAddr)
+	return nil
+}
+
+// startPoller spins up the node's health poll loop (mu held).
+func (r *Router) startPoller(n *Node) {
+	stop := make(chan struct{})
+	r.pollers[n] = stop
+	go r.pollLoop(n, stop)
+}
+
+// pollLoop drives the node's slow health signals: /readyz and /stats on
+// every tick while the node is up, and the half-open probe once a down
+// node's cooldown elapses. The first poll runs immediately so a fresh
+// router converges before its first send.
+func (r *Router) pollLoop(n *Node, stop chan struct{}) {
+	t := time.NewTicker(r.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		r.pollOnce(n)
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// pollOnce runs one health check. Down nodes are probed (half-open)
+// only after the cooldown — no traffic, not even polls, hammers an
+// open breaker.
+func (r *Router) pollOnce(n *Node) {
+	if n.State() == StateDown {
+		if !n.beginProbe() {
+			return
+		}
+		// Half-open: the node must answer ready over HTTP *and* serve an
+		// obwire ping before the breaker closes — a process that accepts
+		// TCP but cannot serve frames stays down.
+		if err := r.checkReady(n); err != nil {
+			n.fail()
+			r.logf("cluster: %s: probe readyz: %v", n.BinAddr, err)
+			return
+		}
+		if err := n.ping(r.cfg.PingTimeout); err != nil {
+			n.fail()
+			r.logf("cluster: %s: probe ping: %v", n.BinAddr, err)
+			return
+		}
+		n.pollOK()
+		r.logf("cluster: %s: probe succeeded, breaker closed", n.BinAddr)
+		return
+	}
+	if err := r.checkReady(n); err != nil {
+		var nr notReadyError
+		if errors.As(err, &nr) {
+			n.pollNotReady(nr.reason)
+		} else {
+			n.pollFailed()
+		}
+		return
+	}
+	n.pollOK()
+	r.pollDepth(n)
+}
+
+// notReadyError is a /readyz 503 with its body's reason.
+type notReadyError struct{ reason string }
+
+func (e notReadyError) Error() string { return "not ready: " + e.reason }
+
+// checkReady polls the node's /readyz: nil when 200, notReadyError on a
+// refusal, a transport error otherwise.
+func (r *Router) checkReady(n *Node) error {
+	resp, err := r.cfg.HTTPClient.Get("http://" + n.HTTPAddr + "/readyz")
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return notReadyError{reason: strings.TrimSpace(string(body))}
+	}
+	return nil
+}
+
+// pollDepth refreshes the node's JSQ load signal from its /stats:
+// queued work plus in-flight sends.
+func (r *Router) pollDepth(n *Node) {
+	resp, err := r.cfg.HTTPClient.Get("http://" + n.HTTPAddr + "/stats")
+	if err != nil {
+		return // readyz just passed; a stats blip is not a health signal
+	}
+	defer resp.Body.Close()
+	var st struct {
+		QueueDepths []int `json:"queue_depths"`
+		InFlight    int   `json:"in_flight"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st) != nil {
+		return
+	}
+	depth := int64(st.InFlight)
+	for _, d := range st.QueueDepths {
+		depth += int64(d)
+	}
+	n.polledDepth.Store(depth)
+}
+
+// Stats is the router's cluster block: per-node rows plus the routing
+// counters.
+type Stats struct {
+	Nodes              []NodeStats `json:"nodes"`
+	Routable           int         `json:"routable"`
+	Quorum             bool        `json:"quorum"`
+	Sends              uint64      `json:"sends"`
+	FailoversRefusal   uint64      `json:"failovers_refusal"`
+	FailoversTransport uint64      `json:"failovers_transport"`
+	Exhausted          uint64      `json:"exhausted"`
+	NoBackend          uint64      `json:"no_backend"`
+}
+
+// Stats snapshots the router.
+func (r *Router) Stats() Stats {
+	quorum, routable, _ := r.Ready()
+	nodes := r.view.Load().nodes
+	s := Stats{
+		Nodes:              make([]NodeStats, len(nodes)),
+		Routable:           routable,
+		Quorum:             quorum,
+		Sends:              r.sends.Load(),
+		FailoversRefusal:   r.failoversRefusal.Load(),
+		FailoversTransport: r.failoversTransport.Load(),
+		Exhausted:          r.exhausted.Load(),
+		NoBackend:          r.noBackend.Load(),
+	}
+	for i, n := range nodes {
+		s.Nodes[i] = n.Stats()
+	}
+	return s
+}

@@ -1,0 +1,665 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obwire"
+	"repro/internal/serve"
+	"repro/internal/smalltalk"
+	"repro/internal/word"
+)
+
+// testNode is one in-process backend: a pool on the answer image, an
+// obwire listener, and an httptest control plane whose /readyz answer
+// the test can flip.
+type testNode struct {
+	pool *serve.Pool
+	srv  *obwire.Server
+	web  *httptest.Server
+
+	mu       sync.Mutex
+	ready    bool
+	reason   string
+	binAddr  string
+	httpAddr string
+}
+
+func answerSnapshot(t *testing.T) *core.Snapshot {
+	t.Helper()
+	m := core.New(core.Config{})
+	c, err := smalltalk.Compile(`
+extend SmallInt [
+	method answer [ ^self + 1 ]
+]`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := smalltalk.LoadCOM(m, c); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return snap
+}
+
+func startTestNode(t *testing.T, snap *core.Snapshot, cfg serve.Config) *testNode {
+	t.Helper()
+	n := &testNode{ready: true}
+	n.pool = serve.NewPool(snap, cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.srv = obwire.Serve(l, n.pool, obwire.Options{})
+	n.binAddr = l.Addr().String()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		n.mu.Lock()
+		ready, reason := n.ready, n.reason
+		n.mu.Unlock()
+		if !ready {
+			http.Error(w, reason, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		depths := n.pool.QueueDepths()
+		fmt.Fprintf(w, `{"queue_depths":[`)
+		for i, d := range depths {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprint(w, d)
+		}
+		fmt.Fprintf(w, `],"in_flight":0}`)
+	})
+	n.web = httptest.NewServer(mux)
+	n.httpAddr = n.web.Listener.Addr().String()
+	t.Cleanup(func() { n.stop(t) })
+	return n
+}
+
+func (n *testNode) stop(t *testing.T) {
+	t.Helper()
+	if n.srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		n.srv.Shutdown(ctx)
+		cancel()
+		n.srv = nil
+		n.pool.Close()
+	}
+	if n.web != nil {
+		n.web.Close()
+		n.web = nil
+	}
+}
+
+// kill simulates SIGKILL: listeners vanish, nothing drains gracefully.
+func (n *testNode) kill() {
+	if n.srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		n.srv.Shutdown(ctx)
+		cancel()
+		n.srv = nil
+		n.pool.Close()
+	}
+	if n.web != nil {
+		n.web.CloseClientConnections()
+		n.web.Close()
+		n.web = nil
+	}
+}
+
+func (n *testNode) setReady(ready bool, reason string) {
+	n.mu.Lock()
+	n.ready, n.reason = ready, reason
+	n.mu.Unlock()
+}
+
+func (n *testNode) spec() NodeSpec { return NodeSpec{HTTPAddr: n.httpAddr, BinAddr: n.binAddr} }
+
+func testRouter(t *testing.T, backends []*testNode, tune func(*Config)) *Router {
+	t.Helper()
+	cfg := Config{
+		PollInterval:  25 * time.Millisecond,
+		FailThreshold: 2,
+		Cooldown:      100 * time.Millisecond,
+		PingTimeout:   time.Second,
+		Vnodes:        16,
+	}
+	for _, b := range backends {
+		cfg.Nodes = append(cfg.Nodes, b.spec())
+	}
+	if tune != nil {
+		tune(&cfg)
+	}
+	r := New(cfg)
+	t.Cleanup(r.Close)
+	return r
+}
+
+func waitState(t *testing.T, r *Router, binAddr string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, n := range r.Nodes() {
+			if n.BinAddr == binAddr && n.State() == want {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var states []string
+	for _, n := range r.Nodes() {
+		states = append(states, fmt.Sprintf("%s=%s", n.BinAddr, n.State()))
+	}
+	t.Fatalf("node %s never reached %s (states: %v)", binAddr, want, states)
+}
+
+// TestRingDeterministic pins that key→node assignment is a pure
+// function of the membership: two rings over the same nodes agree on
+// every key, and successor lists hit each node exactly once.
+func TestRingDeterministic(t *testing.T) {
+	cfg := &Config{ConnsPerNode: 1}
+	var nodes []*Node
+	for i := 0; i < 5; i++ {
+		nodes = append(nodes, newNode(fmt.Sprintf("h%d", i), fmt.Sprintf("b%d", i), cfg))
+	}
+	r1, r2 := newRing(nodes, 64), newRing(nodes, 64)
+	for key := uint64(1); key <= 1000; key++ {
+		if r1.owner(key) != r2.owner(key) {
+			t.Fatalf("key %d: owner differs between identical rings", key)
+		}
+		succ := r1.successors(key)
+		if len(succ) != len(nodes) {
+			t.Fatalf("key %d: %d successors, want %d", key, len(succ), len(nodes))
+		}
+		seen := map[*Node]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("key %d: duplicate node in successor order", key)
+			}
+			seen[n] = true
+		}
+		if succ[0] != r1.owner(key) {
+			t.Fatalf("key %d: successors[0] is not the owner", key)
+		}
+	}
+}
+
+// TestRingSpread sanity-checks the vnode spread: over many keys every
+// node owns a non-trivial share — no node starves, no node hoards.
+func TestRingSpread(t *testing.T) {
+	cfg := &Config{ConnsPerNode: 1}
+	var nodes []*Node
+	for i := 0; i < 3; i++ {
+		nodes = append(nodes, newNode(fmt.Sprintf("h%d", i), fmt.Sprintf("b%d", i), cfg))
+	}
+	r := newRing(nodes, 64)
+	counts := map[*Node]int{}
+	const keys = 30000
+	for key := uint64(1); key <= keys; key++ {
+		counts[r.owner(key)]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("node %s owns %.1f%% of keys, want a sane share of 1/3", n.BinAddr, share*100)
+		}
+	}
+}
+
+// TestRingMinimalReshape pins the consistent part of consistent
+// hashing: removing one of three nodes must not move keys between the
+// two survivors.
+func TestRingMinimalReshape(t *testing.T) {
+	cfg := &Config{ConnsPerNode: 1}
+	var nodes []*Node
+	for i := 0; i < 3; i++ {
+		nodes = append(nodes, newNode(fmt.Sprintf("h%d", i), fmt.Sprintf("b%d", i), cfg))
+	}
+	full := newRing(nodes, 64)
+	reduced := newRing(nodes[:2], 64)
+	for key := uint64(1); key <= 5000; key++ {
+		before := full.owner(key)
+		after := reduced.owner(key)
+		if before != nodes[2] && after != before {
+			t.Fatalf("key %d moved from surviving node %s to %s when an unrelated node left",
+				key, before.BinAddr, after.BinAddr)
+		}
+	}
+}
+
+// TestHealthMachine drives the state machine directly through its
+// transitions: healthy → suspect on first failure, down at the
+// threshold, half-open probe after cooldown, healthy on probe success
+// — and in-band refusals mark suspect without charging the breaker.
+func TestHealthMachine(t *testing.T) {
+	cfg := &Config{ConnsPerNode: 1, FailThreshold: 2, Cooldown: 20 * time.Millisecond}
+	n := newNode("h", "b", cfg)
+
+	if got := n.State(); got != StateHealthy {
+		t.Fatalf("initial state %v, want healthy", got)
+	}
+	n.signalRefused(obwire.StatusShed)
+	if got := n.State(); got != StateSuspect {
+		t.Fatalf("after shed: %v, want suspect (refusals steer, not break)", got)
+	}
+	if n.opens.Load() != 0 {
+		t.Fatal("a shed opened the breaker")
+	}
+	n.signalOK()
+	if got := n.State(); got != StateHealthy {
+		t.Fatalf("after success: %v, want healthy", got)
+	}
+
+	n.signalTransport()
+	if got := n.State(); got != StateSuspect {
+		t.Fatalf("after 1 transport error: %v, want suspect", got)
+	}
+	if !n.Routable() {
+		t.Fatal("suspect node must stay routable")
+	}
+	n.signalTransport()
+	if got := n.State(); got != StateDown {
+		t.Fatalf("after %d transport errors: %v, want down", cfg.FailThreshold, got)
+	}
+	if n.Routable() {
+		t.Fatal("down node must not be routable")
+	}
+	if n.opens.Load() != 1 {
+		t.Fatalf("breaker opens = %d, want 1", n.opens.Load())
+	}
+
+	if n.beginProbe() {
+		t.Fatal("probe began before cooldown elapsed")
+	}
+	time.Sleep(cfg.Cooldown + 5*time.Millisecond)
+	if !n.beginProbe() {
+		t.Fatal("probe refused after cooldown")
+	}
+	if got := n.State(); got != StateProbing {
+		t.Fatalf("during probe: %v, want probing", got)
+	}
+	if n.beginProbe() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	n.pollOK()
+	if got := n.State(); got != StateHealthy {
+		t.Fatalf("after probe success: %v, want healthy", got)
+	}
+	if n.recoveries.Load() != 1 {
+		t.Fatalf("recoveries = %d, want 1", n.recoveries.Load())
+	}
+
+	// A failed probe re-arms the breaker for another cooldown.
+	n.signalTransport()
+	n.signalTransport()
+	time.Sleep(cfg.Cooldown + 5*time.Millisecond)
+	if !n.beginProbe() {
+		t.Fatal("second down cycle: probe refused")
+	}
+	n.fail()
+	if got := n.State(); got != StateDown {
+		t.Fatalf("after failed probe: %v, want down", got)
+	}
+	if n.opens.Load() != 3 {
+		t.Fatalf("breaker opens = %d, want 3 (two cycles + re-arm)", n.opens.Load())
+	}
+}
+
+// TestDrainingUnroutableNotBroken pins the readyz reason taxonomy: a
+// draining node leaves the routable set without its breaker opening,
+// and rejoins the moment it reports ready.
+func TestDrainingUnroutableNotBroken(t *testing.T) {
+	cfg := &Config{ConnsPerNode: 1, FailThreshold: 2, Cooldown: time.Minute}
+	n := newNode("h", "b", cfg)
+	for i := 0; i < 10; i++ {
+		n.pollNotReady("draining")
+	}
+	if n.Routable() {
+		t.Fatal("draining node still routable")
+	}
+	if got := n.State(); got == StateDown {
+		t.Fatal("draining opened the breaker")
+	}
+	n.pollOK()
+	if !n.Routable() {
+		t.Fatal("node did not rejoin after drain ended")
+	}
+
+	// "overloaded" is a real failure signal and does open the breaker.
+	for i := 0; i < 10; i++ {
+		n.pollNotReady("overloaded")
+	}
+	if got := n.State(); got != StateDown {
+		t.Fatalf("sustained overloaded readyz: %v, want down", got)
+	}
+}
+
+// TestRouterSendsSpread runs keyless traffic through two live backends
+// and checks both serve some of it.
+func TestRouterSendsSpread(t *testing.T) {
+	snap := answerSnapshot(t)
+	a := startTestNode(t, snap, serve.Config{Workers: 2, Timeout: 10 * time.Second})
+	b := startTestNode(t, snap, serve.Config{Workers: 2, Timeout: 10 * time.Second})
+	r := testRouter(t, []*testNode{a, b}, nil)
+
+	for i := 0; i < 200; i++ {
+		resp, err := r.Send(serve.Request{Receiver: word.FromInt(int32(i)), Selector: "answer"})
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if !resp.OK() {
+			t.Fatalf("send %d: status %d: %s", i, resp.Status, resp.Err)
+		}
+		if v, _ := resp.Value.IntOK(); v != int32(i)+1 {
+			t.Fatalf("send %d: got %v", i, resp.Value)
+		}
+	}
+	st := r.Stats()
+	for _, ns := range st.Nodes {
+		if ns.Completed == 0 {
+			t.Errorf("node %s completed nothing; keyless spread is broken", ns.BinAddr)
+		}
+	}
+}
+
+// TestRouterKeyedAffinity pins that a keyed send lands on its ring
+// owner every time while the owner is healthy.
+func TestRouterKeyedAffinity(t *testing.T) {
+	snap := answerSnapshot(t)
+	a := startTestNode(t, snap, serve.Config{Workers: 2, Timeout: 10 * time.Second})
+	b := startTestNode(t, snap, serve.Config{Workers: 2, Timeout: 10 * time.Second})
+	r := testRouter(t, []*testNode{a, b}, nil)
+
+	const key = 424242
+	owner := r.view.Load().ring.owner(key)
+	for i := 0; i < 50; i++ {
+		resp, err := r.Send(serve.Request{Receiver: word.FromInt(1), Selector: "answer", Key: key})
+		if err != nil || !resp.OK() {
+			t.Fatalf("keyed send %d: %v (status %d)", i, err, resp.Status)
+		}
+	}
+	if owner.completed.Load() != 50 {
+		t.Fatalf("owner completed %d of 50 keyed sends; affinity leaked", owner.completed.Load())
+	}
+}
+
+// TestRouterFailoverOnKill is the in-process node-kill drill: kill one
+// of two backends mid-traffic and require every send to keep
+// succeeding (failover makes the kill invisible), the dead node's
+// breaker to open, and — after the node returns on the same address —
+// the half-open probe to close the breaker and traffic to flow to it
+// again.
+func TestRouterFailoverOnKill(t *testing.T) {
+	snap := answerSnapshot(t)
+	a := startTestNode(t, snap, serve.Config{Workers: 2, Timeout: 10 * time.Second})
+	b := startTestNode(t, snap, serve.Config{Workers: 2, Timeout: 10 * time.Second})
+	r := testRouter(t, []*testNode{a, b}, nil)
+
+	send := func(i int) {
+		t.Helper()
+		resp, err := r.Send(serve.Request{Receiver: word.FromInt(int32(i)), Selector: "answer"})
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if !resp.OK() {
+			t.Fatalf("send %d: status %d: %s", i, resp.Status, resp.Err)
+		}
+	}
+
+	for i := 0; i < 50; i++ {
+		send(i)
+	}
+
+	// SIGKILL node b: its listeners vanish, in-flight conns break.
+	binAddr, httpAddr := b.binAddr, b.httpAddr
+	b.kill()
+	for i := 0; i < 200; i++ {
+		send(1000 + i) // every send must still succeed via failover
+	}
+	waitState(t, r, binAddr, StateDown)
+	if ok, routable, total := r.Ready(); !ok || routable != 1 || total != 2 {
+		t.Fatalf("Ready() = %v (%d/%d), want quorum with 1 of 2", ok, routable, total)
+	}
+
+	// While the corpse is down, keyed sends homed on it must fail over.
+	for i := 0; i < 50; i++ {
+		resp, err := r.Send(serve.Request{Receiver: word.FromInt(1), Selector: "answer", Key: uint64(i) + 1})
+		if err != nil || !resp.OK() {
+			t.Fatalf("keyed send during outage: %v (status %d)", err, resp.Status)
+		}
+	}
+
+	// Resurrect the node on its old addresses (the drill's restart).
+	l, err := net.Listen("tcp", binAddr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", binAddr, err)
+	}
+	pool2 := serve.NewPool(snap, serve.Config{Workers: 2, Timeout: 10 * time.Second})
+	srv2 := obwire.Serve(l, pool2, obwire.Options{})
+	hl, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", httpAddr, err)
+	}
+	web2 := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.URL.Path {
+		case "/readyz":
+			fmt.Fprintln(w, "ok")
+		case "/stats":
+			fmt.Fprint(w, `{"queue_depths":[0],"in_flight":0}`)
+		default:
+			http.NotFound(w, req)
+		}
+	})}
+	go web2.Serve(hl)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv2.Shutdown(ctx)
+		pool2.Close()
+		web2.Shutdown(ctx)
+		cancel()
+	})
+
+	waitState(t, r, binAddr, StateHealthy)
+	st := r.Stats()
+	var row NodeStats
+	for _, ns := range st.Nodes {
+		if ns.BinAddr == binAddr {
+			row = ns
+		}
+	}
+	if row.BreakerOpens == 0 || row.Probes == 0 || row.Recoveries == 0 {
+		t.Fatalf("recovery not via half-open probe: opens=%d probes=%d recoveries=%d",
+			row.BreakerOpens, row.Probes, row.Recoveries)
+	}
+
+	// The rejoined node must receive traffic again.
+	before := row.Completed
+	for i := 0; i < 400; i++ {
+		send(2000 + i)
+	}
+	var after uint64
+	for _, ns := range r.Stats().Nodes {
+		if ns.BinAddr == binAddr {
+			after = ns.Completed
+		}
+	}
+	if after == before {
+		t.Fatal("rejoined node received no traffic")
+	}
+}
+
+// TestRouterJoinLeave reshapes the membership under light traffic: a
+// third node joins and starts serving; leaving it returns its keys to
+// the survivors without a failed send.
+func TestRouterJoinLeave(t *testing.T) {
+	snap := answerSnapshot(t)
+	a := startTestNode(t, snap, serve.Config{Workers: 2, Timeout: 10 * time.Second})
+	b := startTestNode(t, snap, serve.Config{Workers: 2, Timeout: 10 * time.Second})
+	c := startTestNode(t, snap, serve.Config{Workers: 2, Timeout: 10 * time.Second})
+	r := testRouter(t, []*testNode{a, b}, nil)
+
+	if err := r.Join(c.spec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Join(c.spec()); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var done int
+		for i := 0; i < 60; i++ {
+			resp, err := r.Send(serve.Request{Receiver: word.FromInt(1), Selector: "answer"})
+			if err != nil || !resp.OK() {
+				t.Fatalf("send during join: %v (status %d)", err, resp.Status)
+			}
+			done++
+		}
+		_ = done
+		var joined uint64
+		for _, ns := range r.Stats().Nodes {
+			if ns.BinAddr == c.binAddr {
+				joined = ns.Completed
+			}
+		}
+		if joined > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("joined node never served a send")
+		}
+	}
+
+	if err := r.Leave(c.binAddr); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Leave(c.binAddr); err == nil {
+		t.Fatal("double leave accepted")
+	}
+	if len(r.Nodes()) != 2 {
+		t.Fatalf("membership size %d after leave, want 2", len(r.Nodes()))
+	}
+	for i := 0; i < 100; i++ {
+		resp, err := r.Send(serve.Request{Receiver: word.FromInt(1), Selector: "answer", Key: uint64(i) + 1})
+		if err != nil || !resp.OK() {
+			t.Fatalf("send after leave: %v (status %d)", err, resp.Status)
+		}
+	}
+}
+
+// TestRouterNoBackends pins the all-dead answer: ErrNoBackends, not a
+// hang or a panic — and quorum lost on the readiness surface.
+func TestRouterNoBackends(t *testing.T) {
+	snap := answerSnapshot(t)
+	a := startTestNode(t, snap, serve.Config{Workers: 1, Timeout: 10 * time.Second})
+	r := testRouter(t, []*testNode{a}, nil)
+	a.kill()
+	// Sends themselves push the health machine: after enough transport
+	// errors the breaker opens and ErrNoBackends surfaces.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := r.Send(serve.Request{Receiver: word.FromInt(1), Selector: "answer"})
+		if err == ErrNoBackends {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never reached ErrNoBackends after killing the only node")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ok, routable, _ := r.Ready(); ok || routable != 0 {
+		t.Fatalf("Ready() = %v with %d routable, want quorum lost", ok, routable)
+	}
+	if r.Stats().NoBackend == 0 {
+		t.Fatal("no_backend counter never ticked")
+	}
+}
+
+// TestRouterShedFailsOver pins the refusal taxonomy at cluster level: a
+// backend refusing at admission (maintenance mode) costs a failover to
+// the healthy node, and the client sees success.
+func TestRouterShedFailsOver(t *testing.T) {
+	snap := answerSnapshot(t)
+	refusing := startTestNode(t, snap, serve.Config{Workers: 1, MaxInFlight: -1, Timeout: 10 * time.Second})
+	healthy := startTestNode(t, snap, serve.Config{Workers: 2, Timeout: 10 * time.Second})
+	r := testRouter(t, []*testNode{refusing, healthy}, nil)
+
+	for i := 0; i < 100; i++ {
+		resp, err := r.Send(serve.Request{Receiver: word.FromInt(int32(i)), Selector: "answer"})
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if !resp.OK() {
+			t.Fatalf("send %d: status %d (the healthy node should have absorbed it)", i, resp.Status)
+		}
+	}
+	st := r.Stats()
+	var refused uint64
+	for _, ns := range st.Nodes {
+		if ns.BinAddr == refusing.binAddr {
+			refused = ns.Rejected
+			if ns.BreakerOpens != 0 {
+				t.Errorf("in-band refusals opened the breaker (%d opens)", ns.BreakerOpens)
+			}
+		}
+	}
+	if refused == 0 {
+		t.Skip("P2C steered every send away from the refusing node before it refused once")
+	}
+	if st.FailoversRefusal == 0 {
+		t.Fatal("refusals happened but failovers_refusal never ticked")
+	}
+}
+
+// TestProbeCooldownPacing pins that an open breaker is probed once per
+// cooldown, not once per poll tick: a failed half-open probe must
+// re-arm the cooldown clock, or a long outage turns into a poll-rate
+// hammer against the dead node.
+func TestProbeCooldownPacing(t *testing.T) {
+	// A dead address: bind a port, then close it so every connection is
+	// refused instantly.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	r := New(Config{
+		Nodes:         []NodeSpec{{HTTPAddr: addr, BinAddr: addr}},
+		PollInterval:  20 * time.Millisecond,
+		FailThreshold: 1,
+		Cooldown:      300 * time.Millisecond,
+		Vnodes:        16,
+	})
+	defer r.Close()
+	waitState(t, r, addr, StateDown)
+
+	// Over ~1.2s a correctly re-armed cooldown allows at most ~5 probes
+	// (1.2s / 300ms, plus slack); a broken one probes at the 20ms poll
+	// rate — dozens.
+	time.Sleep(1200 * time.Millisecond)
+	row := r.Stats().Nodes[0]
+	if row.Probes == 0 {
+		t.Fatal("cooldown elapsed but the node was never probed")
+	}
+	if row.Probes > 8 {
+		t.Fatalf("%d probes in 1.2s with a 300ms cooldown: failed probes are not re-arming the breaker", row.Probes)
+	}
+	if row.BreakerOpens < row.Probes {
+		t.Fatalf("opens %d < probes %d: a failed probe should re-open the breaker", row.BreakerOpens, row.Probes)
+	}
+}

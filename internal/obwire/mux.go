@@ -1,0 +1,285 @@
+// The multiplexed client: many goroutines sharing one pipelined obwire
+// connection. The single-goroutine Client is the right shape for a load
+// generator that owns its connection; a front tier routing concurrent
+// traffic at a backend node wants the opposite — one persistent
+// connection (or a small pool of them) carrying every in-flight send at
+// once. MuxClient provides that: Do is safe from any goroutine, sends
+// are written under a short lock and pipelined on the wire, and a
+// single reader goroutine delivers responses back to their callers in
+// the server's strict request order.
+package obwire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// ErrClientClosed is returned by Do and Ping on a MuxClient whose
+// connection has died or been closed. The underlying cause — the first
+// error the connection saw — is wrapped alongside it.
+var ErrClientClosed = errors.New("obwire: client closed")
+
+// ErrWindowFull is returned by Do and Ping when DefaultWindow sends are
+// already in flight on the connection. It is a refusal, not a failure:
+// the connection is healthy but saturated, and the caller should treat
+// it like an overload — back off, or route the send somewhere else.
+// (Blocking instead would wedge a writer against the reader's error
+// path; refusing keeps the failure mode visible and retryable.)
+var ErrWindowFull = errors.New("obwire: connection window full")
+
+// muxReply is one delivered response: the decoded frame, or the
+// connection-level error that killed the send.
+type muxReply struct {
+	resp Response
+	err  error
+}
+
+// muxWaiter is one in-flight send awaiting its response. The reader
+// matches waiters to responses FIFO — valid because the server answers
+// strictly in request order, pongs included.
+type muxWaiter struct {
+	id   uint64
+	ping bool
+	ch   chan muxReply
+}
+
+// MuxClient is a goroutine-safe pipelined obwire connection. Writers
+// serialise briefly to append their frame and enqueue a waiter; the
+// reader goroutine pairs responses with waiters in order. Depth is
+// whatever the callers' concurrency makes it — the cluster router's
+// natural pipelining.
+type MuxClient struct {
+	c  net.Conn
+	bw *bufio.Writer
+
+	wmu    sync.Mutex
+	wbuf   []byte
+	nextID uint64
+	dead   error // set once, under wmu; all later sends fail fast
+
+	waiters chan muxWaiter
+	chPool  sync.Pool
+
+	readerDone chan struct{}
+}
+
+// DialMux connects a MuxClient to an obwire server.
+func DialMux(addr string) (*MuxClient, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewMuxClient(c)
+}
+
+// NewMuxClient wraps an established connection, sending the opening
+// magic and starting the reader.
+func NewMuxClient(c net.Conn) (*MuxClient, error) {
+	m := &MuxClient{
+		c:          c,
+		bw:         bufio.NewWriterSize(c, 1<<16),
+		wbuf:       make([]byte, 0, 256),
+		waiters:    make(chan muxWaiter, DefaultWindow),
+		readerDone: make(chan struct{}),
+	}
+	m.chPool.New = func() any { return make(chan muxReply, 1) }
+	if _, err := m.bw.WriteString(Magic); err != nil {
+		c.Close()
+		return nil, err
+	}
+	go m.readLoop()
+	return m, nil
+}
+
+// Close tears the connection down; every in-flight and future send
+// fails with ErrClientClosed.
+func (m *MuxClient) Close() error {
+	m.fail(ErrClientClosed)
+	<-m.readerDone
+	return nil
+}
+
+// Err answers the terminal error once the connection has died, nil
+// while it is live — the cluster tier's cheap "is this conn still
+// worth routing to" check.
+func (m *MuxClient) Err() error {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	return m.dead
+}
+
+// fail marks the connection dead (keeping the first cause) and closes
+// the socket, kicking the reader out of its blocking read.
+func (m *MuxClient) fail(err error) {
+	m.wmu.Lock()
+	if m.dead == nil {
+		m.dead = err
+	}
+	m.wmu.Unlock()
+	m.c.Close()
+}
+
+// enqueue appends one frame and its waiter under the write lock. The
+// waiter is queued before the flush so the reader can never see a
+// response without its waiter.
+func (m *MuxClient) enqueue(ping bool, req serve.Request) (chan muxReply, error) {
+	ch := m.chPool.Get().(chan muxReply)
+	m.wmu.Lock()
+	if m.dead != nil {
+		err := m.dead
+		m.wmu.Unlock()
+		m.chPool.Put(ch)
+		return nil, fmt.Errorf("%w: %w", ErrClientClosed, err)
+	}
+	// The waiter slot is claimed non-blockingly: parking here while
+	// holding wmu would deadlock against the reader's drain path, and a
+	// saturated window is better answered as a retryable refusal anyway.
+	select {
+	case m.waiters <- muxWaiter{id: m.nextID, ping: ping, ch: ch}:
+	default:
+		m.wmu.Unlock()
+		m.chPool.Put(ch)
+		return nil, ErrWindowFull
+	}
+	id := m.nextID
+	m.nextID++
+	if ping {
+		m.wbuf = appendPing(m.wbuf[:0], id)
+	} else {
+		m.wbuf = appendRequest(m.wbuf[:0], id, req)
+	}
+	_, err := m.bw.Write(m.wbuf)
+	if err == nil {
+		err = m.bw.Flush()
+	}
+	m.wmu.Unlock()
+	if err != nil {
+		// The reader will drain our waiter (and everyone else's) with
+		// the terminal error once fail closes the socket.
+		m.fail(err)
+	}
+	return ch, nil
+}
+
+// Do executes one send over the shared connection: safe from any
+// goroutine, pipelined with every other caller's frames. A returned
+// error is connection-level (the send may or may not have executed);
+// in-band refusals come back as the Response's status.
+func (m *MuxClient) Do(req serve.Request) (Response, error) {
+	ch, err := m.enqueue(false, req)
+	if err != nil {
+		return Response{}, err
+	}
+	r := <-ch
+	m.chPool.Put(ch)
+	return r.resp, r.err
+}
+
+// Ping round-trips one ping frame through the server's whole
+// read→dispatch→write loop, ordered behind every send already in
+// flight — so a pong bounds the loop's current backlog, not just the
+// socket's liveness. The deadline caps the wait; a timeout kills the
+// connection (its pong can no longer be matched FIFO).
+func (m *MuxClient) Ping(timeout time.Duration) error {
+	ch, err := m.enqueue(true, serve.Request{})
+	if err != nil {
+		return err
+	}
+	var timer *time.Timer
+	var expired <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		expired = timer.C
+		defer timer.Stop()
+	}
+	select {
+	case r := <-ch:
+		m.chPool.Put(ch)
+		return r.err
+	case <-expired:
+		m.fail(fmt.Errorf("obwire: ping timed out after %v", timeout))
+		r := <-ch // the reader always drains every waiter
+		m.chPool.Put(ch)
+		return r.err
+	}
+}
+
+// readLoop pairs responses with waiters in FIFO order and, on any
+// connection error, fails the client and drains every parked waiter so
+// no caller hangs.
+func (m *MuxClient) readLoop() {
+	defer close(m.readerDone)
+	br := bufio.NewReaderSize(m.c, 1<<16)
+	var hdr [4]byte
+	rbuf := make([]byte, 0, 256)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			m.drain(err)
+			return
+		}
+		n := int(binary.LittleEndian.Uint32(hdr[:]))
+		if n < 1 || n > DefaultMaxFrame {
+			m.drain(fmt.Errorf("obwire: response frame length %d", n))
+			return
+		}
+		if cap(rbuf) < n {
+			rbuf = make([]byte, 0, n)
+		}
+		rbuf = rbuf[:n]
+		if _, err := io.ReadFull(br, rbuf); err != nil {
+			m.drain(err)
+			return
+		}
+		var reply muxReply
+		var id uint64
+		var pong bool
+		if len(rbuf) == 9 && rbuf[0] == framePong {
+			id, pong = binary.LittleEndian.Uint64(rbuf[1:]), true
+		} else {
+			reply.resp, reply.err = decodeResponse(rbuf)
+			id = reply.resp.ID
+		}
+		var w muxWaiter
+		select {
+		case w = <-m.waiters:
+		default:
+			m.drain(fmt.Errorf("obwire: unsolicited response id %d", id))
+			return
+		}
+		if reply.err == nil && (w.id != id || w.ping != pong) {
+			reply.err = fmt.Errorf("obwire: response id %d, want %d (responses must arrive in send order)", id, w.id)
+		}
+		if reply.err != nil {
+			w.ch <- reply
+			m.drain(reply.err)
+			return
+		}
+		w.ch <- reply
+	}
+}
+
+// drain fails the connection and answers every parked waiter with the
+// terminal error. New sends are already refused by the dead flag (set
+// before waiters are drained), so none can slip in behind the drain.
+func (m *MuxClient) drain(err error) {
+	m.fail(err)
+	m.wmu.Lock()
+	terminal := m.dead
+	m.wmu.Unlock()
+	for {
+		select {
+		case w := <-m.waiters:
+			w.ch <- muxReply{err: fmt.Errorf("%w: %w", ErrClientClosed, terminal)}
+		default:
+			return
+		}
+	}
+}

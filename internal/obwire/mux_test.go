@@ -1,0 +1,181 @@
+package obwire
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/word"
+)
+
+// TestMuxConcurrentSends hammers one shared connection from many
+// goroutines: every send must come back with its own answer (receiver+1
+// on the fixture image), which pins the FIFO waiter matching — a single
+// crossed response would fail a checksum. Run under -race this is also
+// the mux write-path data-race check.
+func TestMuxConcurrentSends(t *testing.T) {
+	s, _ := startServer(t, serve.Config{Workers: 2, Timeout: 30 * time.Second}, Options{})
+	m, err := DialMux(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	const goroutines, sends = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < sends; i++ {
+				recv := int32(g*1000 + i)
+				resp, err := m.Do(serve.Request{Receiver: word.FromInt(recv), Selector: "answer"})
+				if err != nil {
+					t.Errorf("goroutine %d send %d: %v", g, i, err)
+					return
+				}
+				if !resp.OK() {
+					t.Errorf("goroutine %d send %d: status %d: %s", g, i, resp.Status, resp.Err)
+					return
+				}
+				if v, ok := resp.Value.IntOK(); !ok || v != recv+1 {
+					t.Errorf("goroutine %d send %d: got %v, want %d (responses crossed)", g, i, resp.Value, recv+1)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestMuxPing proves the ping frame round-trips through the server's
+// ordered write loop — interleaved with real sends — and ticks the
+// server's ping counter without touching the frame counters.
+func TestMuxPing(t *testing.T) {
+	s, _ := startServer(t, serve.Config{Workers: 1, Timeout: 30 * time.Second}, Options{})
+	m, err := DialMux(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := m.Ping(time.Second); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+		resp, err := m.Do(serve.Request{Receiver: word.FromInt(int32(i)), Selector: "answer"})
+		if err != nil || !resp.OK() {
+			t.Fatalf("send %d: %v (status %d)", i, err, resp.Status)
+		}
+	}
+	st := s.Stats()
+	if st.Pings != 3 {
+		t.Errorf("pings = %d, want 3", st.Pings)
+	}
+	if st.FramesIn != 3 || st.FramesOut != 3 {
+		t.Errorf("frames in/out = %d/%d, want 3/3 (pings must not count as frames)", st.FramesIn, st.FramesOut)
+	}
+}
+
+// TestMuxRefusalsInBand pins that a pool refusal arrives as an in-band
+// status on the mux client, not a connection error: the connection
+// stays usable afterwards.
+func TestMuxRefusalsInBand(t *testing.T) {
+	s, _ := startServer(t, serve.Config{Workers: 1, MaxInFlight: -1, Timeout: 30 * time.Second}, Options{})
+	m, err := DialMux(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	resp, err := m.Do(serve.Request{Receiver: word.FromInt(1), Selector: "answer"})
+	if err != nil {
+		t.Fatalf("refused send must not error the connection: %v", err)
+	}
+	if resp.Status != StatusOverloaded {
+		t.Fatalf("status = %d, want %d (maintenance mode refuses everything)", resp.Status, StatusOverloaded)
+	}
+	if err := m.Ping(time.Second); err != nil {
+		t.Fatalf("connection unusable after in-band refusal: %v", err)
+	}
+}
+
+// TestMuxDeadConnectionFailsFast kills the server side mid-flight and
+// asserts every parked caller is drained with ErrClientClosed and later
+// sends fail fast instead of hanging.
+func TestMuxDeadConnectionFailsFast(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	m, err := DialMux(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srvConn := <-accepted
+
+	const parked = 4
+	var wg sync.WaitGroup
+	errs := make([]error, parked)
+	for i := 0; i < parked; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = m.Do(serve.Request{Receiver: word.FromInt(1), Selector: "answer"})
+		}(i)
+	}
+	// Give the senders a moment to park, then hang up on them.
+	time.Sleep(50 * time.Millisecond)
+	srvConn.Close()
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrClientClosed) {
+			t.Errorf("parked send %d: err = %v, want ErrClientClosed", i, err)
+		}
+	}
+	if _, err := m.Do(serve.Request{Receiver: word.FromInt(1), Selector: "answer"}); !errors.Is(err, ErrClientClosed) {
+		t.Errorf("post-mortem send: err = %v, want fast ErrClientClosed", err)
+	}
+}
+
+// TestMuxPingTimeout points a ping at a server that accepts but never
+// answers: the deadline must fire, kill the connection, and surface an
+// error rather than hanging the prober.
+func TestMuxPingTimeout(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			defer c.Close()
+			time.Sleep(5 * time.Second) // never answer
+		}
+	}()
+	m, err := DialMux(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	start := time.Now()
+	if err := m.Ping(100 * time.Millisecond); err == nil {
+		t.Fatal("ping against a mute server returned nil")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("ping took %v to fail, want ~100ms", elapsed)
+	}
+}

@@ -37,7 +37,19 @@ type Options struct {
 	// errors, accept failures). Per-frame refusals are not logged; they
 	// are answered in-band and counted by the pool like HTTP refusals.
 	Logf func(format string, v ...any)
+	// DrainGrace is how long Shutdown lets each reader keep consuming
+	// frames already on the wire before it stops accepting more;
+	// DefaultDrainGrace when 0. Kicking readers off the socket
+	// immediately would strand frames a pipelining client had already
+	// sent — and closing with unread data RSTs the connection, clobbering
+	// even the responses already flushed back.
+	DrainGrace time.Duration
 }
+
+// DefaultDrainGrace bounds how long a draining reader waits for in-transit
+// frames to land. Long enough for anything already written by a client to
+// cross a real network; short enough that shutdown stays snappy.
+const DefaultDrainGrace = 200 * time.Millisecond
 
 // Stats is a point-in-time snapshot of the transport counters, exported
 // by obarchd into the /stats "binary" block and the obarch_binary_*
@@ -47,6 +59,7 @@ type Stats struct {
 	ConnsActive   uint64 `json:"conns_active"`
 	FramesIn      uint64 `json:"frames_in"`
 	FramesOut     uint64 `json:"frames_out"`
+	Pings         uint64 `json:"pings"`
 	ProtoErrors   uint64 `json:"proto_errors"`
 }
 
@@ -70,6 +83,7 @@ type Server struct {
 	connsActive   atomic.Int64
 	framesIn      atomic.Uint64
 	framesOut     atomic.Uint64
+	pings         atomic.Uint64
 	protoErrors   atomic.Uint64
 }
 
@@ -82,6 +96,9 @@ func Serve(l net.Listener, pool *serve.Pool, opts Options) *Server {
 	}
 	if opts.Window <= 0 {
 		opts.Window = DefaultWindow
+	}
+	if opts.DrainGrace <= 0 {
+		opts.DrainGrace = DefaultDrainGrace
 	}
 	s := &Server{pool: pool, ln: l, opts: opts, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
@@ -103,20 +120,27 @@ func (s *Server) Stats() Stats {
 		ConnsActive:   uint64(active),
 		FramesIn:      s.framesIn.Load(),
 		FramesOut:     s.framesOut.Load(),
+		Pings:         s.pings.Load(),
 		ProtoErrors:   s.protoErrors.Load(),
 	}
 }
 
 // Shutdown closes the accept loop and drains live connections: each
-// reader is kicked off its blocking read, already-dispatched frames are
+// reader gets DrainGrace to finish consuming frames already in transit
+// (then its blocking read is cut off), already-dispatched frames are
 // answered and flushed, and the writers close their connections. If ctx
 // expires first the stragglers are closed hard.
 func (s *Server) Shutdown(ctx context.Context) {
 	s.closed.Store(true)
 	s.ln.Close()
+	deadline := time.Now().Add(s.opts.DrainGrace)
 	s.mu.Lock()
 	for c := range s.conns {
-		c.SetReadDeadline(time.Now()) // unblock the reader mid-read
+		// Not time.Now(): frames a client pipelined before the drain may
+		// still be in the socket buffer, and cutting the reader off this
+		// instant would strand them — the close-with-unread-data RST then
+		// destroys even the answers already flushed.
+		c.SetReadDeadline(deadline)
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})
@@ -166,10 +190,13 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// pending is one dispatched frame awaiting its response write.
+// pending is one dispatched frame awaiting its response write. A ping
+// has no future; the writer answers it with a pong in its queued order,
+// which is exactly what makes a pong a proof of loop liveness.
 type pending struct {
-	id  uint64
-	fut *serve.Future
+	id   uint64
+	fut  *serve.Future
+	ping bool
 }
 
 // serveConn is the per-connection reader half of the read→dispatch→write
@@ -185,6 +212,13 @@ func (s *Server) serveConn(c net.Conn) {
 		s.mu.Unlock()
 		s.connsActive.Add(-1)
 	}()
+
+	// A connection accepted in the same instant Shutdown swept the conn
+	// map would never have been handed a drain deadline — give it one
+	// here so it cannot hold the drain open past the grace.
+	if s.closed.Load() {
+		c.SetReadDeadline(time.Now().Add(s.opts.DrainGrace))
+	}
 
 	pend := make(chan pending, s.opts.Window)
 	writerDone := make(chan struct{})
@@ -234,6 +268,12 @@ func (s *Server) serveConn(c net.Conn) {
 				s.logf("obwire: %s: truncated frame: %v", c.RemoteAddr(), err)
 			}
 			break
+		}
+
+		if len(buf) == 9 && buf[0] == framePing {
+			s.pings.Add(1)
+			pend <- pending{id: binary.LittleEndian.Uint64(buf[1:]), ping: true}
+			continue
 		}
 
 		t0 := time.Now()
@@ -312,6 +352,21 @@ func (s *Server) writeLoop(c net.Conn, pend <-chan pending, done chan<- struct{}
 	buf := make([]byte, 0, 256)
 	broken := false
 	for p := range pend {
+		if p.ping {
+			if broken {
+				continue
+			}
+			buf = appendPong(buf[:0], p.id)
+			_, err := bw.Write(buf)
+			if err == nil && len(pend) == 0 {
+				err = bw.Flush()
+			}
+			if err != nil {
+				broken = true
+				s.logf("obwire: %s: write: %v", c.RemoteAddr(), err)
+			}
+			continue
+		}
 		res := p.fut.Wait()
 		if broken {
 			continue

@@ -71,6 +71,15 @@ const Magic = "OBW1"
 const (
 	frameSend   = 0x01
 	frameResult = 0x02
+	// framePing/framePong are the in-band health probe: a ping is
+	// answered with a pong carrying the same frame id, ordered with the
+	// results like any other frame — so a pong proves the connection's
+	// whole read→dispatch→write loop is alive, not just the TCP socket.
+	// The cluster front tier leans on this: a node whose pings stop
+	// coming back is suspect long before a request has to die finding
+	// out.
+	framePing = 0x03
+	framePong = 0x04
 )
 
 // Frame-level statuses, mirroring the HTTP map (see statusFor in
@@ -159,6 +168,20 @@ func appendRequest(b []byte, id uint64, req serve.Request) []byte {
 	}
 	binary.LittleEndian.PutUint32(b[start:], uint32(len(b)-start-4))
 	return b
+}
+
+// appendPing encodes one ping frame — length prefix included — onto b.
+func appendPing(b []byte, id uint64) []byte {
+	b = appendU32(b, 9) // type + id
+	b = append(b, framePing)
+	return appendU64(b, id)
+}
+
+// appendPong encodes one pong frame — length prefix included — onto b.
+func appendPong(b []byte, id uint64) []byte {
+	b = appendU32(b, 9) // type + id
+	b = append(b, framePong)
+	return appendU64(b, id)
 }
 
 // appendResponse encodes one result frame — length prefix included —
